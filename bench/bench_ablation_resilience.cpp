@@ -1,0 +1,66 @@
+// Ablation: DDoS / withdrawal resilience (§7.3's top growth reason).
+//
+// Fails increasing fractions of a letter's sites (BGP withdrawal) and
+// measures catchment shift: how many users move, the latency penalty, how
+// concentrated the absorbed load is, and whether anyone is stranded. Run
+// for a large open-hosted letter (L) and a small operator letter (C).
+#include "bench/bench_common.h"
+#include "src/anycast/failover.h"
+#include "src/netbase/strfmt.h"
+
+namespace {
+
+using namespace ac;
+
+void run_letter(std::ostream& os, char letter) {
+    const auto& w = bench::world_2018();
+    const auto& dep = w.roots().deployment_of(letter);
+
+    os << "  " << letter << " root (" << dep.global_site_count() << " global sites):\n";
+    os << "    failed  moved-users  stranded  median RTT before->after  max absorbed\n";
+    const int globals = dep.global_site_count();
+    for (double fraction : {0.05, 0.2, 0.5}) {
+        const int count = std::max(1, static_cast<int>(fraction * globals));
+        // Fail the first `count` global sites (population-weighted placement
+        // makes these the most important ones — the worst case a DDoS aims
+        // for).
+        std::vector<route::site_id> failed;
+        for (const auto& s : dep.sites()) {
+            if (s.scope != route::announcement_scope::global) continue;
+            failed.push_back(s.id);
+            if (static_cast<int>(failed.size()) >= count) break;
+        }
+        const auto report =
+            anycast::run_failover_study(dep, failed, w.users(), w.graph());
+        os << "    " << strfmt::zero_padded(report.failed_sites, 3) << "     "
+           << strfmt::fixed(100.0 * report.affected_user_share, 1) << "%        "
+           << strfmt::fixed(100.0 * report.stranded_user_share, 2) << "%     "
+           << strfmt::fixed(report.median_rtt_before_ms, 1) << " -> "
+           << strfmt::fixed(report.median_rtt_after_ms, 1) << " ms            "
+           << strfmt::fixed(100.0 * report.max_absorbed_share, 1) << "%\n";
+    }
+}
+
+void print_figure(std::ostream& os) {
+    os << "=== Ablation: site-failure resilience ===\n";
+    run_letter(os, 'L');
+    run_letter(os, 'C');
+    os << "  => big deployments degrade gracefully (small moved shares, low\n"
+          "     absorption concentration); small ones shift most users at once\n"
+          "     - the capacity argument behind Table 1's DDoS answers.\n";
+}
+
+void BM_FailoverStudy(benchmark::State& state) {
+    const auto& w = bench::world_2018();
+    const auto& dep = w.roots().deployment_of('C');
+    const std::vector<route::site_id> failed{0, 1};
+    for (auto _ : state) {
+        auto report = anycast::run_failover_study(dep, failed, w.users(), w.graph());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_FailoverStudy)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AC_BENCH_MAIN(print_figure)

@@ -1,0 +1,49 @@
+// Appendix C: how many RTTs a page load costs.
+//
+// Nine pages x 20 loads through the Eq. 4 slow-start model with the
+// parallel-connection accumulation rule. Paper: only a few percent of loads
+// finish within 10 RTTs (making 10 a safe lower bound) and 90% finish
+// within 20.
+#include "bench/bench_common.h"
+#include "src/netbase/strfmt.h"
+#include "src/web/page_load.h"
+
+namespace {
+
+using namespace ac;
+
+const web::page_rtt_study& study() {
+    static const web::page_rtt_study s =
+        web::run_page_rtt_study(/*pages=*/9, /*loads_per_page=*/20, web::page_model_options{},
+                                /*seed=*/0xa99c0de);
+    return s;
+}
+
+void print_figure(std::ostream& os) {
+    const auto& s = study();
+    os << "=== Appendix C: RTTs per page load (9 pages x 20 loads) ===\n";
+    os << "  loads within 10 RTTs: " << strfmt::fixed(s.fraction_within(10), 3)
+       << " (paper: a few percent)\n";
+    os << "  loads within 20 RTTs: " << strfmt::fixed(s.fraction_within(20), 3)
+       << " (paper: ~90%)\n";
+    os << "  p10=" << s.percentile(0.10) << "  p50=" << s.percentile(0.50)
+       << "  p90=" << s.percentile(0.90) << " RTTs\n";
+    os << "  => 10 RTTs is a reasonable lower bound for §5's per-page scaling\n";
+
+    // Eq. 4 spot checks.
+    os << "  Eq.4: 15kB->" << web::transfer_rtts(15000.0) << " RTT, 120kB->"
+       << web::transfer_rtts(120000.0) << " RTTs, 1MB->" << web::transfer_rtts(1e6)
+       << " RTTs\n";
+}
+
+void BM_PageRttStudy(benchmark::State& state) {
+    for (auto _ : state) {
+        auto s = web::run_page_rtt_study(9, 20, web::page_model_options{}, 1);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_PageRttStudy)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+AC_BENCH_MAIN(print_figure)

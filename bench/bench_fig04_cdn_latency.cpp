@@ -1,0 +1,89 @@
+// Figure 4: CDN latency matters.
+//
+// 4a — CDF over RIPE-style probes of latency to each ring, per RTT and per
+//      page load (x10 RTTs, §5.1). Paper shapes: up to ~1000 ms per page
+//      load; R95/R110 median ~100 ms/page; ~100 ms/page gap between R28 and
+//      R110; rings group into {R28, R47} vs {R74, R95, R110}.
+// 4b — CDF over <region, AS> locations of the latency change when moving to
+//      the next larger ring (client-side measurements). Mostly >= 0, with
+//      diminishing returns; 99% lose less than 10 ms per RTT.
+#include "bench/bench_common.h"
+#include "src/analysis/stats.h"
+#include "src/atlas/atlas.h"
+#include <map>
+
+#include "src/netbase/strfmt.h"
+
+namespace {
+
+using namespace ac;
+
+constexpr int rtts_per_page = 10;  // §5.1 lower bound
+
+void print_figure(std::ostream& os) {
+    const auto& w = bench::world_2018();
+    const auto& cdn = w.cdn_net();
+
+    os << "=== Figure 4a: CDN latency from probes (CDF of probes) ===\n";
+    // The paper uses ~1,000 probes, 3 pings per ring.
+    const auto probes = w.fleet().sample(1000, /*seed=*/404);
+    for (int ring = 0; ring < cdn.ring_count(); ++ring) {
+        analysis::weighted_cdf rtt;
+        for (const auto& p : probes) {
+            const auto result = atlas::ping_ring(p, cdn, ring, /*attempts=*/3, 404);
+            if (result.reachable) rtt.add(result.rtt_ms, 1.0);
+        }
+        os << "  " << cdn.ring_name(ring) << ": per-RTT median="
+           << strfmt::fixed(rtt.median(), 1) << " p90=" << strfmt::fixed(rtt.quantile(0.9), 1)
+           << " ms;  per-page median=" << strfmt::fixed(rtt.median() * rtts_per_page, 0)
+           << " p90=" << strfmt::fixed(rtt.quantile(0.9) * rtts_per_page, 0) << " ms\n";
+    }
+
+    os << "=== Figure 4b: latency change, smaller ring minus bigger ring ===\n";
+    // Client-side rows hold the population fixed across rings.
+    const auto& rows = w.client_measurements();
+    const double fetch_multiple = w.config().telemetry.fetch_rtt_multiple;
+    // (asn, region) -> per-ring median fetch.
+    std::map<std::pair<topo::asn_t, topo::region_id>, std::vector<double>> by_loc;
+    for (const auto& row : rows) {
+        auto& v = by_loc[{row.asn, row.region}];
+        v.resize(static_cast<std::size_t>(cdn.ring_count()), -1.0);
+        v[static_cast<std::size_t>(row.ring)] = row.median_fetch_ms;
+    }
+    for (int ring = 0; ring + 1 < cdn.ring_count(); ++ring) {
+        analysis::weighted_cdf delta;  // per-RTT ms
+        for (const auto& [loc, fetch] : by_loc) {
+            const double a = fetch[static_cast<std::size_t>(ring)];
+            const double b = fetch[static_cast<std::size_t>(ring + 1)];
+            if (a < 0.0 || b < 0.0) continue;
+            delta.add((a - b) / fetch_multiple, 1.0);
+        }
+        if (delta.empty()) continue;
+        os << "  " << cdn.ring_name(ring) << " - " << cdn.ring_name(ring + 1)
+           << ": per-RTT median=" << strfmt::fixed(delta.median(), 2)
+           << " p10=" << strfmt::fixed(delta.quantile(0.1), 2)
+           << " p90=" << strfmt::fixed(delta.quantile(0.9), 2)
+           << " ms; improved-or-equal=" << strfmt::fixed(delta.fraction_above(-0.01), 3)
+           << "; P[regression>10ms/RTT]=" << strfmt::fixed(delta.fraction_leq(-10.0), 3)
+           << "\n";
+    }
+}
+
+void BM_PingAllRings(benchmark::State& state) {
+    const auto& w = bench::world_2018();
+    const auto probes = w.fleet().sample(100, 404);
+    for (auto _ : state) {
+        double total = 0.0;
+        for (const auto& p : probes) {
+            for (int ring = 0; ring < w.cdn_net().ring_count(); ++ring) {
+                total += atlas::ping_ring(p, w.cdn_net(), ring, 3, 404).rtt_ms;
+            }
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_PingAllRings)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AC_BENCH_MAIN(print_figure)

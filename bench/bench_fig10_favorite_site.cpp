@@ -1,0 +1,47 @@
+// Figure 10 / Appendix B.2, Eq. 3: intra-/24 routing coherence.
+//
+// For each /24 with more than one active source IP, the fraction of its
+// queries that miss its favorite site. Paper: for every letter, >80% of /24s
+// send all queries to one site; even L (138 sites) has >90% fully coherent.
+#include "bench/bench_common.h"
+#include "src/analysis/join.h"
+#include "src/netbase/strfmt.h"
+
+namespace {
+
+using namespace ac;
+
+const analysis::favorite_site_result& result() {
+    static const analysis::favorite_site_result r =
+        analysis::compute_favorite_site(bench::world_2018().ditl().letters);
+    return r;
+}
+
+void print_figure(std::ostream& os) {
+    const auto& w = bench::world_2018();
+    const auto& r = result();
+    os << "=== Figure 10: fraction of /24 queries missing the favorite site ===\n";
+    for (const auto& [letter, cdf] : r.fraction_not_favorite) {
+        if (cdf.empty()) continue;
+        const auto& dep = w.roots().deployment_of(letter);
+        os << "  " << letter << " (" << dep.global_site_count() << "G "
+           << dep.total_site_count() << "T): coherent(/24 all to one site)="
+           << strfmt::fixed(cdf.fraction_leq(1e-9), 3)
+           << "  p90=" << strfmt::fixed(cdf.quantile(0.9), 3)
+           << "  p99=" << strfmt::fixed(cdf.quantile(0.99), 3) << "  (n=" << cdf.size()
+           << ")\n";
+    }
+}
+
+void BM_FavoriteSite(benchmark::State& state) {
+    const auto& w = bench::world_2018();
+    for (auto _ : state) {
+        auto r = analysis::compute_favorite_site(w.ditl().letters);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_FavoriteSite)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AC_BENCH_MAIN(print_figure)

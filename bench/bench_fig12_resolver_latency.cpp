@@ -1,0 +1,77 @@
+// Figures 12 and 13 / Appendix D: DNS latency at a shared recursive.
+//
+// Fig. 12 — CDF of all user query latencies over a long trace at an
+// ISI-like resolver: ~half sub-millisecond (cache hits), a low-latency
+// resolution band, and a high-latency tail.
+// Fig. 13 — CDF of *root* latency per user query, log-scaled tail: fewer
+// than 1% of queries generate a root request, fewer than 0.1% wait more
+// than 100 ms on the root.
+#include "bench/bench_common.h"
+#include "src/analysis/stats.h"
+#include "src/netbase/strfmt.h"
+#include "src/resolver/study.h"
+
+namespace {
+
+using namespace ac;
+
+const resolver::study_result& study() {
+    static const resolver::study_result s = [] {
+        const dns::root_zone zone{1000, 99};
+        resolver::workload_options options;
+        options.users = 150;
+        options.days = 20;
+        options.queries_per_user_day = 400.0;
+        return resolver::run_shared_cache_study(zone, options, resolver::latency_model{},
+                                                pop::resolver_software::bind_redundant, 99);
+    }();
+    return s;
+}
+
+void print_figure(std::ostream& os) {
+    const auto& s = study();
+
+    os << "=== Figure 12: user DNS query latency at a shared recursive ===\n";
+    analysis::weighted_cdf latency;
+    for (double v : s.query_latency_sample_ms) latency.add(v, 1.0);
+    os << "  sub-millisecond (cached): " << strfmt::fixed(latency.fraction_leq(1.0), 3)
+       << "\n";
+    for (double q : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+        os << "  p" << static_cast<int>(q * 100) << " = "
+           << strfmt::fixed(latency.quantile(q), 2) << " ms\n";
+    }
+
+    os << "=== Figure 13: root-DNS latency per user query ===\n";
+    const double total = static_cast<double>(s.root_latency_zero_queries) +
+                         static_cast<double>(s.root_latency_nonzero_ms.size());
+    os << "  queries generating a root request: "
+       << strfmt::fixed(100.0 * static_cast<double>(s.root_latency_nonzero_ms.size()) / total, 3)
+       << "% (paper <1%)\n";
+    os << "  queries with root latency >100 ms: "
+       << strfmt::fixed(100.0 * s.fraction_root_latency_above(100.0), 4)
+       << "% (paper <0.1%)\n";
+    os << "  overall root cache miss rate: "
+       << strfmt::fixed(100.0 * s.overall_root_miss_rate(), 2) << "% (paper ~0.5%)\n";
+    os << "  median daily miss rate: "
+       << strfmt::fixed(100.0 * s.median_daily_root_miss_rate(), 2) << "%\n";
+    os << "  redundant fraction of root queries: "
+       << strfmt::fixed(100.0 * s.redundant_root_fraction(), 1) << "% (paper 79.8%)\n";
+}
+
+void BM_SharedCacheDay(benchmark::State& state) {
+    const dns::root_zone zone{1000, 99};
+    resolver::workload_options options;
+    options.users = 50;
+    options.days = 1;
+    options.queries_per_user_day = 200.0;
+    for (auto _ : state) {
+        auto s = resolver::run_shared_cache_study(zone, options, resolver::latency_model{},
+                                                  pop::resolver_software::bind_redundant, 7);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_SharedCacheDay)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AC_BENCH_MAIN(print_figure)

@@ -1,0 +1,69 @@
+// §4.3's local perspective: root cache miss rates and root latency in the
+// context of a user's day.
+//
+// Paper numbers: ISI shared recursive median daily miss rate 0.5%; local
+// single-user resolvers 1.5%; median daily root latency is ~1.6% of daily
+// cumulative page-load time and ~0.05% of active browsing time.
+#include "bench/bench_common.h"
+#include "src/netbase/strfmt.h"
+#include "src/resolver/study.h"
+
+namespace {
+
+using namespace ac;
+
+void print_figure(std::ostream& os) {
+    const dns::root_zone zone{1000, 43};
+
+    os << "=== §4.3 local perspective ===\n";
+    {
+        resolver::workload_options options;
+        options.users = 150;
+        options.days = 14;
+        options.queries_per_user_day = 400.0;
+        const auto shared = resolver::run_shared_cache_study(
+            zone, options, resolver::latency_model{},
+            pop::resolver_software::bind_redundant, 43);
+        os << "  ISI-like shared recursive (" << options.users << " users):\n";
+        os << "    median daily root cache miss rate: "
+           << strfmt::fixed(100.0 * shared.median_daily_root_miss_rate(), 2)
+           << "% (paper 0.5%)\n";
+        os << "    redundant share of root queries:  "
+           << strfmt::fixed(100.0 * shared.redundant_root_fraction(), 1)
+           << "% (paper 79.8%)\n";
+    }
+    {
+        const auto local = resolver::run_local_user_study(
+            zone, /*days=*/28, web::browsing_options{}, resolver::latency_model{},
+            pop::resolver_software::bind_redundant, 47);
+        os << "  single-user local resolver (4 weeks):\n";
+        os << "    median daily root cache miss rate: "
+           << strfmt::fixed(100.0 * local.median_daily_root_miss_rate(), 2)
+           << "% (paper 1.5%)\n";
+        os << "    median daily root latency:  "
+           << strfmt::fixed(local.median_daily_root_latency_ms() / 1000.0, 2) << " s\n";
+        os << "    median daily page-load time: "
+           << strfmt::fixed(local.median_daily_page_load_s(), 0) << " s; root share "
+           << strfmt::fixed(100.0 * local.root_share_of_page_load(), 2)
+           << "% (paper 1.6%)\n";
+        os << "    median daily active browsing: "
+           << strfmt::fixed(local.median_daily_active_browsing_s() / 60.0, 0)
+           << " min; root share " << strfmt::fixed(100.0 * local.root_share_of_browsing(), 3)
+           << "% (paper 0.05%)\n";
+    }
+}
+
+void BM_LocalUserWeek(benchmark::State& state) {
+    const dns::root_zone zone{1000, 43};
+    for (auto _ : state) {
+        auto r = resolver::run_local_user_study(zone, 7, web::browsing_options{},
+                                                resolver::latency_model{},
+                                                pop::resolver_software::bind_redundant, 1);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_LocalUserWeek)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AC_BENCH_MAIN(print_figure)

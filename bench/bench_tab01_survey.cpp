@@ -1,0 +1,40 @@
+// Table 1: root-operator survey tallies, plus the growth numbers quoted in
+// §4.1/§7.3 (sites more than doubled: 516 -> 1367 over five years).
+#include "bench/bench_common.h"
+#include "src/core/survey.h"
+
+namespace {
+
+using namespace ac;
+
+void print_figure(std::ostream& os) {
+    const auto responses = core::survey_responses();
+    const auto t = core::tally(responses);
+    os << "=== Table 1: root DNS operator survey (" << t.respondents
+       << " of 12 orgs responded) ===\n";
+    os << "  Reason for growth         #orgs   | Future growth trend   #orgs\n";
+    os << "  Latency                   " << t.latency << "       | Acceleration          "
+       << t.accelerate << "\n";
+    os << "  DDoS Resilience           " << t.ddos_resilience
+       << "       | Deceleration          " << t.decelerate << "\n";
+    os << "  ISP Resilience            " << t.isp_resilience
+       << "       | Maintain Rate         " << t.maintain << "\n";
+    os << "  Other                     " << t.other << "       | Cannot Share          "
+       << t.cannot_share << "\n";
+    const core::root_growth growth;
+    os << "  Root sites 2016 -> 2021: " << growth.sites_2016 << " -> " << growth.sites_2021
+       << "\n";
+}
+
+void BM_Tally(benchmark::State& state) {
+    const auto responses = core::survey_responses();
+    for (auto _ : state) {
+        auto t = core::tally(responses);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_Tally);
+
+} // namespace
+
+AC_BENCH_MAIN(print_figure)

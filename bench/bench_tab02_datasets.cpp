@@ -1,0 +1,38 @@
+// Tables 2 and 3: dataset inventory with strengths and weaknesses, filled
+// from the synthetic world's actual datasets.
+#include "bench/bench_common.h"
+#include "src/core/datasets.h"
+#include "src/netbase/strfmt.h"
+
+namespace {
+
+using namespace ac;
+
+void print_figure(std::ostream& os) {
+    const auto registry = core::dataset_registry(bench::world_2018());
+    os << "=== Table 2: summary of datasets ===\n";
+    for (const auto& e : registry) {
+        os << "  " << e.name << " (" << e.sections << ")\n"
+           << "    measurements=" << strfmt::fixed(e.measurements, 0) << "  duration="
+           << e.duration << "  year=" << e.year << "  ASes=" << e.as_count << "\n"
+           << "    technology: " << e.technology << "\n";
+    }
+    os << "=== Table 3: strengths and weaknesses ===\n";
+    for (const auto& e : registry) {
+        os << "  " << e.name << "\n    + " << e.strengths << "\n    - " << e.weaknesses
+           << "\n";
+    }
+}
+
+void BM_BuildRegistry(benchmark::State& state) {
+    const auto& w = bench::world_2018();
+    for (auto _ : state) {
+        auto r = core::dataset_registry(w);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_BuildRegistry)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AC_BENCH_MAIN(print_figure)

@@ -1,0 +1,46 @@
+// Table 5 / Appendix E: the redundant root-query case study.
+//
+// A resolution through a zone whose first authoritative nameserver times
+// out, on buggy BIND-era software: the resolver then queries the ROOT for
+// the other nameservers' AAAA records although the TLD referral answering
+// them was cached less than one TTL ago.
+#include "bench/bench_common.h"
+#include "src/netbase/strfmt.h"
+#include "src/resolver/recursive.h"
+
+namespace {
+
+using namespace ac;
+
+void print_figure(std::ostream& os) {
+    const dns::root_zone zone{1000, 5};
+    const auto trace = resolver::make_redundant_query_trace(zone, 5);
+
+    os << "=== Table 5: redundant root DNS requests (message trace) ===\n";
+    os << "  step  t(s)      from      -> to                     qname (qtype)  note\n";
+    int step = 1;
+    for (const auto& t : trace) {
+        os << "  " << strfmt::zero_padded(step++, 2) << "    "
+           << strfmt::fixed(t.t_s, 5) << "  " << t.from << " -> " << t.to << "  " << t.qname
+           << " (" << dns::to_string(t.qtype) << ")  " << t.note << "\n";
+    }
+
+    int redundant = 0;
+    for (const auto& t : trace) {
+        if (t.note.find("redundant") != std::string::npos) ++redundant;
+    }
+    os << "  redundant root queries in this resolution: " << redundant << "\n";
+}
+
+void BM_RedundantTrace(benchmark::State& state) {
+    const dns::root_zone zone{1000, 5};
+    for (auto _ : state) {
+        auto trace = resolver::make_redundant_query_trace(zone, 5);
+        benchmark::DoNotOptimize(trace);
+    }
+}
+BENCHMARK(BM_RedundantTrace)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+AC_BENCH_MAIN(print_figure)

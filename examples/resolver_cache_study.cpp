@@ -1,0 +1,68 @@
+// Example: why root latency hardly matters — a resolver's-eye view.
+//
+// Runs a shared recursive resolver (ISI-style, §4.3) for two weeks, then a
+// single-user resolver with a browsing tracker, and finally reproduces the
+// Appendix E redundant-query trace (Table 5).
+//
+//   $ ./resolver_cache_study
+//
+#include <iostream>
+
+#include "src/netbase/strfmt.h"
+#include "src/resolver/study.h"
+
+int main() {
+    using namespace ac;
+
+    const dns::root_zone zone{1000, 2026};
+
+    // --- Shared cache (hundreds of users behind one recursive). ---
+    resolver::workload_options options;
+    options.users = 150;
+    options.days = 14;
+    options.queries_per_user_day = 400.0;
+    const auto shared = resolver::run_shared_cache_study(
+        zone, options, resolver::latency_model{}, pop::resolver_software::bind_redundant,
+        2026);
+    std::cout << "Shared recursive, " << options.users << " users, " << options.days
+              << " days:\n";
+    std::cout << "  client queries:        " << shared.totals.client_queries << "\n";
+    std::cout << "  root queries:          " << shared.totals.root_queries << " ("
+              << strfmt::fixed(100.0 * shared.overall_root_miss_rate(), 2)
+              << "% miss rate; paper 0.5%)\n";
+    std::cout << "  redundant root share:  "
+              << strfmt::fixed(100.0 * shared.redundant_root_fraction(), 1)
+              << "% (paper 79.8%)\n";
+    std::cout << "  queries waiting on a root: "
+              << strfmt::fixed(
+                     100.0 * static_cast<double>(shared.root_latency_nonzero_ms.size()) /
+                         static_cast<double>(shared.totals.client_queries),
+                     2)
+              << "%\n\n";
+
+    // --- Single user with a browsing tracker (four weeks). ---
+    const auto local = resolver::run_local_user_study(
+        zone, 28, web::browsing_options{}, resolver::latency_model{},
+        pop::resolver_software::bind_redundant, 2027);
+    std::cout << "Single-user resolver, 4 weeks:\n";
+    std::cout << "  median daily miss rate:   "
+              << strfmt::fixed(100.0 * local.median_daily_root_miss_rate(), 2)
+              << "% (paper 1.5%)\n";
+    std::cout << "  root latency vs page-load time: "
+              << strfmt::fixed(100.0 * local.root_share_of_page_load(), 2)
+              << "% (paper 1.6%)\n";
+    std::cout << "  root latency vs active browsing: "
+              << strfmt::fixed(100.0 * local.root_share_of_browsing(), 3)
+              << "% (paper 0.05%)\n\n";
+
+    // --- The Appendix E bug, step by step (Table 5). ---
+    std::cout << "Appendix E redundant-query pattern (one resolution):\n";
+    for (const auto& step : resolver::make_redundant_query_trace(zone, 2028)) {
+        std::cout << "  t+" << strfmt::fixed(step.t_s, 3) << "s  " << step.from << " -> "
+                  << step.to << "  " << step.qname << " ("
+                  << dns::to_string(step.qtype) << ")  [" << step.note << "]\n";
+    }
+    std::cout << "\nCaching absorbs nearly everything; the rare miss costs one root RTT\n"
+                 "out of seconds of page-load time - inflation is invisible here.\n";
+    return 0;
+}

@@ -1,0 +1,196 @@
+#include "src/analysis/deployment_metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "src/netbase/geo.h"
+
+namespace ac::analysis {
+
+namespace {
+
+coverage_curve curve_from_distances(std::string name, int global_sites,
+                                    const weighted_cdf& distances,
+                                    std::span<const double> radii_km) {
+    coverage_curve curve;
+    curve.name = std::move(name);
+    curve.global_sites = global_sites;
+    curve.radii_km.assign(radii_km.begin(), radii_km.end());
+    curve.covered_fraction.reserve(radii_km.size());
+    for (double r : radii_km) curve.covered_fraction.push_back(distances.fraction_leq(r));
+    return curve;
+}
+
+} // namespace
+
+coverage_curve compute_coverage(const anycast::deployment& dep, const pop::user_base& base,
+                                const topo::region_table& regions,
+                                std::span<const double> radii_km) {
+    weighted_cdf distances;
+    for (const auto& loc : base.locations()) {
+        distances.add(dep.nearest_global_site_km(regions.at(loc.region).location), loc.users);
+    }
+    return curve_from_distances(dep.name(), dep.global_site_count(), distances, radii_km);
+}
+
+coverage_curve compute_ring_coverage(const cdn::cdn_network& cdn, int ring,
+                                     const pop::user_base& base,
+                                     const topo::region_table& regions,
+                                     std::span<const double> radii_km) {
+    weighted_cdf distances;
+    for (const auto& loc : base.locations()) {
+        distances.add(cdn.nearest_front_end_km(regions.at(loc.region).location, ring),
+                      loc.users);
+    }
+    return curve_from_distances(cdn.ring_name(ring), cdn.ring_size(ring), distances, radii_km);
+}
+
+coverage_curve compute_all_roots_coverage(const dns::root_system& roots,
+                                          const pop::user_base& base,
+                                          const topo::region_table& regions,
+                                          std::span<const double> radii_km) {
+    weighted_cdf distances;
+    int total_sites = 0;
+    for (char letter : roots.all_letters()) {
+        total_sites += roots.deployment_of(letter).global_site_count();
+    }
+    for (const auto& loc : base.locations()) {
+        const auto p = regions.at(loc.region).location;
+        double best = std::numeric_limits<double>::infinity();
+        for (char letter : roots.all_letters()) {
+            best = std::min(best, roots.deployment_of(letter).nearest_global_site_km(p));
+        }
+        distances.add(best, loc.users);
+    }
+    return curve_from_distances("All Roots", total_sites, distances, radii_km);
+}
+
+double median_probe_latency(const atlas::probe_fleet& fleet, const anycast::deployment& dep,
+                            std::uint64_t seed) {
+    std::vector<double> rtts;
+    rtts.reserve(fleet.probes().size());
+    for (const auto& p : fleet.probes()) {
+        const auto result = atlas::ping(p, dep, /*attempts=*/3, seed);
+        if (result.reachable) rtts.push_back(result.rtt_ms);
+    }
+    return median_of(std::move(rtts));
+}
+
+double median_probe_latency_to_ring(const atlas::probe_fleet& fleet,
+                                    const cdn::cdn_network& cdn, int ring,
+                                    std::uint64_t seed) {
+    std::vector<double> rtts;
+    rtts.reserve(fleet.probes().size());
+    for (const auto& p : fleet.probes()) {
+        const auto result = atlas::ping_ring(p, cdn, ring, /*attempts=*/3, seed);
+        if (result.reachable) rtts.push_back(result.rtt_ms);
+    }
+    return median_of(std::move(rtts));
+}
+
+namespace {
+
+constexpr std::size_t length_bucket(int length) {
+    if (length <= 2) return 0;
+    if (length == 3) return 1;
+    if (length == 4) return 2;
+    return 3;
+}
+
+constexpr std::size_t inflation_bucket(int length) {
+    if (length <= 2) return 0;
+    if (length == 3) return 1;
+    return 2;  // 4+
+}
+
+struct destination_acc {
+    std::array<double, 4> length_weight{};
+    std::array<weighted_cdf, 3> inflation;
+    double total_weight = 0.0;
+
+    void record(int length, double gi_ms) {
+        length_weight[length_bucket(length)] += 1.0;
+        total_weight += 1.0;
+        inflation[inflation_bucket(length)].add(gi_ms, 1.0);
+    }
+};
+
+} // namespace
+
+aspath_study_result run_aspath_study(const atlas::probe_fleet& fleet,
+                                     const dns::root_system& roots,
+                                     const cdn::cdn_network& cdn,
+                                     const topo::as_graph& graph) {
+    // Deduplicate probes to <region, AS> locations (the paper weights
+    // locations, not probes).
+    std::unordered_map<std::uint64_t, atlas::probe> locations;
+    for (const auto& p : fleet.probes()) {
+        locations.emplace((std::uint64_t{p.asn} << 32) | p.region, p);
+    }
+
+    const auto& regions = cdn.regions();
+    std::map<std::string, destination_acc> accs;
+    const auto letters = roots.geographic_analysis_letters();
+
+    for (const auto& [key, probe] : locations) {
+        const auto loc = regions.at(probe.region).location;
+
+        // CDN: external path is ring-independent; inflation uses R110.
+        if (const auto path = cdn.evaluate(probe.asn, probe.region, cdn.ring_count() - 1)) {
+            const int length = atlas::organization_path_length(path->as_path, graph);
+            const double min_km = cdn.nearest_front_end_km(loc, cdn.ring_count() - 1);
+            const double gi = std::max(0.0, geo::round_trip_fiber_ms(path->front_end_km) -
+                                                geo::round_trip_fiber_ms(min_km));
+            accs["CDN"].record(length, gi);
+        }
+
+        // Letters, individually and pooled as "All Roots" (grouped by
+        // <region, AS, root>, so each letter contributes one sample).
+        for (char letter : letters) {
+            const auto& dep = roots.deployment_of(letter);
+            const auto path = dep.rib().select(probe.asn, probe.region);
+            if (!path) continue;
+            const int length = atlas::organization_path_length(path->as_path, graph);
+            const auto& site = dep.site_at(path->site);
+            const double site_km =
+                geo::distance_km(loc, regions.at(site.region).location);
+            const double min_km = dep.nearest_global_site_km(loc);
+            const double gi = std::max(0.0, geo::round_trip_fiber_ms(site_km) -
+                                                geo::round_trip_fiber_ms(min_km));
+            accs[std::string{letter}].record(length, gi);
+            accs["All Roots"].record(length, gi);
+        }
+    }
+
+    aspath_study_result result;
+    // Stable presentation order: CDN, All Roots, then letters by size desc.
+    std::vector<std::string> order{"CDN", "All Roots"};
+    std::vector<std::pair<int, char>> sized;
+    for (char letter : letters) {
+        sized.emplace_back(roots.deployment_of(letter).global_site_count(), letter);
+    }
+    std::sort(sized.begin(), sized.end(), std::greater<>());
+    for (const auto& [_, letter] : sized) order.emplace_back(1, letter);
+
+    for (const auto& name : order) {
+        auto it = accs.find(name);
+        if (it == accs.end() || it->second.total_weight <= 0.0) continue;
+        path_length_distribution dist;
+        dist.destination = name;
+        for (std::size_t b = 0; b < 4; ++b) {
+            dist.share[b] = it->second.length_weight[b] / it->second.total_weight;
+        }
+        result.lengths.push_back(dist);
+
+        inflation_by_path_length infl;
+        infl.destination = name;
+        for (std::size_t b = 0; b < 3; ++b) {
+            infl.boxes[b] = summarize(it->second.inflation[b]);
+        }
+        result.inflation.push_back(infl);
+    }
+    return result;
+}
+
+} // namespace ac::analysis

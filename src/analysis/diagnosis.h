@@ -1,0 +1,62 @@
+// Poor-path diagnosis: why is this <region, AS> slow?
+//
+// §6 closes with "there is still room for latency optimization in anycast
+// deployments, which is an active area of research [43, 47, 82]". This
+// module is that tooling for the synthetic world: it classifies each user
+// location's CDN path against its physical optimum and attributes the
+// excess to one of the operational causes an engineer would act on —
+// missing peering (transit detour), a far ingress (early-exit mismatch), a
+// far front-end (ring too small near this user), or plain distance (no site
+// anywhere near).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/cdn/cdn.h"
+#include "src/population/population.h"
+
+namespace ac::analysis {
+
+enum class path_problem : std::uint8_t {
+    healthy,          // within budget of the physical optimum
+    no_peering,       // enters via transit: peering would shortcut the path
+    far_ingress,      // peered, but the chosen ingress PoP is far away
+    far_front_end,    // ingress is fine; the ring's nearest front-end is far
+    isolated_user,    // no front-end anywhere near: a deployment gap
+};
+
+[[nodiscard]] std::string_view to_string(path_problem problem) noexcept;
+
+struct path_diagnosis {
+    topo::asn_t asn = 0;
+    topo::region_id region = 0;
+    double users = 0.0;
+    double rtt_ms = 0.0;
+    double optimal_ms = 0.0;     // best_case_rtt over the nearest front-end
+    double excess_ms = 0.0;      // rtt - optimal
+    path_problem problem = path_problem::healthy;
+};
+
+struct diagnosis_options {
+    int ring = -1;                   // -1 = largest ring
+    double healthy_budget_ms = 25.0; // excess below this is "healthy"
+    double far_km = 1500.0;          // ingress/front-end distance threshold
+    double isolated_km = 3000.0;     // nearest front-end beyond this = gap
+};
+
+struct diagnosis_report {
+    std::vector<path_diagnosis> diagnoses;       // every reachable location
+    /// User-weighted share per problem class, indexed by path_problem.
+    std::array<double, 5> user_share_by_problem{};
+
+    /// The worst offenders by user-weighted excess (for an engineer's
+    /// worklist), largest first.
+    [[nodiscard]] std::vector<path_diagnosis> worst(std::size_t count) const;
+};
+
+[[nodiscard]] diagnosis_report diagnose_cdn_paths(const cdn::cdn_network& cdn,
+                                                  const pop::user_base& users,
+                                                  const diagnosis_options& options = {});
+
+} // namespace ac::analysis

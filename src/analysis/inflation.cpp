@@ -1,0 +1,155 @@
+#include "src/analysis/inflation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/netbase/geo.h"
+
+namespace ac::analysis {
+
+namespace {
+
+/// Per-/24 accumulation for the All-Roots expectation: inflation weighted by
+/// the recursive's query spread over letters.
+struct all_roots_acc {
+    double weighted_inflation = 0.0;  // sum of per-letter inflation * volume
+    double volume = 0.0;
+    double users = 0.0;
+};
+
+} // namespace
+
+double root_inflation_result::efficiency(char letter) const {
+    auto it = geographic.find(letter);
+    if (it == geographic.end() || it->second.empty()) return 0.0;
+    return it->second.fraction_leq(zero_inflation_epsilon_ms);
+}
+
+root_inflation_result compute_root_inflation(std::span<const capture::filtered_letter> letters,
+                                             const dns::root_system& roots,
+                                             const topo::geo_database& geodb,
+                                             const pop::cdn_user_counts& users,
+                                             const root_inflation_options& options) {
+    root_inflation_result result;
+    const auto geo_letters = roots.geographic_analysis_letters();
+    const auto lat_letters = roots.latency_analysis_letters();
+
+    std::unordered_map<std::uint32_t, all_roots_acc> gi_all;  // by /24 key
+    std::unordered_map<std::uint32_t, all_roots_acc> li_all;
+
+    for (const auto& letter : letters) {
+        const bool in_geo = std::find(geo_letters.begin(), geo_letters.end(), letter.letter) !=
+                            geo_letters.end();
+        if (!in_geo) continue;
+        const bool in_lat = std::find(lat_letters.begin(), lat_letters.end(), letter.letter) !=
+                            lat_letters.end();
+        const auto& dep = roots.deployment_of(letter.letter);
+
+        // Median TCP RTT per (source /24, site).
+        std::unordered_map<std::uint64_t, double> tcp_median;
+        if (in_lat) {
+            for (const auto& row : letter.tcp_rtts) {
+                tcp_median[(std::uint64_t{row.source.key()} << 16) | row.site] =
+                    row.median_rtt_ms;
+            }
+        }
+
+        auto& gi_cdf = result.geographic[letter.letter];
+        weighted_cdf* li_cdf = in_lat ? &result.latency[letter.letter] : nullptr;
+
+        for (const auto& volume : capture::aggregate_by_slash24(letter.records)) {
+            const auto located = geodb.locate(volume.source);
+            if (!located) continue;  // unallocated (e.g. scrambled) source
+
+            double weight = 1.0;
+            if (options.weight_by_users) {
+                const auto count = users.count(volume.source);
+                if (!count) continue;  // outside the DITL∩CDN join
+                weight = *count;
+            }
+
+            // Per-site aggregation over *global* sites only.
+            double vol_total = 0.0;
+            double dist_weighted = 0.0;     // sum of volume * distance
+            double lat_vol = 0.0;
+            double lat_weighted = 0.0;      // sum of volume * median RTT
+            for (const auto& site_vol : volume.sites) {
+                const auto& site = dep.site_at(site_vol.site);
+                if (site.scope != route::announcement_scope::global) continue;
+                const auto site_loc = dep.regions().at(site.region).location;
+                const double d = geo::distance_km(*located, site_loc);
+                vol_total += site_vol.queries_per_day;
+                dist_weighted += site_vol.queries_per_day * d;
+                if (in_lat) {
+                    auto it = tcp_median.find(
+                        (std::uint64_t{volume.source.key()} << 16) | site_vol.site);
+                    if (it != tcp_median.end()) {
+                        lat_vol += site_vol.queries_per_day;
+                        lat_weighted += site_vol.queries_per_day * it->second;
+                    }
+                }
+            }
+            if (vol_total <= 0.0) continue;
+
+            const double min_km = dep.nearest_global_site_km(*located);
+            const double avg_km = dist_weighted / vol_total;
+            const double gi_ms = std::max(
+                0.0, geo::round_trip_fiber_ms(avg_km) - geo::round_trip_fiber_ms(min_km));
+            gi_cdf.add(gi_ms, weight);
+
+            auto& acc = gi_all[volume.source.key()];
+            acc.weighted_inflation += gi_ms * vol_total;
+            acc.volume += vol_total;
+            acc.users = weight;
+
+            if (in_lat && lat_vol > 0.0) {
+                const double avg_rtt = lat_weighted / lat_vol;
+                const double li_ms = std::max(0.0, avg_rtt - geo::best_case_rtt_ms(min_km));
+                li_cdf->add(li_ms, weight);
+                auto& lacc = li_all[volume.source.key()];
+                lacc.weighted_inflation += li_ms * lat_vol;
+                lacc.volume += lat_vol;
+                lacc.users = weight;
+            }
+        }
+    }
+
+    for (const auto& [key, acc] : gi_all) {
+        if (acc.volume > 0.0) {
+            result.geographic_all_roots.add(acc.weighted_inflation / acc.volume, acc.users);
+        }
+    }
+    for (const auto& [key, acc] : li_all) {
+        if (acc.volume > 0.0) {
+            result.latency_all_roots.add(acc.weighted_inflation / acc.volume, acc.users);
+        }
+    }
+    return result;
+}
+
+double cdn_inflation_result::efficiency(int ring) const {
+    const auto& cdf = geographic_by_ring.at(static_cast<std::size_t>(ring));
+    return cdf.empty() ? 0.0 : cdf.fraction_leq(zero_inflation_epsilon_ms);
+}
+
+cdn_inflation_result compute_cdn_inflation(std::span<const cdn::server_log_row> logs,
+                                           const cdn::cdn_network& cdn) {
+    cdn_inflation_result result;
+    result.geographic_by_ring.resize(static_cast<std::size_t>(cdn.ring_count()));
+    result.latency_by_ring.resize(static_cast<std::size_t>(cdn.ring_count()));
+
+    for (const auto& row : logs) {
+        const auto user_loc = cdn.regions().at(row.region).location;
+        const double min_km = cdn.nearest_front_end_km(user_loc, row.ring);
+        const double gi_ms =
+            std::max(0.0, geo::round_trip_fiber_ms(row.front_end_km) -
+                              geo::round_trip_fiber_ms(min_km));
+        const double li_ms = std::max(0.0, row.median_rtt_ms - geo::best_case_rtt_ms(min_km));
+        result.geographic_by_ring[static_cast<std::size_t>(row.ring)].add(gi_ms, row.users);
+        result.latency_by_ring[static_cast<std::size_t>(row.ring)].add(li_ms, row.users);
+    }
+    return result;
+}
+
+} // namespace ac::analysis

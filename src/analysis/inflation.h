@@ -1,0 +1,75 @@
+// The paper's inflation metrics (§3.1, Eq. 1 and Eq. 2), applied with one
+// methodology to both systems (§6's direct-comparability requirement).
+//
+// Geographic inflation per query for recursive R and deployment j:
+//   GI(R,j) = (2/c_f) * ( sum_i N(R,j_i) d(R,j_i) / N(R,j) - min_k d(R,j_k) )
+// over *global* sites only. Latency inflation replaces measured distance
+// with TCP-derived median RTTs and lower-bounds the optimum by the (2/3)c_f
+// rule [46]:
+//   LI(R,j) = sum_i N(R,j_i) l(R,j_i) / N(R,j) - best_case_rtt(min_k d).
+//
+// Results are CDFs of *users*: each /24's value is weighted by the Microsoft
+// user count behind it (the DITL∩CDN join).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+
+#include "src/analysis/stats.h"
+#include "src/anycast/deployment.h"
+#include "src/capture/filter.h"
+#include "src/cdn/cdn.h"
+#include "src/cdn/telemetry.h"
+#include "src/dns/root_letters.h"
+#include "src/population/population.h"
+#include "src/topology/addressing.h"
+
+namespace ac::analysis {
+
+struct root_inflation_options {
+    /// Weight /24s by Microsoft user counts (the DITL∩CDN join). When false,
+    /// every /24 weighs 1 (a recursive-level rather than user-level view).
+    bool weight_by_users = true;
+};
+
+struct root_inflation_result {
+    /// Geographic inflation per root query, ms, per letter (Fig. 2a).
+    std::map<char, weighted_cdf> geographic;
+    /// System-wide per-query inflation, accounting for each recursive's
+    /// spread of queries over letters (the "All Roots" line).
+    weighted_cdf geographic_all_roots;
+    /// Latency inflation per root query, ms (Fig. 2b; TCP-usable letters).
+    std::map<char, weighted_cdf> latency;
+    weighted_cdf latency_all_roots;
+
+    /// Fraction of users with zero geographic inflation, per letter — the
+    /// y-intercepts of Fig. 2a and the "efficiency" of Fig. 7a-right.
+    [[nodiscard]] double efficiency(char letter) const;
+};
+
+/// Computes Fig. 2 from filtered DITL captures. Letters are selected by
+/// their data-availability flags (G/I excluded; H single-site excluded;
+/// D/L excluded from the latency metric).
+[[nodiscard]] root_inflation_result compute_root_inflation(
+    std::span<const capture::filtered_letter> letters, const dns::root_system& roots,
+    const topo::geo_database& geodb, const pop::cdn_user_counts& users,
+    const root_inflation_options& options = {});
+
+struct cdn_inflation_result {
+    std::vector<weighted_cdf> geographic_by_ring;  // indexed by ring
+    std::vector<weighted_cdf> latency_by_ring;
+
+    [[nodiscard]] double efficiency(int ring) const;
+};
+
+/// Computes Fig. 5's CDN curves from server-side logs. Users in a
+/// <region, AS> location sit at the location's mean position (§6).
+[[nodiscard]] cdn_inflation_result compute_cdn_inflation(
+    std::span<const cdn::server_log_row> logs, const cdn::cdn_network& cdn);
+
+/// Zero-inflation tolerance: distances within this round-trip budget of the
+/// optimum count as uninflated (sub-ms wobble is measurement noise).
+inline constexpr double zero_inflation_epsilon_ms = 0.5;
+
+} // namespace ac::analysis

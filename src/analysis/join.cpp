@@ -1,0 +1,182 @@
+#include "src/analysis/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ac::analysis {
+
+namespace {
+
+/// Per-source daily query volume summed across letters, keyed either by /24
+/// or by exact IP.
+std::unordered_map<std::uint32_t, double> volumes_by_key(
+    std::span<const capture::filtered_letter> letters, bool by_slash24) {
+    std::unordered_map<std::uint32_t, double> volumes;
+    for (const auto& letter : letters) {
+        for (const auto& record : letter.records) {
+            const std::uint32_t key = by_slash24 ? net::slash24{record.source_ip}.key()
+                                                 : record.source_ip.value();
+            volumes[key] += record.queries_per_day;
+        }
+    }
+    return volumes;
+}
+
+} // namespace
+
+amortization_result compute_amortization(std::span<const capture::filtered_letter> letters,
+                                         const pop::user_base& base,
+                                         const pop::cdn_user_counts& cdn_users,
+                                         const pop::apnic_user_counts& apnic_users,
+                                         const topo::ip_to_asn& as_mapper,
+                                         const dns::query_model_options& model_options,
+                                         const amortization_options& options) {
+    amortization_result result;
+    const auto volumes = volumes_by_key(letters, options.join_by_slash24);
+
+    double total_volume = 0.0;
+    double attributed_volume = 0.0;
+    std::unordered_map<topo::asn_t, double> volume_by_as;
+
+    for (const auto& [key, volume] : volumes) {
+        total_volume += volume;
+        const net::slash24 block =
+            options.join_by_slash24 ? net::slash24{net::ipv4_addr{key << 8}}
+                                    : net::slash24{net::ipv4_addr{key}};
+
+        // CDN line: join with Microsoft user counts at the same granularity.
+        std::optional<double> users;
+        if (options.join_by_slash24) {
+            users = cdn_users.count(block);
+        } else {
+            users = cdn_users.count(net::ipv4_addr{key});
+        }
+        if (users && *users > 0.0) {
+            result.cdn.add(volume / *users, *users);
+            attributed_volume += volume;
+        }
+
+        // APNIC accumulates by origin AS regardless of the join mode (§2.1).
+        if (const auto asn = as_mapper.lookup(block)) {
+            volume_by_as[*asn] += volume;
+        }
+    }
+
+    for (const auto& [asn, volume] : volume_by_as) {
+        const auto users = apnic_users.count(asn);
+        if (users && *users > 0.0) {
+            result.apnic.add(volume / *users, *users);
+        }
+    }
+
+    // Ideal: one query per TLD record per TTL, amortized over Microsoft user
+    // counts (§4.3). The whole zone is refreshed, not just active TLDs.
+    const double ideal_rate = model_options.max_tlds / model_options.ttl_days;
+    for (const auto& rec : base.recursives()) {
+        const auto users = cdn_users.count(rec.block);
+        if (users && *users > 0.0) {
+            result.ideal.add(ideal_rate / *users, *users);
+        }
+    }
+
+    result.attributed_volume_fraction =
+        total_volume > 0.0 ? attributed_volume / total_volume : 0.0;
+    return result;
+}
+
+overlap_comparison compute_overlap(std::span<const capture::filtered_letter> letters,
+                                   const pop::cdn_user_counts& cdn_users) {
+    overlap_comparison comparison;
+
+    for (const bool by_slash24 : {false, true}) {
+        const auto ditl_volumes = volumes_by_key(letters, by_slash24);
+
+        // CDN-side universe at matching granularity, with user counts as the
+        // CDN's volume proxy.
+        std::unordered_map<std::uint32_t, double> cdn_universe;
+        if (by_slash24) {
+            for (const auto block : cdn_users.observed_blocks()) {
+                cdn_universe.emplace(block.key(), cdn_users.count(block).value_or(0.0));
+            }
+        } else {
+            for (const auto ip : cdn_users.observed_ips()) {
+                cdn_universe.emplace(ip.value(), cdn_users.count(ip).value_or(0.0));
+            }
+        }
+
+        double ditl_total_volume = 0.0;
+        double ditl_matched_volume = 0.0;
+        std::size_t ditl_matched_sources = 0;
+        for (const auto& [key, volume] : ditl_volumes) {
+            ditl_total_volume += volume;
+            if (cdn_universe.contains(key)) {
+                ditl_matched_volume += volume;
+                ++ditl_matched_sources;
+            }
+        }
+
+        double cdn_total_users = 0.0;
+        double cdn_matched_users = 0.0;
+        std::size_t cdn_matched_sources = 0;
+        for (const auto& [key, users] : cdn_universe) {
+            cdn_total_users += users;
+            if (ditl_volumes.contains(key)) {
+                cdn_matched_users += users;
+                ++cdn_matched_sources;
+            }
+        }
+
+        overlap_stats stats;
+        stats.ditl_recursives = ditl_volumes.empty()
+                                    ? 0.0
+                                    : static_cast<double>(ditl_matched_sources) /
+                                          static_cast<double>(ditl_volumes.size());
+        stats.ditl_volume =
+            ditl_total_volume > 0.0 ? ditl_matched_volume / ditl_total_volume : 0.0;
+        stats.cdn_recursives = cdn_universe.empty()
+                                   ? 0.0
+                                   : static_cast<double>(cdn_matched_sources) /
+                                         static_cast<double>(cdn_universe.size());
+        stats.cdn_volume = cdn_total_users > 0.0 ? cdn_matched_users / cdn_total_users : 0.0;
+
+        (by_slash24 ? comparison.by_slash24 : comparison.by_ip) = stats;
+    }
+    return comparison;
+}
+
+favorite_site_result compute_favorite_site(
+    std::span<const capture::letter_capture> captures) {
+    favorite_site_result result;
+    for (const auto& capture : captures) {
+        if (capture.spec.anon == dns::anonymization::full) continue;
+
+        // /24 -> { ip set, site -> volume }.
+        struct acc {
+            std::unordered_set<std::uint32_t> ips;
+            std::unordered_map<route::site_id, double> by_site;
+            double total = 0.0;
+        };
+        std::unordered_map<std::uint32_t, acc> per_block;
+        for (const auto& record : capture.records) {
+            auto& a = per_block[net::slash24{record.source_ip}.key()];
+            a.ips.insert(record.source_ip.value());
+            a.by_site[record.site] += record.queries_per_day;
+            a.total += record.queries_per_day;
+        }
+
+        auto& cdf = result.fraction_not_favorite[capture.letter];
+        for (const auto& [key, a] : per_block) {
+            // Paper: skip /24s where only one IP queried this letter.
+            if (a.ips.size() < 2 || a.total <= 0.0) continue;
+            double favorite = 0.0;
+            for (const auto& [site, volume] : a.by_site) {
+                favorite = std::max(favorite, volume);
+            }
+            cdf.add(1.0 - favorite / a.total, 1.0);
+        }
+    }
+    return result;
+}
+
+} // namespace ac::analysis

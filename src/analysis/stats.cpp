@@ -1,0 +1,101 @@
+#include "src/analysis/stats.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ac::analysis {
+
+void weighted_cdf::add(double value, double weight) {
+    if (weight <= 0.0) return;
+    samples_.emplace_back(value, weight);
+    total_weight_ += weight;
+    sorted_ = false;
+}
+
+void weighted_cdf::sort() const {
+    if (sorted_) return;
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+}
+
+double weighted_cdf::quantile(double q) const {
+    if (samples_.empty()) throw std::logic_error("weighted_cdf: empty");
+    sort();
+    const double target = std::clamp(q, 0.0, 1.0) * total_weight_;
+    double cumulative = 0.0;
+    for (const auto& [value, weight] : samples_) {
+        cumulative += weight;
+        if (cumulative >= target) return value;
+    }
+    return samples_.back().first;
+}
+
+double weighted_cdf::fraction_leq(double v) const {
+    if (samples_.empty()) return 0.0;
+    sort();
+    double cumulative = 0.0;
+    for (const auto& [value, weight] : samples_) {
+        if (value > v) break;
+        cumulative += weight;
+    }
+    return cumulative / total_weight_;
+}
+
+double weighted_cdf::min() const {
+    if (samples_.empty()) throw std::logic_error("weighted_cdf: empty");
+    sort();
+    return samples_.front().first;
+}
+
+double weighted_cdf::max() const {
+    if (samples_.empty()) throw std::logic_error("weighted_cdf: empty");
+    sort();
+    return samples_.back().first;
+}
+
+double weighted_cdf::mean() const {
+    if (samples_.empty()) throw std::logic_error("weighted_cdf: empty");
+    double sum = 0.0;
+    for (const auto& [value, weight] : samples_) sum += value * weight;
+    return sum / total_weight_;
+}
+
+std::vector<std::pair<double, double>> weighted_cdf::curve(int points) const {
+    std::vector<std::pair<double, double>> out;
+    if (samples_.empty() || points < 2) return out;
+    sort();
+    out.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+        out.emplace_back(quantile(q), q);
+    }
+    return out;
+}
+
+box_summary summarize(const weighted_cdf& cdf) {
+    box_summary box;
+    if (cdf.empty()) return box;
+    box.minimum = cdf.min();
+    box.q1 = cdf.quantile(0.25);
+    box.median = cdf.quantile(0.5);
+    box.q3 = cdf.quantile(0.75);
+    box.maximum = cdf.max();
+    box.weight = cdf.total_weight();
+    return box;
+}
+
+double median_of(std::vector<double> values) {
+    if (values.empty()) return 0.0;
+    const auto mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                     values.end());
+    return values[mid];
+}
+
+double weighted_median(std::span<const std::pair<double, double>> value_weight) {
+    weighted_cdf cdf;
+    for (const auto& [v, w] : value_weight) cdf.add(v, w);
+    return cdf.empty() ? 0.0 : cdf.median();
+}
+
+} // namespace ac::analysis

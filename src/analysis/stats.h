@@ -1,0 +1,63 @@
+// Weighted distribution utilities.
+//
+// Every figure in the paper is a CDF "of users" — values weighted by the
+// user population behind them — or a box-and-whisker summary. These helpers
+// implement weighted quantiles, CDF evaluation, and five-number summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ac::analysis {
+
+/// A weighted empirical distribution.
+class weighted_cdf {
+public:
+    void add(double value, double weight = 1.0);
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
+    [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+    [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+
+    /// Value at cumulative fraction q in [0, 1].
+    [[nodiscard]] double quantile(double q) const;
+    /// Cumulative fraction of weight at values <= v.
+    [[nodiscard]] double fraction_leq(double v) const;
+    /// Convenience: fraction strictly above v.
+    [[nodiscard]] double fraction_above(double v) const { return 1.0 - fraction_leq(v); }
+    [[nodiscard]] double median() const { return quantile(0.5); }
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double mean() const;
+
+    /// (value, cumulative fraction) pairs suitable for plotting/printing.
+    [[nodiscard]] std::vector<std::pair<double, double>> curve(int points) const;
+
+private:
+    void sort() const;
+    mutable std::vector<std::pair<double, double>> samples_;  // (value, weight)
+    mutable bool sorted_ = true;
+    double total_weight_ = 0.0;
+};
+
+/// Five-number summary (Fig. 6b's box-and-whisker rows).
+struct box_summary {
+    double minimum = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double maximum = 0.0;
+    double weight = 0.0;  // total weight behind the box
+};
+
+[[nodiscard]] box_summary summarize(const weighted_cdf& cdf);
+
+/// Unweighted median of a scratch vector.
+[[nodiscard]] double median_of(std::vector<double> values);
+
+/// Exact median of a weighted value set (helper for small aggregations).
+[[nodiscard]] double weighted_median(std::span<const std::pair<double, double>> value_weight);
+
+} // namespace ac::analysis

@@ -1,0 +1,37 @@
+// Anycast vs best-unicast comparison.
+//
+// Prior work ([51], discussed in §3) frames inflation against the best
+// *unicast* alternative: what if each user could address the single best
+// site directly? The paper deliberately measures deployment-relative
+// inflation instead (coverage + unpublished unicast addresses), but with a
+// simulated world both are computable, so this module provides the
+// comparison the two methodologies disagree over: anycast penalty
+// (anycast RTT minus best per-site unicast RTT) and residual unicast
+// inflation (best unicast RTT minus the physical bound).
+#pragma once
+
+#include "src/analysis/stats.h"
+#include "src/anycast/deployment.h"
+#include "src/population/population.h"
+
+namespace ac::analysis {
+
+struct unicast_comparison {
+    /// Anycast penalty per user, ms: selected-anycast RTT minus the best
+    /// unicast RTT over all global sites ([51]'s "anycast inflation").
+    weighted_cdf anycast_penalty_ms;
+    /// Best-unicast residual inflation over the Eq. 2 physical bound: even
+    /// the best unicast route is inflated (§3.1's third reason for using a
+    /// theoretical lower bound).
+    weighted_cdf unicast_inflation_ms;
+    /// Share of users for whom anycast already picks the unicast-best site.
+    double anycast_optimal_share = 0.0;
+};
+
+/// Compares anycast selection against per-site unicast routing for every
+/// user location. Only global sites participate (local-site reachability is
+/// scoped by BGP propagation and carries over automatically).
+[[nodiscard]] unicast_comparison compare_with_unicast(const anycast::deployment& dep,
+                                                      const pop::user_base& users);
+
+} // namespace ac::analysis

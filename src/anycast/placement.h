@@ -1,0 +1,36 @@
+// Site-placement strategies beyond the paper's observed ones.
+//
+// §7.2 ends with "there is still room for latency optimization in anycast
+// deployments, which is an active area of research [43, 47, 82]". This
+// module provides the optimization baseline those papers target: greedy
+// latency-optimal placement (classic k-median on the user mass), plus a
+// random baseline, so ablation benches can ask how much of the CDN's
+// advantage is *placement* vs *peering*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/population/population.h"
+#include "src/topology/region.h"
+
+namespace ac::anycast {
+
+/// Greedy k-median placement: repeatedly adds the region that most reduces
+/// total user-weighted distance to the nearest chosen site. Deterministic.
+/// Returns `count` region ids in selection order (prefixes are themselves
+/// greedy placements, so rings nest for free).
+[[nodiscard]] std::vector<topo::region_id> greedy_placement(
+    const pop::user_base& users, const topo::region_table& regions, int count);
+
+/// Uniform-random placement baseline (no population weighting at all).
+[[nodiscard]] std::vector<topo::region_id> random_placement(const topo::region_table& regions,
+                                                            int count, std::uint64_t seed);
+
+/// Mean user-weighted distance (km) from users to their nearest site in
+/// `sites` — the k-median objective both strategies are scored by.
+[[nodiscard]] double mean_user_distance_km(const pop::user_base& users,
+                                           const topo::region_table& regions,
+                                           std::span<const topo::region_id> sites);
+
+} // namespace ac::anycast

@@ -1,0 +1,92 @@
+#include "src/capture/filter.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ac::capture {
+
+filtered_letter filter_letter(const letter_capture& capture, const filter_options& options) {
+    filtered_letter out;
+    out.letter = capture.letter;
+    out.spec = capture.spec;
+    out.tcp_rtts = capture.tcp_rtts;
+    out.stats.ipv6_dropped = capture.ipv6_queries_per_day;
+    out.stats.raw_queries_per_day = capture.ipv6_queries_per_day;
+
+    for (const auto& record : capture.records) {
+        out.stats.raw_queries_per_day += record.queries_per_day;
+        if (options.drop_private_sources && net::is_private_or_reserved(record.source_ip)) {
+            out.stats.private_dropped += record.queries_per_day;
+            continue;
+        }
+        if (options.drop_invalid_tld && record.category == query_category::invalid_tld) {
+            out.stats.invalid_dropped += record.queries_per_day;
+            continue;
+        }
+        if (options.drop_ptr && record.category == query_category::ptr) {
+            out.stats.ptr_dropped += record.queries_per_day;
+            continue;
+        }
+        out.stats.kept += record.queries_per_day;
+        out.records.push_back(record);
+    }
+    return out;
+}
+
+std::vector<filtered_letter> filter_all(const ditl_dataset& dataset,
+                                        const filter_options& options) {
+    std::vector<filtered_letter> out;
+    out.reserve(dataset.letters.size());
+    for (const auto& lc : dataset.letters) out.push_back(filter_letter(lc, options));
+    return out;
+}
+
+namespace {
+
+template <typename Key, typename Extract>
+auto aggregate(std::span<const capture_record> records, Extract extract) {
+    // (key, site) -> volume
+    std::map<std::pair<Key, route::site_id>, double> acc;
+    for (const auto& r : records) {
+        acc[{extract(r), r.site}] += r.queries_per_day;
+    }
+    return acc;
+}
+
+} // namespace
+
+std::vector<slash24_volume> aggregate_by_slash24(std::span<const capture_record> records) {
+    auto acc = aggregate<std::uint32_t>(
+        records, [](const capture_record& r) { return net::slash24{r.source_ip}.key(); });
+    std::vector<slash24_volume> out;
+    for (const auto& [key, qpd] : acc) {
+        const auto& [s24_key, site] = key;
+        if (out.empty() || out.back().source.key() != s24_key) {
+            slash24_volume v;
+            v.source = net::slash24{net::ipv4_addr{s24_key << 8}};
+            out.push_back(std::move(v));
+        }
+        out.back().sites.push_back(slash24_site_volume{site, qpd});
+        out.back().total_queries_per_day += qpd;
+    }
+    return out;
+}
+
+std::vector<ip_volume> aggregate_by_ip(std::span<const capture_record> records) {
+    auto acc = aggregate<std::uint32_t>(
+        records, [](const capture_record& r) { return r.source_ip.value(); });
+    std::vector<ip_volume> out;
+    for (const auto& [key, qpd] : acc) {
+        const auto& [ip_value, site] = key;
+        if (out.empty() || out.back().source.value() != ip_value) {
+            ip_volume v;
+            v.source = net::ipv4_addr{ip_value};
+            out.push_back(std::move(v));
+        }
+        out.back().sites.push_back(slash24_site_volume{site, qpd});
+        out.back().total_queries_per_day += qpd;
+    }
+    return out;
+}
+
+} // namespace ac::capture

@@ -1,0 +1,163 @@
+#include "src/capture/serialize.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ac::capture {
+
+namespace {
+
+constexpr const char* format_tag = "ditl-capture v1";
+
+const char* anon_name(dns::anonymization anon) {
+    switch (anon) {
+        case dns::anonymization::none: return "none";
+        case dns::anonymization::slash24: return "slash24";
+        case dns::anonymization::full: return "full";
+    }
+    return "none";
+}
+
+dns::anonymization parse_anon(const std::string& text) {
+    if (text == "none") return dns::anonymization::none;
+    if (text == "slash24") return dns::anonymization::slash24;
+    if (text == "full") return dns::anonymization::full;
+    throw std::runtime_error("ditl-capture: bad anonymization '" + text + "'");
+}
+
+const char* category_name(query_category cat) {
+    switch (cat) {
+        case query_category::valid_tld: return "valid";
+        case query_category::invalid_tld: return "invalid";
+        case query_category::ptr: return "ptr";
+    }
+    return "valid";
+}
+
+query_category parse_category(const std::string& text) {
+    if (text == "valid") return query_category::valid_tld;
+    if (text == "invalid") return query_category::invalid_tld;
+    if (text == "ptr") return query_category::ptr;
+    throw std::runtime_error("ditl-capture: bad category '" + text + "'");
+}
+
+// "key=value" -> value, validating the key.
+std::string expect_kv(std::istringstream& line, const std::string& key) {
+    std::string token;
+    if (!(line >> token)) throw std::runtime_error("ditl-capture: missing field " + key);
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || token.substr(0, eq) != key) {
+        throw std::runtime_error("ditl-capture: expected " + key + "=..., got '" + token + "'");
+    }
+    return token.substr(eq + 1);
+}
+
+net::ipv4_addr parse_addr(const std::string& text) {
+    const auto addr = net::ipv4_addr::parse(text);
+    if (!addr) throw std::runtime_error("ditl-capture: bad address '" + text + "'");
+    return *addr;
+}
+
+} // namespace
+
+void write_capture(std::ostream& os, const letter_capture& capture) {
+    os.precision(17);
+    os << "letter " << capture.letter << " anon=" << anon_name(capture.spec.anon)
+       << " in_ditl=" << (capture.spec.in_ditl ? 1 : 0)
+       << " tcp_usable=" << (capture.spec.tcp_usable ? 1 : 0)
+       << " complete=" << (capture.spec.complete ? 1 : 0)
+       << " global=" << capture.spec.global_sites << " local=" << capture.spec.local_sites
+       << " ipv6_qpd=" << capture.ipv6_queries_per_day << "\n";
+    for (const auto& r : capture.records) {
+        os << "R " << r.source_ip.to_string() << " " << r.site << " "
+           << category_name(r.category) << " " << r.queries_per_day << "\n";
+    }
+    for (const auto& t : capture.tcp_rtts) {
+        os << "T " << t.source.prefix().base().to_string() << " " << t.site << " "
+           << t.sample_count << " " << t.median_rtt_ms << " " << t.queries_per_day << "\n";
+    }
+    os << "end\n";
+}
+
+void write_dataset(std::ostream& os, const ditl_dataset& dataset) {
+    os << format_tag << "\n";
+    for (const auto& lc : dataset.letters) write_capture(os, lc);
+}
+
+letter_capture read_capture(std::istream& is) {
+    std::string line;
+    // Skip blank lines between sections.
+    while (std::getline(is, line)) {
+        if (!line.empty()) break;
+    }
+    std::istringstream header{line};
+    std::string keyword;
+    header >> keyword;
+    if (keyword != "letter") {
+        throw std::runtime_error("ditl-capture: expected 'letter', got '" + line + "'");
+    }
+    letter_capture capture;
+    std::string letter_text;
+    header >> letter_text;
+    if (letter_text.size() != 1) throw std::runtime_error("ditl-capture: bad letter");
+    capture.letter = letter_text[0];
+    capture.spec.letter = capture.letter;
+    capture.spec.anon = parse_anon(expect_kv(header, "anon"));
+    capture.spec.in_ditl = expect_kv(header, "in_ditl") == "1";
+    capture.spec.tcp_usable = expect_kv(header, "tcp_usable") == "1";
+    capture.spec.complete = expect_kv(header, "complete") == "1";
+    capture.spec.global_sites = std::stoi(expect_kv(header, "global"));
+    capture.spec.local_sites = std::stoi(expect_kv(header, "local"));
+    capture.ipv6_queries_per_day = std::stod(expect_kv(header, "ipv6_qpd"));
+
+    while (std::getline(is, line)) {
+        if (line == "end") return capture;
+        if (line.empty()) continue;
+        std::istringstream row{line};
+        std::string tag;
+        row >> tag;
+        if (tag == "R") {
+            std::string ip;
+            std::string category;
+            capture_record record;
+            row >> ip >> record.site >> category >> record.queries_per_day;
+            if (!row) throw std::runtime_error("ditl-capture: bad record line '" + line + "'");
+            record.source_ip = parse_addr(ip);
+            record.category = parse_category(category);
+            capture.records.push_back(record);
+        } else if (tag == "T") {
+            std::string base;
+            tcp_latency_row tcp;
+            row >> base >> tcp.site >> tcp.sample_count >> tcp.median_rtt_ms >>
+                tcp.queries_per_day;
+            if (!row) throw std::runtime_error("ditl-capture: bad tcp line '" + line + "'");
+            tcp.source = net::slash24{parse_addr(base)};
+            capture.tcp_rtts.push_back(tcp);
+        } else {
+            throw std::runtime_error("ditl-capture: unknown row tag '" + tag + "'");
+        }
+    }
+    throw std::runtime_error("ditl-capture: missing 'end'");
+}
+
+ditl_dataset read_dataset(std::istream& is) {
+    std::string line;
+    if (!std::getline(is, line) || line != format_tag) {
+        throw std::runtime_error("ditl-capture: bad or missing format header");
+    }
+    ditl_dataset dataset;
+    while (true) {
+        // Peek for another section.
+        const auto position = is.tellg();
+        std::string probe;
+        if (!(is >> probe)) break;
+        is.seekg(position);
+        if (probe != "letter") break;
+        dataset.letters.push_back(read_capture(is));
+    }
+    return dataset;
+}
+
+} // namespace ac::capture

@@ -1,0 +1,34 @@
+// Capture serialization: a text format for DITL-style datasets.
+//
+// Real DITL ships as per-site PCAPs; our sufficient statistic is the
+// rate-aggregated record set, which serializes to a simple line format so
+// captures can be generated once, archived, and re-analyzed — the workflow
+// the paper's pipelines assume. The format is self-describing and
+// round-trips bit-exactly for the fields analysis consumes.
+//
+//   ditl-capture v1
+//   letter A anon=none in_ditl=1 tcp_usable=1 complete=1 global=5 local=0 ipv6_qpd=<f>
+//   R <source-ip> <site> <category> <queries-per-day>
+//   T <source-/24-base> <site> <samples> <median-rtt-ms> <queries-per-day>
+//   end
+#pragma once
+
+#include <iosfwd>
+
+#include "src/capture/ditl.h"
+
+namespace ac::capture {
+
+/// Writes one letter's capture.
+void write_capture(std::ostream& os, const letter_capture& capture);
+
+/// Writes a whole dataset (concatenated letter sections with a header).
+void write_dataset(std::ostream& os, const ditl_dataset& dataset);
+
+/// Parses one letter capture. Throws std::runtime_error on malformed input.
+[[nodiscard]] letter_capture read_capture(std::istream& is);
+
+/// Parses a whole dataset.
+[[nodiscard]] ditl_dataset read_dataset(std::istream& is);
+
+} // namespace ac::capture

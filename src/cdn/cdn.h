@@ -1,0 +1,88 @@
+// A Microsoft-like anycast CDN: front-ends organized into nested rings.
+//
+// Structure follows §2.2 and §7.1: front-ends are collocated with PoPs and
+// peering locations; rings (R28 ⊂ R47 ⊂ R74 ⊂ R95 ⊂ R110) each have their
+// own anycast address, but **every PoP announces every ring**, so traffic
+// from a user usually enters the network at the same PoP regardless of ring
+// and then rides the (near-optimal, [36]) private WAN to a front-end in the
+// ring. Bigger rings therefore shorten the internal leg while the external
+// leg stays fixed — which is exactly why larger rings show lower latency
+// with diminishing returns and a tiny regression tail (Fig. 4b).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/routing/bgp.h"
+#include "src/topology/as_graph.h"
+#include "src/topology/generator.h"
+#include "src/topology/region.h"
+
+namespace ac::cdn {
+
+struct cdn_plan {
+    std::vector<int> ring_sizes{28, 47, 74, 95, 110};  // nested, ascending
+    topo::asn_t asn = topo::asn_blocks::content_base + 50;
+    std::string name = "cdn";
+    /// Fraction of eyeball networks the CDN peers with directly (population-
+    /// biased). Drives the ~69% share of 2-AS paths in Fig. 6a.
+    double eyeball_peering_fraction = 0.72;
+    double transit_peering_fraction = 0.8;
+    /// Private-WAN detour factor (routing over the WAN is near optimal [36]).
+    double wan_circuitousness = 1.1;
+    std::uint64_t seed = 1;
+};
+
+/// The CDN: one content AS whose PoPs are the ring-110 front-end locations.
+class cdn_network {
+public:
+    cdn_network(const cdn_plan& plan, topo::as_graph& graph, const topo::region_table& regions);
+
+    [[nodiscard]] int ring_count() const noexcept { return static_cast<int>(plan_.ring_sizes.size()); }
+    [[nodiscard]] int ring_size(int ring) const { return plan_.ring_sizes.at(static_cast<std::size_t>(ring)); }
+    [[nodiscard]] std::string ring_name(int ring) const;
+    [[nodiscard]] topo::asn_t asn() const noexcept { return plan_.asn; }
+
+    /// Front-end regions in importance order: the first ring_size(r) entries
+    /// form ring r. (Sites in smaller rings are also in larger rings, §2.2.)
+    [[nodiscard]] const std::vector<topo::region_id>& front_end_regions() const noexcept {
+        return front_ends_;
+    }
+
+    /// A fully evaluated user path to one ring.
+    struct cdn_path {
+        int ring = 0;
+        int front_end = 0;                // index into front_end_regions()
+        topo::region_id ingress_pop = 0;  // PoP region where traffic entered
+        double external_rtt_ms = 0.0;     // user -> PoP (public Internet)
+        double internal_rtt_ms = 0.0;     // PoP -> front-end (private WAN)
+        double rtt_ms = 0.0;              // total per-RTT latency
+        double front_end_km = 0.0;        // great-circle user-to-front-end
+        std::vector<topo::asn_t> as_path; // external AS path (user AS first)
+    };
+
+    /// Evaluates the path from <asn, region> to `ring`. nullopt if the source
+    /// AS has no route to the CDN at all.
+    [[nodiscard]] std::optional<cdn_path> evaluate(topo::asn_t asn, topo::region_id region,
+                                                   int ring) const;
+
+    /// Distance from `p` to the nearest front-end of `ring` (Eq. 1's min_k).
+    [[nodiscard]] double nearest_front_end_km(const geo::point& p, int ring) const;
+
+    /// The PoP-level routing state (one announcement per PoP; shared by all
+    /// rings because all routers announce all rings).
+    [[nodiscard]] const route::anycast_rib& pop_rib() const noexcept { return *pop_rib_; }
+
+    [[nodiscard]] const topo::region_table& regions() const noexcept { return *regions_; }
+
+private:
+    cdn_plan plan_;
+    const topo::region_table* regions_;
+    std::vector<topo::region_id> front_ends_;  // importance-ordered
+    std::unique_ptr<route::anycast_rib> pop_rib_;
+};
+
+} // namespace ac::cdn

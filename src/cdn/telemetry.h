@@ -1,0 +1,66 @@
+// CDN measurement datasets (§2.2).
+//
+// Two sources, with the paper's respective strengths and weaknesses
+// (Table 3): server-side logs know which front-end each connection hit
+// (TCP-handshake RTTs, but the user population differs per ring because
+// services pin to rings), and client-side measurements hold the user
+// population fixed across rings (Odin-style fetches to every ring) but do
+// not know the front-end. Both aggregate at <region, AS> granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cdn/cdn.h"
+#include "src/population/population.h"
+
+namespace ac::cdn {
+
+/// Aggregated server-side log line: connections from one <region, AS> to one
+/// front-end on one ring, with the median handshake RTT.
+struct server_log_row {
+    topo::asn_t asn = 0;
+    topo::region_id region = 0;
+    int ring = 0;
+    int front_end = 0;       // index into cdn_network::front_end_regions()
+    double median_rtt_ms = 0.0;
+    long sample_count = 0;   // TCP connections behind the median
+    double users = 0.0;      // ground-truth users at the location
+    double front_end_km = 0.0;  // user-to-front-end distance (for Eq. 1)
+};
+
+/// Client-side measurement: median fetch latency from one <region, AS> to
+/// one ring. The front-end is unknown by construction.
+struct client_measurement_row {
+    topo::asn_t asn = 0;
+    topo::region_id region = 0;
+    int ring = 0;
+    double median_fetch_ms = 0.0;
+    long sample_count = 0;
+    double users = 0.0;
+};
+
+struct telemetry_options {
+    /// Daily TCP connections per user to the CDN (drives sample counts).
+    double connections_per_user = 2.0;
+    double capture_days = 7.0;
+    long min_samples = 10;           // medians below this are discarded (§3)
+    /// Fraction of a location's users whose services pin to each ring; the
+    /// server-side population differs per ring (Table 3 weakness).
+    double ring_share_sigma = 0.5;
+    /// Client-side fetch = RTT * handshake+request multiple, plus noise.
+    double fetch_rtt_multiple = 1.6;
+};
+
+/// Server-side logs across all rings and all user locations.
+[[nodiscard]] std::vector<server_log_row> generate_server_logs(const cdn_network& cdn,
+                                                               const pop::user_base& base,
+                                                               const telemetry_options& options,
+                                                               std::uint64_t seed);
+
+/// Client-side measurements: every location measures every ring.
+[[nodiscard]] std::vector<client_measurement_row> generate_client_measurements(
+    const cdn_network& cdn, const pop::user_base& base, const telemetry_options& options,
+    std::uint64_t seed);
+
+} // namespace ac::cdn

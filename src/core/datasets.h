@@ -1,0 +1,32 @@
+// Dataset registry (Appendix A, Tables 2 and 3).
+//
+// The paper's answer to "why so many datasets": each has strengths and
+// weaknesses, and combining views with different trade-offs is what makes
+// the conclusions robust. The registry records the same inventory for the
+// synthetic equivalents, filling measurement counts from a built world.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/world.h"
+
+namespace ac::core {
+
+struct dataset_entry {
+    std::string name;
+    std::string sections;       // where the paper uses it
+    double measurements = 0.0;  // count in the synthetic world
+    std::string duration;
+    int year = 2018;
+    std::size_t as_count = 0;
+    std::string technology;
+    std::string strengths;
+    std::string weaknesses;
+};
+
+/// Builds Tables 2+3 for a given world, computing the measurement counts and
+/// AS coverage from the world's actual datasets.
+[[nodiscard]] std::vector<dataset_entry> dataset_registry(const world& w);
+
+} // namespace ac::core

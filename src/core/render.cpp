@@ -1,0 +1,49 @@
+#include "src/core/render.h"
+
+#include <ostream>
+
+#include "src/netbase/strfmt.h"
+
+namespace ac::core {
+
+void print_cdf_row(std::ostream& os, const std::string& label,
+                   const analysis::weighted_cdf& cdf, const std::string& unit) {
+    os << "  " << label << ": ";
+    if (cdf.empty()) {
+        os << "(no data)\n";
+        return;
+    }
+    os << "zero-frac=" << strfmt::fixed(cdf.fraction_leq(0.5), 3);
+    for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+        os << "  p" << static_cast<int>(q * 100) << "=" << strfmt::fixed(cdf.quantile(q), 1);
+    }
+    os << " " << unit << "  (n=" << cdf.size() << ")\n";
+}
+
+void print_fraction_row(std::ostream& os, const std::string& label,
+                        const analysis::weighted_cdf& cdf, std::initializer_list<double> at,
+                        const std::string& unit) {
+    os << "  " << label << ": ";
+    if (cdf.empty()) {
+        os << "(no data)\n";
+        return;
+    }
+    bool first = true;
+    for (double v : at) {
+        if (!first) os << "  ";
+        first = false;
+        os << "P[<=" << strfmt::fixed(v, v < 1 ? 3 : 0) << unit
+           << "]=" << strfmt::fixed(cdf.fraction_leq(v), 3);
+    }
+    os << "\n";
+}
+
+void print_box_row(std::ostream& os, const std::string& label,
+                   const analysis::box_summary& box) {
+    os << "  " << label << ": min=" << strfmt::fixed(box.minimum, 1)
+       << " q1=" << strfmt::fixed(box.q1, 1) << " med=" << strfmt::fixed(box.median, 1)
+       << " q3=" << strfmt::fixed(box.q3, 1) << " max=" << strfmt::fixed(box.maximum, 1)
+       << "  (w=" << strfmt::fixed(box.weight, 0) << ")\n";
+}
+
+} // namespace ac::core

@@ -1,0 +1,35 @@
+// Plot-ready figure exports.
+//
+// The benches print human-readable rows; this module writes the same series
+// as CSV files so the paper's plots can be regenerated with any plotting
+// tool. One file per figure, long format: series,x,y.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/world.h"
+
+namespace ac::core {
+
+struct report_options {
+    int cdf_points = 200;   // samples per CDF curve
+};
+
+/// Writes every figure's data series into `directory` (created if absent):
+///
+///   fig02a_root_geographic_inflation.csv   series,inflation_ms,cdf
+///   fig02b_root_latency_inflation.csv      series,inflation_ms,cdf
+///   fig03_queries_per_user.csv             series,queries_per_user_day,cdf
+///   fig05a_cdn_geographic_inflation.csv    series,inflation_ms,cdf
+///   fig05b_cdn_latency_inflation.csv       series,inflation_ms,cdf
+///   fig06a_as_path_lengths.csv             destination,bucket,share
+///   fig07a_size_latency_efficiency.csv     deployment,sites,median_ms,efficiency
+///   fig07b_coverage.csv                    deployment,radius_km,covered_fraction
+///
+/// Returns the paths written, in a stable order. Throws on I/O failure.
+[[nodiscard]] std::vector<std::string> write_figure_csvs(const world& w,
+                                                         const std::string& directory,
+                                                         const report_options& options = {});
+
+} // namespace ac::core

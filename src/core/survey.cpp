@@ -1,0 +1,48 @@
+#include "src/core/survey.h"
+
+namespace ac::core {
+
+std::vector<operator_response> survey_responses() {
+    using enum growth_reason;
+    using enum growth_trend;
+    // Organisations are anonymized (the paper reports only tallies); this
+    // assignment reproduces the published counts exactly.
+    return {
+        {"org-01", {latency, ddos_resilience}, decelerate},
+        {"org-02", {latency, ddos_resilience, isp_resilience}, maintain},
+        {"org-03", {latency, ddos_resilience}, decelerate},
+        {"org-04", {ddos_resilience, isp_resilience}, maintain},
+        {"org-05", {latency, ddos_resilience, other}, accelerate},
+        {"org-06", {latency, isp_resilience}, maintain},
+        {"org-07", {latency, ddos_resilience}, decelerate},
+        {"org-08", {ddos_resilience, isp_resilience, other}, maintain},
+        {"org-09", {latency, ddos_resilience}, decelerate},
+        {"org-10", {latency, ddos_resilience, isp_resilience}, cannot_share},
+        {"org-11", {other}, no_answer},
+    };
+}
+
+survey_tally tally(const std::vector<operator_response>& responses) {
+    survey_tally t;
+    t.respondents = static_cast<int>(responses.size());
+    for (const auto& r : responses) {
+        for (auto reason : r.reasons) {
+            switch (reason) {
+                case growth_reason::latency: ++t.latency; break;
+                case growth_reason::ddos_resilience: ++t.ddos_resilience; break;
+                case growth_reason::isp_resilience: ++t.isp_resilience; break;
+                case growth_reason::other: ++t.other; break;
+            }
+        }
+        switch (r.trend) {
+            case growth_trend::accelerate: ++t.accelerate; break;
+            case growth_trend::decelerate: ++t.decelerate; break;
+            case growth_trend::maintain: ++t.maintain; break;
+            case growth_trend::cannot_share: ++t.cannot_share; break;
+            case growth_trend::no_answer: break;
+        }
+    }
+    return t;
+}
+
+} // namespace ac::core

@@ -1,0 +1,48 @@
+// Root-operator survey data (Table 1, §7.3.1).
+//
+// Eleven of twelve root-operating organisations answered. The answers are
+// data, not measurement; we encode the paper's tallies and the tally logic.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace ac::core {
+
+enum class growth_reason { latency, ddos_resilience, isp_resilience, other };
+enum class growth_trend { accelerate, decelerate, maintain, cannot_share, no_answer };
+
+struct operator_response {
+    std::string organization;
+    std::vector<growth_reason> reasons;
+    growth_trend trend = growth_trend::maintain;
+};
+
+/// The eleven responses, tallying to the paper's Table 1 counts:
+/// latency 8, DDoS 9, ISP 5, other 3; accelerate 1, decelerate 4,
+/// maintain 4, cannot-share 1 (one organisation answered no trend question).
+[[nodiscard]] std::vector<operator_response> survey_responses();
+
+struct survey_tally {
+    int latency = 0;
+    int ddos_resilience = 0;
+    int isp_resilience = 0;
+    int other = 0;
+    int accelerate = 0;
+    int decelerate = 0;
+    int maintain = 0;
+    int cannot_share = 0;
+    int respondents = 0;
+};
+
+[[nodiscard]] survey_tally tally(const std::vector<operator_response>& responses);
+
+/// Site-count history the survey section cites: roots grew from 516 to 1367
+/// sites over five years (§4.1, §7.3.1).
+struct root_growth {
+    int sites_2016 = 516;
+    int sites_2021 = 1367;
+};
+
+} // namespace ac::core

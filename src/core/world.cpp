@@ -1,0 +1,71 @@
+#include "src/core/world.h"
+
+namespace ac::core {
+
+world_config world_config::small() {
+    world_config config;
+    config.regions = topo::region_plan{40, 12, 40, 16, 30, 10, 2};
+    config.graph.tier1_count = 6;
+    config.graph.transits_per_continent = 5;
+    config.graph.eyeball_count = 160;
+    config.graph.enterprise_count = 30;
+    config.graph.public_dns_count = 2;
+    config.ditl.junk_source_count = 300;
+    config.atlas.probe_count = 600;
+    config.root_zone_tlds = 200;
+    return config;
+}
+
+world::world(world_config config)
+    : config_(std::move(config)),
+      regions_(topo::make_regions(config_.regions, config_.seed)),
+      graph_(topo::make_graph(regions_, config_.graph, rand::mix_seed(config_.seed, 1))) {
+    // Order matters: every step below may extend the graph or the address
+    // space that later steps consume.
+    users_ = std::make_unique<pop::user_base>(graph_, regions_, space_, config_.users,
+                                              rand::mix_seed(config_.seed, 2));
+
+    const auto specs = config_.year == ditl_year::y2018 ? dns::letters_2018()
+                                                        : dns::letters_2020();
+    roots_ = std::make_unique<dns::root_system>(specs, graph_, regions_,
+                                                rand::mix_seed(config_.seed, 3));
+
+    cdn_ = [&] {
+        auto plan = config_.cdn;
+        plan.seed = rand::mix_seed(config_.seed, 4);
+        return std::make_unique<cdn::cdn_network>(plan, graph_, regions_);
+    }();
+
+    cdn_counts_ = std::make_unique<pop::cdn_user_counts>(*users_, pop::cdn_user_counts::options{},
+                                                         rand::mix_seed(config_.seed, 5));
+    apnic_counts_ = std::make_unique<pop::apnic_user_counts>(
+        *users_, pop::apnic_user_counts::options{}, rand::mix_seed(config_.seed, 6));
+
+    zone_ = std::make_unique<dns::root_zone>(config_.root_zone_tlds,
+                                             rand::mix_seed(config_.seed, 7));
+
+    const auto rtts = dns::compute_letter_rtts(*users_, *roots_);
+    profiles_ = dns::build_query_profiles(*users_, rtts, config_.query_model,
+                                          rand::mix_seed(config_.seed, 8));
+
+    ditl_ = capture::generate_ditl(*roots_, *users_, profiles_, space_, config_.ditl,
+                                   rand::mix_seed(config_.seed, 9));
+    filtered_ = capture::filter_all(ditl_);
+
+    server_logs_ = cdn::generate_server_logs(*cdn_, *users_, config_.telemetry,
+                                             rand::mix_seed(config_.seed, 10));
+    client_rows_ = cdn::generate_client_measurements(*cdn_, *users_, config_.telemetry,
+                                                     rand::mix_seed(config_.seed, 11));
+
+    auto fleet_plan = config_.atlas;
+    fleet_plan.seed = rand::mix_seed(config_.seed, 12);
+    fleet_ = std::make_unique<atlas::probe_fleet>(graph_, regions_, fleet_plan);
+
+    // Databases snapshot the final address space (junk /24s included).
+    ip_to_asn_ = std::make_unique<topo::ip_to_asn>(space_, config_.ip_to_asn_unmapped,
+                                                   rand::mix_seed(config_.seed, 13));
+    geodb_ = std::make_unique<topo::geo_database>(space_, regions_, config_.geodb,
+                                                  rand::mix_seed(config_.seed, 14));
+}
+
+} // namespace ac::core

@@ -1,0 +1,105 @@
+// The study world: one object owning every substrate and dataset, built in
+// dependency order from a single seed. Benches and examples construct a
+// `world` and run analysis functions over its members; two worlds with the
+// same config are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/atlas/atlas.h"
+#include "src/capture/ditl.h"
+#include "src/capture/filter.h"
+#include "src/cdn/cdn.h"
+#include "src/cdn/telemetry.h"
+#include "src/dns/query_model.h"
+#include "src/dns/root_letters.h"
+#include "src/dns/zone.h"
+#include "src/population/population.h"
+#include "src/topology/addressing.h"
+#include "src/topology/as_graph.h"
+#include "src/topology/generator.h"
+#include "src/topology/region.h"
+
+namespace ac::core {
+
+enum class ditl_year : std::uint8_t { y2018, y2020 };
+
+struct world_config {
+    topo::region_plan regions{};
+    topo::graph_plan graph{};
+    pop::user_base_plan users{};
+    dns::query_model_options query_model{};
+    capture::ditl_options ditl{};
+    cdn::cdn_plan cdn{};
+    cdn::telemetry_options telemetry{};
+    atlas::fleet_plan atlas{};
+    topo::geo_database::options geodb{};
+    double ip_to_asn_unmapped = 0.006;  // paper: 99.4% mapped
+    int root_zone_tlds = 1400;
+    ditl_year year = ditl_year::y2018;
+    std::uint64_t seed = 42;
+
+    /// A smaller world for unit tests (fewer ASes, fewer sources).
+    [[nodiscard]] static world_config small();
+};
+
+class world {
+public:
+    explicit world(world_config config);
+
+    [[nodiscard]] const world_config& config() const noexcept { return config_; }
+    [[nodiscard]] const topo::region_table& regions() const noexcept { return regions_; }
+    [[nodiscard]] const topo::as_graph& graph() const noexcept { return graph_; }
+    [[nodiscard]] const topo::address_space& space() const noexcept { return space_; }
+    [[nodiscard]] const pop::user_base& users() const noexcept { return *users_; }
+    [[nodiscard]] const pop::cdn_user_counts& cdn_user_counts() const noexcept {
+        return *cdn_counts_;
+    }
+    [[nodiscard]] const pop::apnic_user_counts& apnic_user_counts() const noexcept {
+        return *apnic_counts_;
+    }
+    [[nodiscard]] const dns::root_system& roots() const noexcept { return *roots_; }
+    [[nodiscard]] const dns::root_zone& zone() const noexcept { return *zone_; }
+    [[nodiscard]] const std::vector<dns::recursive_query_profile>& profiles() const noexcept {
+        return profiles_;
+    }
+    [[nodiscard]] const capture::ditl_dataset& ditl() const noexcept { return ditl_; }
+    [[nodiscard]] const std::vector<capture::filtered_letter>& filtered() const noexcept {
+        return filtered_;
+    }
+    [[nodiscard]] const cdn::cdn_network& cdn_net() const noexcept { return *cdn_; }
+    [[nodiscard]] const std::vector<cdn::server_log_row>& server_logs() const noexcept {
+        return server_logs_;
+    }
+    [[nodiscard]] const std::vector<cdn::client_measurement_row>& client_measurements()
+        const noexcept {
+        return client_rows_;
+    }
+    [[nodiscard]] const atlas::probe_fleet& fleet() const noexcept { return *fleet_; }
+    [[nodiscard]] const topo::ip_to_asn& as_mapper() const noexcept { return *ip_to_asn_; }
+    [[nodiscard]] const topo::geo_database& geodb() const noexcept { return *geodb_; }
+
+private:
+    world_config config_;
+    topo::region_table regions_;
+    topo::as_graph graph_;
+    topo::address_space space_;
+    std::unique_ptr<pop::user_base> users_;
+    std::unique_ptr<dns::root_system> roots_;
+    std::unique_ptr<cdn::cdn_network> cdn_;
+    std::unique_ptr<pop::cdn_user_counts> cdn_counts_;
+    std::unique_ptr<pop::apnic_user_counts> apnic_counts_;
+    std::unique_ptr<dns::root_zone> zone_;
+    std::vector<dns::recursive_query_profile> profiles_;
+    capture::ditl_dataset ditl_;
+    std::vector<capture::filtered_letter> filtered_;
+    std::vector<cdn::server_log_row> server_logs_;
+    std::vector<cdn::client_measurement_row> client_rows_;
+    std::unique_ptr<atlas::probe_fleet> fleet_;
+    std::unique_ptr<topo::ip_to_asn> ip_to_asn_;
+    std::unique_ptr<topo::geo_database> geodb_;
+};
+
+} // namespace ac::core

@@ -1,0 +1,134 @@
+#include "src/dns/query_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ac::dns {
+
+namespace {
+
+double tld_count(double users, const query_model_options& o) {
+    if (users <= 1.0) return std::min(o.max_tlds, o.tld_base);
+    return std::min(o.max_tlds, o.tld_base * std::pow(users, o.tld_exponent));
+}
+
+double refresh_median(pop::resolver_software software, const query_model_options& o) {
+    switch (software) {
+        case pop::resolver_software::bind_redundant: return o.refresh_median_bind_redundant;
+        case pop::resolver_software::bind_fixed: return o.refresh_median_bind_fixed;
+        case pop::resolver_software::other: return o.refresh_median_other;
+    }
+    return o.refresh_median_other;
+}
+
+} // namespace
+
+letter_rtt_table compute_letter_rtts(const pop::user_base& base, const root_system& roots) {
+    letter_rtt_table table(base.recursives().size());
+    // Memoize per <region, AS>: many recursives share a location.
+    std::unordered_map<std::uint64_t, std::array<double, letter_count>> memo;
+    for (std::size_t i = 0; i < base.recursives().size(); ++i) {
+        const auto& rec = base.recursives()[i];
+        const std::uint64_t key = (std::uint64_t{rec.asn} << 32) | rec.region;
+        auto it = memo.find(key);
+        if (it == memo.end()) {
+            std::array<double, letter_count> rtts{};
+            rtts.fill(-1.0);
+            for (char letter : roots.all_letters()) {
+                const auto& dep = roots.deployment_of(letter);
+                if (auto path = dep.rib().select(rec.asn, rec.region)) {
+                    rtts[static_cast<std::size_t>(letter_index(letter))] = path->rtt_ms;
+                }
+            }
+            it = memo.emplace(key, rtts).first;
+        }
+        table[i] = it->second;
+    }
+    return table;
+}
+
+std::vector<recursive_query_profile> build_query_profiles(const pop::user_base& base,
+                                                          const letter_rtt_table& rtts,
+                                                          const query_model_options& options,
+                                                          std::uint64_t seed) {
+    std::vector<recursive_query_profile> profiles;
+    profiles.reserve(base.recursives().size());
+    rand::rng gen{rand::mix_seed(seed, 0x90de1ull)};
+
+    for (std::size_t i = 0; i < base.recursives().size(); ++i) {
+        const auto& rec = base.recursives()[i];
+        auto g = gen.fork(rec.block.key());
+
+        recursive_query_profile p;
+        p.recursive_index = i;
+
+        // Forwarders never query the roots themselves: their demand shows up
+        // (approximately) inside the public-DNS recursives' volumes.
+        if (rec.is_forwarder) {
+            profiles.push_back(p);
+            continue;
+        }
+
+        // Valid-TLD load: per-TTL ideal times a software-dependent
+        // over-refresh multiplier.
+        const double ideal = ideal_queries_per_day(rec.users_served, options);
+        const double median = refresh_median(rec.software, options);
+        const double multiplier = median * g.lognormal(0.0, options.refresh_sigma);
+        p.valid_per_day = ideal * multiplier;
+
+        // Junk: Chromium probes scale with users (probes fire on startup /
+        // network change); corporate junk is heavy-tailed per recursive.
+        p.chromium_per_day = rec.users_served * options.chromium_probes_per_user *
+                             g.lognormal(0.0, 0.4);
+        const double junk_scale =
+            rec.users_served <= 0.0
+                ? 0.0
+                : std::pow(rec.users_served / options.junk_reference_users,
+                           options.junk_user_exponent - 1.0);
+        p.junk_per_day = rec.users_served * options.junk_per_user_median * junk_scale *
+                         g.lognormal(0.0, options.junk_sigma);
+        p.ptr_per_day = rec.users_served * options.ptr_per_user * g.lognormal(0.0, 0.5);
+
+        // TCP usage.
+        p.tcp_share = g.chance(options.tcp_share_zero_p)
+                          ? 0.0
+                          : std::min(0.6, options.tcp_share_median *
+                                              g.lognormal(0.0, options.tcp_share_sigma));
+
+        // Letter preference: softmax-like weighting of inverse RTT with an
+        // exploration floor; unreachable letters get zero weight.
+        const double gamma = g.uniform(options.preference_gamma_lo, options.preference_gamma_hi);
+        double total = 0.0;
+        std::array<double, letter_count> pref{};
+        int reachable = 0;
+        for (int l = 0; l < letter_count; ++l) {
+            const double rtt = rtts[i][static_cast<std::size_t>(l)];
+            if (rtt < 0.0) continue;
+            pref[static_cast<std::size_t>(l)] = std::pow(1.0 / (rtt + 5.0), gamma);
+            total += pref[static_cast<std::size_t>(l)];
+            ++reachable;
+        }
+        if (reachable == 0 || total <= 0.0) {
+            profiles.push_back(p);  // no reachable letter: all weights zero
+            continue;
+        }
+        const double mix = options.preference_uniform_mix;
+        for (int l = 0; l < letter_count; ++l) {
+            auto& w = p.letter_weight[static_cast<std::size_t>(l)];
+            const double base_w = pref[static_cast<std::size_t>(l)];
+            if (rtts[i][static_cast<std::size_t>(l)] < 0.0) {
+                w = 0.0;
+            } else {
+                w = (1.0 - mix) * base_w / total + mix / static_cast<double>(reachable);
+            }
+        }
+        profiles.push_back(p);
+    }
+    return profiles;
+}
+
+double ideal_queries_per_day(double users, const query_model_options& options) {
+    return tld_count(users, options) / options.ttl_days;
+}
+
+} // namespace ac::dns

@@ -1,0 +1,103 @@
+// Per-recursive daily query rates toward the root DNS.
+//
+// DITL sees ~51.9 B queries/day: roughly 31 B to non-existent TLDs (28% of
+// which are Chromium captive-portal probes [4, 34, 73]), 2 B PTR, 7%
+// private-source, 12% IPv6 (§2.1). The filtered remainder is what reaches
+// users. Valid-TLD load is driven by cache-refresh behaviour: ideal
+// once-per-TTL querying is orders of magnitude below reality (§4.3), partly
+// because of redundant-query bugs (Appendix E). This module turns the
+// ground-truth user base into per-recursive daily rates by category, plus
+// per-letter preference weights (recursives favor low-latency letters [60]).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/dns/root_letters.h"
+#include "src/population/population.h"
+
+namespace ac::dns {
+
+inline constexpr int letter_count = 13;
+
+[[nodiscard]] constexpr int letter_index(char letter) noexcept { return letter - 'A'; }
+[[nodiscard]] constexpr char letter_at(int index) noexcept {
+    return static_cast<char>('A' + index);
+}
+
+struct query_model_options {
+    // Valid-TLD cache-miss load: tld_count(users) = min(max_tlds,
+    // tld_base * users^tld_exponent); per-TTL need = tld_count / ttl_days.
+    double tld_base = 30.0;
+    double tld_exponent = 0.30;
+    double max_tlds = 1400.0;
+    double ttl_days = 2.0;
+
+    // Multiplier over the per-TTL ideal, by resolver software (median of a
+    // lognormal). Appendix E finds ~80% of root queries at one resolver are
+    // redundant; population-wide the real/ideal ratio is ~140x (Fig. 3:
+    // median 1 query/user/day vs ideal 0.007).
+    double refresh_median_bind_redundant = 1500.0;
+    double refresh_median_bind_fixed = 150.0;
+    double refresh_median_other = 550.0;
+    double refresh_sigma = 1.1;
+
+    // Junk load (never on the user path; filtered in §2.1 preprocessing).
+    double chromium_probes_per_user = 4.0;   // NXD probes per user per day
+    double junk_per_user_median = 3.0;       // other invalid-TLD load
+    /// Junk concentrates at /24s with many users (App. B.1): per-recursive
+    /// junk scales as users^junk_user_exponent around the reference size.
+    double junk_user_exponent = 1.15;
+    double junk_reference_users = 1.0e5;
+    double junk_sigma = 1.2;
+    double ptr_per_user = 0.9;
+
+    // Letter preference (recursives favor low-RTT letters [60]).
+    double preference_gamma_lo = 1.2;
+    double preference_gamma_hi = 2.6;
+    double preference_uniform_mix = 0.10;  // exploration floor
+
+    // Transport.
+    double tcp_share_zero_p = 0.30;   // recursives that essentially never use TCP
+    double tcp_share_median = 0.03;   // otherwise, lognormal median TCP share
+    double tcp_share_sigma = 0.8;
+};
+
+/// Daily root-DNS query rates for one recursive (summed over letters; the
+/// per-letter split applies `letter_weight`).
+struct recursive_query_profile {
+    std::size_t recursive_index = 0;       // into user_base::recursives()
+    double valid_per_day = 0.0;            // existing-TLD queries
+    double chromium_per_day = 0.0;         // Chromium NXD probes
+    double junk_per_day = 0.0;             // other invalid-TLD queries
+    double ptr_per_day = 0.0;
+    double tcp_share = 0.0;                // fraction of queries over TCP
+    std::array<double, letter_count> letter_weight{};  // sums to 1
+
+    [[nodiscard]] double invalid_per_day() const noexcept {
+        return chromium_per_day + junk_per_day;
+    }
+    [[nodiscard]] double total_per_day() const noexcept {
+        return valid_per_day + invalid_per_day() + ptr_per_day;
+    }
+};
+
+/// Per-letter median RTTs for each recursive, used to derive preferences.
+/// rtts[i][l] is recursive i's RTT to letter l ('A'+l); negative = no route.
+using letter_rtt_table = std::vector<std::array<double, letter_count>>;
+
+/// Computes RTTs from every recursive's <region, AS> to every letter via the
+/// letters' routing state.
+[[nodiscard]] letter_rtt_table compute_letter_rtts(const pop::user_base& base,
+                                                   const root_system& roots);
+
+/// Builds query profiles for all recursives. Deterministic in `seed`.
+[[nodiscard]] std::vector<recursive_query_profile> build_query_profiles(
+    const pop::user_base& base, const letter_rtt_table& rtts,
+    const query_model_options& options, std::uint64_t seed);
+
+/// The per-TTL "Ideal" rate of Fig. 3: one query per TLD record per TTL.
+[[nodiscard]] double ideal_queries_per_day(double users, const query_model_options& options);
+
+} // namespace ac::dns

@@ -1,0 +1,129 @@
+#include "src/dns/root_letters.h"
+
+#include <stdexcept>
+
+#include "src/topology/generator.h"
+
+namespace ac::dns {
+
+namespace {
+
+using anycast::hosting_strategy;
+
+constexpr topo::asn_t letter_asn(char letter) {
+    // Dedicated host networks for operator-run letters live in the content
+    // ASN block, one slot per letter.
+    return topo::asn_blocks::content_base + 100 + static_cast<topo::asn_t>(letter - 'A');
+}
+
+} // namespace
+
+std::vector<letter_spec> letters_2018() {
+    // Global/total site counts from the paper (Fig. 2 and Fig. 10 legends).
+    return {
+        {'A', 5, 0, hosting_strategy::operator_run, anonymization::none, true, true, true},
+        {'B', 2, 0, hosting_strategy::operator_run, anonymization::slash24, true, true, true},
+        {'C', 10, 0, hosting_strategy::operator_run, anonymization::none, true, true, true},
+        {'D', 20, 97, hosting_strategy::operator_run, anonymization::none, true, false, true},
+        {'E', 15, 70, hosting_strategy::operator_run, anonymization::none, true, true, true},
+        {'F', 94, 47, hosting_strategy::cdn_partnered, anonymization::none, true, true, true},
+        {'G', 6, 0, hosting_strategy::operator_run, anonymization::none, false, false, true},
+        {'H', 1, 0, hosting_strategy::operator_run, anonymization::none, true, true, true},
+        {'I', 48, 0, hosting_strategy::open_hosting, anonymization::full, true, true, true},
+        {'J', 68, 42, hosting_strategy::operator_run, anonymization::none, true, true, true},
+        {'K', 52, 1, hosting_strategy::open_hosting, anonymization::none, true, true, true},
+        {'L', 138, 0, hosting_strategy::open_hosting, anonymization::none, true, false, true},
+        {'M', 5, 1, hosting_strategy::operator_run, anonymization::none, true, true, true},
+    };
+}
+
+std::vector<letter_spec> letters_2020() {
+    // App. B.3: B unavailable, E includes one site of 132 (incomplete),
+    // F misses Cloudflare sites (incomplete), L fully anonymized, G absent,
+    // I anonymized. Usable letters with Fig. 11b global-site counts:
+    // M-8, H-8, C-10, D-23, A-51, K-75, J-127.
+    return {
+        {'A', 51, 0, hosting_strategy::operator_run, anonymization::none, true, true, true},
+        {'B', 3, 0, hosting_strategy::operator_run, anonymization::slash24, false, true, true},
+        {'C', 10, 0, hosting_strategy::operator_run, anonymization::none, true, true, true},
+        {'D', 23, 130, hosting_strategy::operator_run, anonymization::none, true, false, true},
+        {'E', 1, 131, hosting_strategy::operator_run, anonymization::none, true, true, false},
+        {'F', 120, 60, hosting_strategy::cdn_partnered, anonymization::none, true, true, false},
+        {'G', 6, 0, hosting_strategy::operator_run, anonymization::none, false, false, true},
+        {'H', 8, 0, hosting_strategy::operator_run, anonymization::none, true, true, true},
+        {'I', 60, 0, hosting_strategy::open_hosting, anonymization::full, true, true, true},
+        {'J', 127, 40, hosting_strategy::operator_run, anonymization::none, true, true, true},
+        {'K', 75, 1, hosting_strategy::open_hosting, anonymization::none, true, true, true},
+        {'L', 150, 0, hosting_strategy::open_hosting, anonymization::full, true, false, true},
+        {'M', 8, 1, hosting_strategy::operator_run, anonymization::none, true, true, true},
+    };
+}
+
+root_system::root_system(std::vector<letter_spec> specs, topo::as_graph& graph,
+                         const topo::region_table& regions, std::uint64_t seed)
+    : specs_(std::move(specs)) {
+    for (const auto& spec : specs_) {
+        anycast::deployment_plan plan;
+        plan.name = std::string{"root-"} + spec.letter;
+        plan.strategy = spec.strategy;
+        plan.global_sites = spec.global_sites;
+        plan.local_sites = spec.local_sites;
+        plan.seed = rand::mix_seed(seed, static_cast<std::uint64_t>(spec.letter));
+        if (spec.strategy != hosting_strategy::open_hosting) {
+            plan.dedicated_asn = letter_asn(spec.letter);
+        }
+        // Root host networks do not buy broad eyeball peering; the
+        // CDN-partnered letter (F) rides a well-peered partner (§7.2).
+        plan.eyeball_peering_fraction =
+            spec.strategy == hosting_strategy::cdn_partnered ? 0.35 : 0.0;
+        plan.transit_peering_fraction =
+            spec.strategy == hosting_strategy::cdn_partnered ? 0.5 : 0.45;
+        plan.local_ixp_peering_p =
+            spec.strategy == hosting_strategy::open_hosting ? 0.45 : 0.0;
+        deployments_.emplace(
+            spec.letter,
+            std::make_unique<anycast::deployment>(
+                anycast::build_deployment(plan, graph, regions)));
+    }
+}
+
+const letter_spec& root_system::spec(char letter) const {
+    for (const auto& s : specs_) {
+        if (s.letter == letter) return s;
+    }
+    throw std::out_of_range(std::string{"root_system: unknown letter "} + letter);
+}
+
+const anycast::deployment& root_system::deployment_of(char letter) const {
+    auto it = deployments_.find(letter);
+    if (it == deployments_.end()) {
+        throw std::out_of_range(std::string{"root_system: unknown letter "} + letter);
+    }
+    return *it->second;
+}
+
+std::vector<char> root_system::geographic_analysis_letters() const {
+    std::vector<char> out;
+    for (const auto& s : specs_) {
+        if (!s.in_ditl || s.anon == anonymization::full || !s.complete) continue;
+        if (s.global_sites <= 1) continue;  // H in 2018: zero inflation by construction
+        out.push_back(s.letter);
+    }
+    return out;
+}
+
+std::vector<char> root_system::latency_analysis_letters() const {
+    std::vector<char> out;
+    for (char c : geographic_analysis_letters()) {
+        if (spec(c).tcp_usable) out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<char> root_system::all_letters() const {
+    std::vector<char> out;
+    for (const auto& s : specs_) out.push_back(s.letter);
+    return out;
+}
+
+} // namespace ac::dns

@@ -1,0 +1,69 @@
+// The 13 root-DNS letters as anycast deployments.
+//
+// Letter sizes and data-availability quirks mirror the 2018 DITL (§2.1, §3):
+// G provides no data; I is fully anonymized (unusable); B is anonymized at
+// /24 (usable, since the analysis keys by /24); D and L have malformed TCP
+// PCAPs (excluded from latency inflation); H had a single site in 2018 (zero
+// inflation by construction, omitted from Fig. 2). The 2020 catalogue
+// (App. B.3 / Fig. 11) has its own availability holes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/anycast/deployment.h"
+
+namespace ac::dns {
+
+enum class anonymization : std::uint8_t {
+    none,
+    slash24,  // source truncated to /24 (B root) — harmless to this analysis
+    full,     // sources unrecoverable (I root; L root in 2020)
+};
+
+struct letter_spec {
+    char letter = 'A';
+    int global_sites = 1;
+    int local_sites = 0;
+    anycast::hosting_strategy strategy = anycast::hosting_strategy::operator_run;
+    anonymization anon = anonymization::none;
+    bool in_ditl = true;        // false: operator did not contribute captures
+    bool tcp_usable = true;     // false: malformed PCAPs (D, L in 2018)
+    bool complete = true;       // false: only a subset of sites captured (2020 E/F)
+};
+
+/// The 2018 DITL letter catalogue (site counts as of the 2018 capture).
+[[nodiscard]] std::vector<letter_spec> letters_2018();
+
+/// The 2020 DITL letter catalogue (App. B.3).
+[[nodiscard]] std::vector<letter_spec> letters_2020();
+
+/// All 13 letters built as deployments over one AS graph. Building mutates
+/// `graph` (dedicated host networks attach to it), so construct the system
+/// once per world.
+class root_system {
+public:
+    root_system(std::vector<letter_spec> specs, topo::as_graph& graph,
+                const topo::region_table& regions, std::uint64_t seed);
+
+    [[nodiscard]] const std::vector<letter_spec>& specs() const noexcept { return specs_; }
+    [[nodiscard]] const letter_spec& spec(char letter) const;
+    [[nodiscard]] const anycast::deployment& deployment_of(char letter) const;
+
+    /// Letters usable for geographic-inflation analysis (Fig. 2a): in DITL,
+    /// not fully anonymized, and more than one site.
+    [[nodiscard]] std::vector<char> geographic_analysis_letters() const;
+    /// Letters usable for latency-inflation analysis (Fig. 2b): additionally
+    /// requires parseable TCP.
+    [[nodiscard]] std::vector<char> latency_analysis_letters() const;
+    /// Every letter that exists (recursives query all of them).
+    [[nodiscard]] std::vector<char> all_letters() const;
+
+private:
+    std::vector<letter_spec> specs_;
+    std::map<char, std::unique_ptr<anycast::deployment>> deployments_;
+};
+
+} // namespace ac::dns

@@ -1,0 +1,92 @@
+#include "src/netbase/ipv4.h"
+
+#include <array>
+#include <charconv>
+
+namespace ac::net {
+
+namespace {
+
+// Parses a decimal integer in [0, max_value] from the front of `text`,
+// advancing it past the consumed digits. Returns nullopt on failure.
+std::optional<std::uint32_t> parse_component(std::string_view& text, std::uint32_t max_value) {
+    std::uint32_t value = 0;
+    const char* begin = text.data();
+    const char* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin || value > max_value) return std::nullopt;
+    // Reject leading zeros such as "01" (ambiguous octal in many tools).
+    if (ptr - begin > 1 && *begin == '0') return std::nullopt;
+    text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    return value;
+}
+
+bool consume(std::string_view& text, char expected) {
+    if (text.empty() || text.front() != expected) return false;
+    text.remove_prefix(1);
+    return true;
+}
+
+} // namespace
+
+std::optional<ipv4_addr> ipv4_addr::parse(std::string_view text) {
+    std::array<std::uint32_t, 4> octets{};
+    for (int i = 0; i < 4; ++i) {
+        if (i > 0 && !consume(text, '.')) return std::nullopt;
+        auto octet = parse_component(text, 255);
+        if (!octet) return std::nullopt;
+        octets[static_cast<std::size_t>(i)] = *octet;
+    }
+    if (!text.empty()) return std::nullopt;
+    return ipv4_addr{static_cast<std::uint8_t>(octets[0]), static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]), static_cast<std::uint8_t>(octets[3])};
+}
+
+std::string ipv4_addr::to_string() const {
+    std::string out;
+    out.reserve(15);
+    for (int i = 0; i < 4; ++i) {
+        if (i > 0) out.push_back('.');
+        out += std::to_string(octet(i));
+    }
+    return out;
+}
+
+std::optional<ipv4_prefix> ipv4_prefix::parse(std::string_view text) {
+    auto slash = text.find('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    auto addr = ipv4_addr::parse(text.substr(0, slash));
+    if (!addr) return std::nullopt;
+    std::string_view len_text = text.substr(slash + 1);
+    auto length = parse_component(len_text, 32);
+    if (!length || !len_text.empty()) return std::nullopt;
+    return ipv4_prefix{*addr, static_cast<int>(*length)};
+}
+
+std::string ipv4_prefix::to_string() const {
+    return base_.to_string() + "/" + std::to_string(length_);
+}
+
+bool is_private_or_reserved(ipv4_addr addr) noexcept {
+    static constexpr std::array ranges = {
+        ipv4_prefix{ipv4_addr{0, 0, 0, 0}, 8},        // "this" network
+        ipv4_prefix{ipv4_addr{10, 0, 0, 0}, 8},       // RFC 1918
+        ipv4_prefix{ipv4_addr{100, 64, 0, 0}, 10},    // CGNAT
+        ipv4_prefix{ipv4_addr{127, 0, 0, 0}, 8},      // loopback
+        ipv4_prefix{ipv4_addr{169, 254, 0, 0}, 16},   // link local
+        ipv4_prefix{ipv4_addr{172, 16, 0, 0}, 12},    // RFC 1918
+        ipv4_prefix{ipv4_addr{192, 0, 2, 0}, 24},     // TEST-NET-1
+        ipv4_prefix{ipv4_addr{192, 168, 0, 0}, 16},   // RFC 1918
+        ipv4_prefix{ipv4_addr{198, 18, 0, 0}, 15},    // benchmarking
+        ipv4_prefix{ipv4_addr{198, 51, 100, 0}, 24},  // TEST-NET-2
+        ipv4_prefix{ipv4_addr{203, 0, 113, 0}, 24},   // TEST-NET-3
+        ipv4_prefix{ipv4_addr{224, 0, 0, 0}, 4},      // multicast
+        ipv4_prefix{ipv4_addr{240, 0, 0, 0}, 4},      // reserved
+    };
+    for (const auto& range : ranges) {
+        if (range.contains(addr)) return true;
+    }
+    return false;
+}
+
+} // namespace ac::net

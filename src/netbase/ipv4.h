@@ -1,0 +1,129 @@
+// IPv4 address and prefix value types.
+//
+// The analysis pipeline keys almost everything by /24 (the paper aggregates
+// DITL query volumes and CDN user counts by resolver /24 — §2.1, App. B.2),
+// so /24 extraction is a first-class operation here.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ac::net {
+
+/// An IPv4 address as a host-order 32-bit value.
+class ipv4_addr {
+public:
+    constexpr ipv4_addr() = default;
+    constexpr explicit ipv4_addr(std::uint32_t value) noexcept : value_(value) {}
+    constexpr ipv4_addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+        : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                 (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+    [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+    [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+        return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+    }
+
+    /// Parses dotted-quad notation; returns nullopt on malformed input.
+    [[nodiscard]] static std::optional<ipv4_addr> parse(std::string_view text);
+
+    [[nodiscard]] std::string to_string() const;
+
+    constexpr auto operator<=>(const ipv4_addr&) const = default;
+
+private:
+    std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix: base address plus prefix length in [0, 32].
+class ipv4_prefix {
+public:
+    constexpr ipv4_prefix() = default;
+    /// Construction canonicalizes: host bits of `base` are cleared.
+    constexpr ipv4_prefix(ipv4_addr base, int length) noexcept
+        : base_(ipv4_addr{length == 0 ? 0u : (base.value() & mask_for(length))}),
+          length_(length) {}
+
+    [[nodiscard]] constexpr ipv4_addr base() const noexcept { return base_; }
+    [[nodiscard]] constexpr int length() const noexcept { return length_; }
+    [[nodiscard]] constexpr std::uint32_t mask() const noexcept { return length_ == 0 ? 0u : mask_for(length_); }
+
+    [[nodiscard]] constexpr bool contains(ipv4_addr addr) const noexcept {
+        return (addr.value() & mask()) == base_.value();
+    }
+    [[nodiscard]] constexpr bool contains(const ipv4_prefix& other) const noexcept {
+        return length_ <= other.length_ && contains(other.base_);
+    }
+    /// Number of addresses covered by this prefix.
+    [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+        return std::uint64_t{1} << (32 - length_);
+    }
+    /// The i-th address within the prefix (no bounds check beyond size()).
+    [[nodiscard]] constexpr ipv4_addr address_at(std::uint64_t i) const noexcept {
+        return ipv4_addr{static_cast<std::uint32_t>(base_.value() + i)};
+    }
+
+    /// Parses "a.b.c.d/len"; returns nullopt on malformed input.
+    [[nodiscard]] static std::optional<ipv4_prefix> parse(std::string_view text);
+
+    [[nodiscard]] std::string to_string() const;
+
+    constexpr auto operator<=>(const ipv4_prefix&) const = default;
+
+private:
+    static constexpr std::uint32_t mask_for(int length) noexcept {
+        return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+    }
+    ipv4_addr base_;
+    int length_ = 0;
+};
+
+/// Key type for /24 aggregation: the upper 24 bits of an address.
+/// The paper refers to these aggregates simply as "recursives" (§2.1).
+class slash24 {
+public:
+    constexpr slash24() = default;
+    constexpr explicit slash24(ipv4_addr addr) noexcept : key_(addr.value() >> 8) {}
+
+    [[nodiscard]] constexpr std::uint32_t key() const noexcept { return key_; }
+    [[nodiscard]] constexpr ipv4_prefix prefix() const noexcept {
+        return ipv4_prefix{ipv4_addr{key_ << 8}, 24};
+    }
+    [[nodiscard]] std::string to_string() const { return prefix().to_string(); }
+
+    constexpr auto operator<=>(const slash24&) const = default;
+
+private:
+    std::uint32_t key_ = 0;
+};
+
+/// True if `addr` falls in IANA special-purpose (private/reserved) space.
+/// The paper removes queries from private space — 7% of DITL volume (§2.1).
+[[nodiscard]] bool is_private_or_reserved(ipv4_addr addr) noexcept;
+
+} // namespace ac::net
+
+template <>
+struct std::hash<ac::net::ipv4_addr> {
+    std::size_t operator()(const ac::net::ipv4_addr& a) const noexcept {
+        return std::hash<std::uint32_t>{}(a.value());
+    }
+};
+
+template <>
+struct std::hash<ac::net::slash24> {
+    std::size_t operator()(const ac::net::slash24& s) const noexcept {
+        return std::hash<std::uint32_t>{}(s.key());
+    }
+};
+
+template <>
+struct std::hash<ac::net::ipv4_prefix> {
+    std::size_t operator()(const ac::net::ipv4_prefix& p) const noexcept {
+        return std::hash<std::uint64_t>{}(
+            (std::uint64_t{p.base().value()} << 6) | static_cast<std::uint64_t>(p.length()));
+    }
+};

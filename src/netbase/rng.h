@@ -1,0 +1,90 @@
+// Deterministic pseudo-randomness for the simulation.
+//
+// Every stochastic component of the synthetic world takes an `rng` (or a seed
+// used to build one), so whole experiments are reproducible bit-for-bit.
+// splitmix64 seeds xoshiro256++, which supplies the stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ac::rand {
+
+/// splitmix64: used for seeding and for stateless hashing of ids into
+/// per-entity sub-seeds (so adding entities does not shift others' draws).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Mixes several values into one sub-seed.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b,
+                                               std::uint64_t c = 0) noexcept {
+    return splitmix64(splitmix64(splitmix64(a) ^ b) ^ c);
+}
+
+/// xoshiro256++ generator.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit rng(std::uint64_t seed) noexcept;
+
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    result_type operator()() noexcept { return next(); }
+    result_type next() noexcept;
+
+    /// Uniform double in [0, 1).
+    [[nodiscard]] double uniform() noexcept;
+    /// Uniform double in [lo, hi).
+    [[nodiscard]] double uniform(double lo, double hi) noexcept;
+    /// Uniform integer in [0, n). n must be > 0.
+    [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+    /// Uniform integer in [lo, hi] inclusive.
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+    /// Bernoulli draw.
+    [[nodiscard]] bool chance(double p) noexcept;
+    /// Standard normal via Box-Muller (no cached spare: keeps draws countable).
+    [[nodiscard]] double normal() noexcept;
+    [[nodiscard]] double normal(double mean, double stddev) noexcept;
+    /// Log-normal with the given parameters of the underlying normal.
+    [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+    /// Exponential with rate lambda (> 0).
+    [[nodiscard]] double exponential(double lambda) noexcept;
+    /// Pareto (type I) with scale x_m > 0 and shape alpha > 0. Heavy-tailed
+    /// draws model user-population and query-volume skew.
+    [[nodiscard]] double pareto(double x_m, double alpha) noexcept;
+    /// Poisson-distributed count with the given mean (Knuth for small means,
+    /// normal approximation above 64).
+    [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
+    /// Index into a non-empty weight vector, proportional to weight.
+    [[nodiscard]] std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) noexcept {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            using std::swap;
+            swap(items[i - 1], items[uniform_index(i)]);
+        }
+    }
+
+    /// A child generator whose stream is independent of draws made on this
+    /// one: keyed by (original seed, tag), not by generator state.
+    [[nodiscard]] rng fork(std::uint64_t tag) const noexcept {
+        return rng{mix_seed(seed_, tag)};
+    }
+
+    [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+private:
+    std::uint64_t seed_;
+    std::uint64_t state_[4];
+};
+
+} // namespace ac::rand

@@ -1,0 +1,14 @@
+#include "src/netbase/strfmt.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ac::strfmt {
+
+std::string fixed(double value, int decimals) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+    return buffer;
+}
+
+} // namespace ac::strfmt

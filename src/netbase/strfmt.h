@@ -1,0 +1,30 @@
+// Minimal string formatting helpers (the toolchain predates <format>).
+#pragma once
+
+#include <string>
+
+namespace ac::strfmt {
+
+/// Decimal rendering of `value` left-padded with zeros to `width` digits.
+[[nodiscard]] inline std::string zero_padded(long long value, int width) {
+    std::string digits = std::to_string(value < 0 ? -value : value);
+    std::string out;
+    if (value < 0) out.push_back('-');
+    for (int i = static_cast<int>(digits.size()); i < width; ++i) out.push_back('0');
+    out += digits;
+    return out;
+}
+
+/// "prefix-000i" style identifier.
+[[nodiscard]] inline std::string indexed_name(std::string_view prefix, long long index,
+                                              int width = 3) {
+    std::string out{prefix};
+    out.push_back('-');
+    out += zero_padded(index, width);
+    return out;
+}
+
+/// Fixed-point rendering with `decimals` fractional digits (no locale).
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+} // namespace ac::strfmt

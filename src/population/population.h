@@ -1,0 +1,168 @@
+// User populations and the datasets that estimate them.
+//
+// The paper attributes root-DNS queries to users by joining recursive-resolver
+// /24s with two user-count datasets: Microsoft's DNS-based counts (precise
+// but NAT-undercounted, partial coverage) and APNIC's per-AS estimates
+// (public, coarse, unaware of which recursive serves whom) — §2.1, §4.3.
+// This module builds the ground-truth user base (who exists where, which
+// recursives serve them) and derives both estimator datasets from it with
+// their characteristic biases, so Fig. 3's CDN/APNIC comparison and
+// Table 4's overlap statistics are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/netbase/ipv4.h"
+#include "src/netbase/rng.h"
+#include "src/topology/addressing.h"
+#include "src/topology/as_graph.h"
+#include "src/topology/region.h"
+
+namespace ac::pop {
+
+/// Ground truth users at one <region, AS> location (§2.2 granularity).
+struct user_location {
+    topo::asn_t asn = 0;
+    topo::region_id region = 0;
+    double users = 0.0;  // true human users (continuous)
+};
+
+/// Resolver software families; the buggy BIND family issues the redundant
+/// root queries of Appendix E.
+enum class resolver_software : std::uint8_t {
+    bind_redundant,  // BIND 9.11.18–9.16.1-era behaviour (Appendix E bug)
+    bind_fixed,      // hypothetical per-TTL-compliant BIND
+    other,           // miscellaneous resolver software
+};
+
+/// A recursive resolver deployment occupying one /24 (the paper's "recursive"
+/// after /24 aggregation; real organisations colocate several resolver IPs in
+/// one /24 — App. B.2).
+struct recursive_resolver {
+    net::slash24 block;
+    topo::asn_t asn = 0;           // hosting AS
+    topo::region_id region = 0;
+    double users_served = 0.0;     // true users behind this recursive
+    resolver_software software = resolver_software::other;
+    std::vector<net::ipv4_addr> resolver_ips;  // individual resolver addresses
+    /// Share of this recursive's *root-facing egress* traffic per IP (sums to
+    /// 1 unless the recursive is a forwarder). Many IPs are client-facing
+    /// only and never query the roots (zero entries) — the reason exact-IP
+    /// joins of DITL and CDN data match so poorly (Fig. 9, Table 4).
+    std::vector<double> ip_activity_share;
+    /// Share of the recursive's *users* attributed to each IP (what the
+    /// CDN-side mapping observes). Deliberately decorrelated from
+    /// ip_activity_share.
+    std::vector<double> ip_user_share;
+    /// Forwarders serve users (they appear in CDN user counts) but forward
+    /// upstream instead of querying the roots themselves, so they never
+    /// appear in DITL.
+    bool is_forwarder = false;
+    bool is_public_dns = false;
+};
+
+struct user_base_plan {
+    double users_per_weight = 4.5e7;  // scales region weights to user counts
+    double public_dns_share = 0.18;   // users whose queries go to public DNS
+    double bind_redundant_share = 0.35;  // recursives running buggy BIND
+    double bind_fixed_share = 0.25;
+    double forwarder_share = 0.28;    // recursives that never query the roots
+    double egress_only_ip_p = 0.45;   // chance an IP carries egress but no users
+    int min_resolver_ips = 1;
+    int max_resolver_ips = 6;
+};
+
+/// Ground truth: user locations + the recursives that serve them.
+class user_base {
+public:
+    user_base(const topo::as_graph& graph, const topo::region_table& regions,
+              topo::address_space& space, const user_base_plan& plan, std::uint64_t seed);
+
+    [[nodiscard]] const std::vector<user_location>& locations() const noexcept {
+        return locations_;
+    }
+    [[nodiscard]] const std::vector<recursive_resolver>& recursives() const noexcept {
+        return recursives_;
+    }
+    [[nodiscard]] double total_users() const noexcept { return total_users_; }
+
+    /// True users at one <region, AS>, 0 if absent.
+    [[nodiscard]] double users_at(topo::asn_t asn, topo::region_id region) const;
+
+    /// Recursive serving index: for each location, (recursive index, share of
+    /// that location's users using it).
+    struct service_edge {
+        std::size_t location_index = 0;
+        std::size_t recursive_index = 0;
+        double user_share = 0.0;  // fraction of the location's users
+    };
+    [[nodiscard]] const std::vector<service_edge>& service_edges() const noexcept {
+        return service_edges_;
+    }
+
+    [[nodiscard]] const recursive_resolver* find_recursive(net::slash24 block) const;
+
+private:
+    std::vector<user_location> locations_;
+    std::vector<recursive_resolver> recursives_;
+    std::vector<service_edge> service_edges_;
+    std::unordered_map<std::uint32_t, std::size_t> recursive_index_;  // /24 key
+    std::unordered_map<std::uint64_t, double> users_by_loc_;
+    double total_users_ = 0.0;
+};
+
+/// Microsoft-style user counts: unique user IPs observed per recursive IP
+/// via instrumented DNS fetches (§2.1). Undercounts NAT'd users; covers only
+/// recursives whose users fetch Microsoft content.
+class cdn_user_counts {
+public:
+    struct options {
+        double ip_seen_p = 0.55;       // chance Microsoft observes a resolver IP
+        double nat_undercount_lo = 0.35;  // observed users / true users bounds
+        double nat_undercount_hi = 0.85;
+    };
+
+    cdn_user_counts(const user_base& base, options opts, std::uint64_t seed);
+
+    /// Observed user count for a recursive /24 (sums observed resolver IPs);
+    /// nullopt if Microsoft saw no resolver IP in that /24.
+    [[nodiscard]] std::optional<double> count(net::slash24 block) const;
+
+    /// Observed user count for one exact resolver IP.
+    [[nodiscard]] std::optional<double> count(net::ipv4_addr ip) const;
+
+    /// All /24s with a count (the "CDN recursives" universe of Table 4).
+    [[nodiscard]] std::vector<net::slash24> observed_blocks() const;
+    /// All exact resolver IPs Microsoft observed.
+    [[nodiscard]] std::vector<net::ipv4_addr> observed_ips() const;
+
+    [[nodiscard]] double total_observed_users() const noexcept { return total_; }
+
+private:
+    std::unordered_map<std::uint32_t, double> by_block_;
+    std::unordered_map<std::uint32_t, double> by_ip_;  // keyed by address value
+    double total_ = 0.0;
+};
+
+/// APNIC-style per-AS user estimates: country-normalized ad-network samples
+/// (§2.1). Noisy, per-AS granularity, assumes users are in the recursive's AS.
+class apnic_user_counts {
+public:
+    struct options {
+        double noise_sigma = 0.3;     // lognormal estimation noise
+        double as_missing_p = 0.05;   // ASes absent from the dataset
+    };
+
+    apnic_user_counts(const user_base& base, options opts, std::uint64_t seed);
+
+    [[nodiscard]] std::optional<double> count(topo::asn_t asn) const;
+    [[nodiscard]] std::size_t as_count() const noexcept { return by_as_.size(); }
+
+private:
+    std::unordered_map<topo::asn_t, double> by_as_;
+};
+
+} // namespace ac::pop

@@ -1,0 +1,43 @@
+#include "src/resolver/cache.h"
+
+namespace ac::resolver {
+
+std::string dns_cache::key(std::string_view name, dns::rr_type type) {
+    std::string k = dns::normalize_name(name);
+    k.push_back('#');
+    k += dns::to_string(type);
+    return k;
+}
+
+void dns_cache::insert(std::string_view name, dns::rr_type type, std::uint32_t ttl_s,
+                       double now_s, bool negative) {
+    entries_[key(name, type)] = entry{now_s + static_cast<double>(ttl_s), negative};
+}
+
+std::optional<dns_cache::entry> dns_cache::lookup(std::string_view name, dns::rr_type type,
+                                                  double now_s) {
+    auto it = entries_.find(key(name, type));
+    if (it == entries_.end()) return std::nullopt;
+    if (it->second.expires_s <= now_s) {
+        entries_.erase(it);
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+bool dns_cache::contains(std::string_view name, dns::rr_type type, double now_s) {
+    auto e = lookup(name, type, now_s);
+    return e.has_value() && !e->negative;
+}
+
+void dns_cache::evict_expired(double now_s) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.expires_s <= now_s) {
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace ac::resolver

@@ -1,0 +1,213 @@
+#include "src/resolver/recursive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ac::resolver {
+
+namespace {
+
+/// The registered zone one level below the TLD ("www.example.com" ->
+/// "example.com"); single-label names return themselves.
+std::string sld_zone_of(std::string_view name) {
+    std::string normalized = dns::normalize_name(name);
+    // Find the last two labels.
+    auto last_dot = normalized.rfind('.');
+    if (last_dot == std::string::npos) return normalized;
+    auto second_dot = normalized.rfind('.', last_dot - 1);
+    if (second_dot == std::string::npos) return normalized;
+    return normalized.substr(second_dot + 1);
+}
+
+constexpr std::uint32_t delegation_ttl_s = 172800;  // TLD-level NS records
+constexpr std::uint32_t address_ttl_s = 600;        // leaf A/AAAA records
+constexpr std::uint32_t negative_ttl_s = 86400;     // root SOA minimum
+
+} // namespace
+
+recursive_sim::recursive_sim(const dns::root_zone& zone, pop::resolver_software software,
+                             latency_model model, std::uint64_t seed)
+    : zone_(&zone), software_(software), model_(model),
+      gen_(rand::mix_seed(seed, 0x2ec0c5e1ull)) {}
+
+recursive_sim::zone_servers recursive_sim::servers_for(std::string_view sld_zone) {
+    // Deterministic per zone: 2-6 nameservers, AAAA glue only for the first.
+    const auto h = rand::splitmix64(
+        std::hash<std::string_view>{}(sld_zone));
+    zone_servers servers;
+    const int count = 2 + static_cast<int>(h % 5);
+    for (int i = 0; i < count; ++i) {
+        servers.ns_names.push_back("ns" + std::to_string(20 + i) + "." + std::string{sld_zone});
+    }
+    servers.with_aaaa_glue = 1;
+    return servers;
+}
+
+double recursive_sim::tld_rtt(std::string_view tld) {
+    // Deterministic per TLD (TLD servers don't move during a study).
+    rand::rng g{rand::mix_seed(0x71d0ull, std::hash<std::string_view>{}(tld))};
+    return model_.tld_rtt_median_ms * g.lognormal(0.0, model_.tld_rtt_sigma);
+}
+
+double recursive_sim::auth_rtt(std::string_view sld_zone) {
+    rand::rng g{rand::mix_seed(0xa0700ull, std::hash<std::string_view>{}(sld_zone))};
+    return model_.auth_rtt_median_ms * g.lognormal(0.0, model_.auth_rtt_sigma);
+}
+
+resolve_outcome recursive_sim::resolve(std::string_view qname, dns::rr_type qtype,
+                                       double now_s, std::vector<trace_step>* trace) {
+    ++totals_.client_queries;
+    resolve_outcome outcome;
+    const std::string name = dns::normalize_name(qname);
+    const std::string tld{dns::tld_of(name)};
+    double t = now_s;
+
+    auto step = [&](const std::string& from, const std::string& to, const std::string& q,
+                    dns::rr_type type, const std::string& note) {
+        if (trace != nullptr) {
+            trace->push_back(trace_step{t - now_s, from, to, q, type, note});
+        }
+    };
+    step("client", "resolver", name, qtype, "client query");
+
+    // Answer cache.
+    if (auto hit = cache_.lookup(name, qtype, now_s)) {
+        ++totals_.cache_hits;
+        outcome.latency_ms = model_.cache_hit_ms;
+        outcome.served_from_cache = true;
+        step("resolver", "client", name, qtype,
+             hit->negative ? "cached NXDOMAIN" : "cached answer");
+        return outcome;
+    }
+
+    // --- Root level: do we know the TLD's nameservers? ---
+    const bool tld_ns_cached = cache_.contains(tld, dns::rr_type::ns, now_s);
+    const bool negative_cached = [&] {
+        auto e = cache_.lookup(tld, dns::rr_type::soa, now_s);
+        return e.has_value() && e->negative;
+    }();
+
+    if (negative_cached) {
+        outcome.latency_ms = model_.cache_hit_ms;
+        step("resolver", "client", name, qtype, "cached TLD NXDOMAIN");
+        return outcome;
+    }
+
+    if (!tld_ns_cached) {
+        // Root query on the critical path; RTT varies per query, with a
+        // heavy tail when the resolver explores a distant letter.
+        ++totals_.root_queries;
+        ++outcome.root_queries;
+        double root_rtt = model_.root_rtt_ms * gen_.lognormal(0.0, model_.root_rtt_sigma);
+        if (gen_.chance(model_.slow_letter_p)) root_rtt *= model_.slow_letter_multiplier;
+        outcome.latency_ms += root_rtt;
+        outcome.root_latency_ms += root_rtt;
+        t += root_rtt / 1000.0;
+        step("resolver", "root", name, qtype, "referral request");
+        const auto response = zone_->resolve(name);
+        if (response.nxdomain) {
+            cache_.insert(tld, dns::rr_type::soa, negative_ttl_s, now_s, /*negative=*/true);
+            cache_.insert(name, qtype, negative_ttl_s, now_s, /*negative=*/true);
+            step("root", "resolver", name, qtype, "NXDOMAIN");
+            return outcome;
+        }
+        cache_.insert(tld, dns::rr_type::ns, response.ttl_s, now_s);
+        step("root", "resolver", tld, dns::rr_type::ns, "referral to TLD servers");
+    } else if (zone_->resolve(name).nxdomain) {
+        // TLD NS cached can't happen for invalid TLDs; guard for junk names
+        // that race a negative entry's expiry.
+        cache_.insert(tld, dns::rr_type::soa, negative_ttl_s, now_s, /*negative=*/true);
+        outcome.latency_ms = model_.cache_hit_ms;
+        return outcome;
+    }
+
+    if (dns::label_count(name) == 1) {
+        // A bare TLD lookup resolves at the root referral itself.
+        cache_.insert(name, qtype, delegation_ttl_s, now_s);
+        return outcome;
+    }
+
+    // --- TLD level: delegation for the registered zone. ---
+    const std::string zone_name = sld_zone_of(name);
+    const auto servers = servers_for(zone_name);
+    if (!cache_.contains(zone_name, dns::rr_type::ns, now_s)) {
+        ++totals_.tld_queries;
+        const double rtt = tld_rtt(tld);
+        outcome.latency_ms += rtt;
+        t += rtt / 1000.0;
+        step("resolver", "tld:" + tld, name, qtype, "delegation request");
+        cache_.insert(zone_name, dns::rr_type::ns, delegation_ttl_s, now_s);
+        for (std::size_t i = 0; i < servers.ns_names.size(); ++i) {
+            cache_.insert(servers.ns_names[i], dns::rr_type::a, delegation_ttl_s, now_s);
+            if (i < servers.with_aaaa_glue) {
+                cache_.insert(servers.ns_names[i], dns::rr_type::aaaa, delegation_ttl_s, now_s);
+            }
+        }
+        step("tld:" + tld, "resolver", zone_name, dns::rr_type::ns,
+             std::to_string(servers.ns_names.size()) + " NS, partial AAAA glue");
+    }
+
+    // --- Authoritative level. ---
+    ++totals_.auth_queries;
+    const bool timed_out = force_timeout_ || gen_.chance(model_.auth_loss_p);
+    force_timeout_ = false;
+    if (timed_out) {
+        ++totals_.timeouts;
+        outcome.latency_ms += model_.timeout_s * 1000.0;
+        t += model_.timeout_s;
+        step("resolver", "auth:" + servers.ns_names.front(), name, qtype,
+             "no response (timeout)");
+
+        // Appendix E: on timeout, buggy software re-fetches the other
+        // nameservers' addresses from the ROOT, although the records were
+        // cached from the TLD referral less than one TTL ago.
+        if (software_ == pop::resolver_software::bind_redundant) {
+            for (const auto& ns : servers.ns_names) {
+                if (cache_.contains(ns, dns::rr_type::aaaa, now_s)) continue;
+                ++totals_.root_queries;
+                ++totals_.redundant_root_queries;
+                ++outcome.root_queries;
+                ++outcome.redundant_root_queries;
+                step("resolver", "root", ns, dns::rr_type::aaaa,
+                     "redundant (referral cached < 1 TTL ago)");
+            }
+        } else if (software_ == pop::resolver_software::bind_fixed) {
+            // Fixed behaviour: ask the TLD, never the root.
+            ++totals_.tld_queries;
+            step("resolver", "tld:" + tld, servers.ns_names.back(), dns::rr_type::aaaa,
+                 "glue refresh at TLD");
+        }
+
+        // Retry on the next nameserver.
+        ++totals_.auth_queries;
+        const std::string& retry_ns =
+            servers.ns_names[servers.ns_names.size() > 1 ? 1 : 0];
+        const double rtt = auth_rtt(zone_name);
+        outcome.latency_ms += rtt;
+        t += rtt / 1000.0;
+        step("resolver", "auth:" + retry_ns, name, qtype, "retry on next NS");
+    } else {
+        const double rtt = auth_rtt(zone_name);
+        outcome.latency_ms += rtt;
+        t += rtt / 1000.0;
+        step("resolver", "auth:" + servers.ns_names.front(), name, qtype, "answered");
+    }
+
+    cache_.insert(name, qtype, address_ttl_s, now_s);
+    step("resolver", "client", name, qtype, "answer");
+    return outcome;
+}
+
+std::vector<trace_step> make_redundant_query_trace(const dns::root_zone& zone,
+                                                   std::uint64_t seed) {
+    latency_model model;
+    recursive_sim sim{zone, pop::resolver_software::bind_redundant, model, seed};
+    // Prime the COM referral (as any busy resolver would have done long ago).
+    (void)sim.resolve("warmup.com", dns::rr_type::a, 0.0);
+    std::vector<trace_step> trace;
+    sim.force_next_timeout();
+    (void)sim.resolve("bidder.criteo.com", dns::rr_type::a, 10.0, &trace);
+    return trace;
+}
+
+} // namespace ac::resolver

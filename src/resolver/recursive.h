@@ -1,0 +1,108 @@
+// The recursive-resolver simulation.
+//
+// Walks the DNS tree (root -> TLD -> authoritative) for each client query,
+// consulting a TTL cache at each level, and reproduces the Appendix E
+// redundant-query pattern: when a query to an authoritative nameserver times
+// out, BIND-era resolvers query the *root* for the AAAA (and missing A)
+// records of the zone's other nameservers — even though the TLD referral
+// that would answer them is still cached (Table 5). The fixed variant asks
+// the TLD instead; `other` software resolves strictly per-TTL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dns/zone.h"
+#include "src/population/population.h"
+#include "src/resolver/cache.h"
+
+namespace ac::resolver {
+
+struct latency_model {
+    double root_rtt_ms = 30.0;        // best-letter RTT from this resolver
+    double root_rtt_sigma = 0.3;      // per-query lognormal spread
+    /// Occasionally BIND explores a distant letter ([60]'s exploration):
+    /// with this probability a root query costs `slow_letter_multiplier`x.
+    double slow_letter_p = 0.08;
+    double slow_letter_multiplier = 4.5;
+    double tld_rtt_median_ms = 25.0;  // TLD servers are well-anycasted
+    double tld_rtt_sigma = 0.5;
+    double auth_rtt_median_ms = 35.0; // authoritative servers vary wildly
+    double auth_rtt_sigma = 1.1;
+    double cache_hit_ms = 0.12;       // local lookup cost
+    double timeout_s = 0.8;           // retry timer on a dead nameserver
+    double auth_loss_p = 0.003;       // authoritative query loss probability
+};
+
+/// One step of a resolution, for Table 5-style traces.
+struct trace_step {
+    double t_s = 0.0;
+    std::string from;
+    std::string to;
+    std::string qname;
+    dns::rr_type qtype = dns::rr_type::a;
+    std::string note;
+};
+
+struct resolve_outcome {
+    double latency_ms = 0.0;        // user-visible resolution time
+    double root_latency_ms = 0.0;   // root time on the critical path
+    int root_queries = 0;           // all root queries issued (incl. off-path)
+    int redundant_root_queries = 0; // root queries for records cached < 1 TTL ago
+    bool served_from_cache = false;
+};
+
+class recursive_sim {
+public:
+    recursive_sim(const dns::root_zone& zone, pop::resolver_software software,
+                  latency_model model, std::uint64_t seed);
+
+    /// Resolves `qname` at simulation time `now_s`. When `trace` is non-null,
+    /// appends the message-level steps.
+    resolve_outcome resolve(std::string_view qname, dns::rr_type qtype, double now_s,
+                            std::vector<trace_step>* trace = nullptr);
+
+    /// Forces the next authoritative query to time out: used to produce the
+    /// Table 5 case study deterministically.
+    void force_next_timeout() { force_timeout_ = true; }
+
+    [[nodiscard]] dns_cache& cache() noexcept { return cache_; }
+
+    // Cumulative statistics since construction.
+    struct stats {
+        long client_queries = 0;
+        long cache_hits = 0;
+        long root_queries = 0;
+        long redundant_root_queries = 0;
+        long tld_queries = 0;
+        long auth_queries = 0;
+        long timeouts = 0;
+    };
+    [[nodiscard]] const stats& totals() const noexcept { return totals_; }
+
+private:
+    struct zone_servers {
+        std::vector<std::string> ns_names;
+        std::size_t with_aaaa_glue = 1;  // first N ns_names carry AAAA glue
+    };
+
+    [[nodiscard]] zone_servers servers_for(std::string_view sld_zone);
+    double tld_rtt(std::string_view tld);
+    double auth_rtt(std::string_view sld_zone);
+
+    const dns::root_zone* zone_;
+    pop::resolver_software software_;
+    latency_model model_;
+    rand::rng gen_;
+    dns_cache cache_;
+    stats totals_;
+    bool force_timeout_ = false;
+};
+
+/// Builds the deterministic Table 5 trace: a resolution through a zone whose
+/// first authoritative server times out, on buggy software.
+[[nodiscard]] std::vector<trace_step> make_redundant_query_trace(const dns::root_zone& zone,
+                                                                 std::uint64_t seed);
+
+} // namespace ac::resolver

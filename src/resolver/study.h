@@ -1,0 +1,88 @@
+// Resolver-level studies: the paper's local perspective (§4.3, App. D/E).
+//
+// Two experiments:
+//  * an ISI-like shared recursive: hundreds of users behind one cache for a
+//    long period — root cache miss rate ~0.5%, Fig. 12/13 latency CDFs;
+//  * a local single-user resolver paired with a browsing-time tracker for
+//    four weeks — miss rate ~1.5%, root latency vs page-load and active
+//    browsing time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dns/zone.h"
+#include "src/resolver/recursive.h"
+#include "src/web/browsing.h"
+
+namespace ac::resolver {
+
+struct workload_options {
+    int users = 150;
+    int days = 30;
+    double queries_per_user_day = 420.0;
+    int sld_universe = 8000;            // distinct second-level zones
+    double sld_zipf_s = 1.0;            // popularity skew
+    /// Second-level zones concentrate in the most popular TLDs; the cap
+    /// bounds how many distinct TLD referrals the workload can touch.
+    int tld_cap = 120;
+    double invalid_query_share = 0.0005;  // junk single-label names per query
+    double aaaa_share = 0.25;           // AAAA-type client queries
+    std::size_t latency_sample_cap = 250000;  // Fig. 12 reservoir size
+};
+
+struct daily_stat {
+    long client_queries = 0;
+    long root_queries = 0;
+    double critical_root_latency_ms = 0.0;  // user-visible root time that day
+};
+
+struct study_result {
+    std::vector<double> query_latency_sample_ms;  // Fig. 12 CDF input
+    long root_latency_zero_queries = 0;           // Fig. 13: queries w/o root time
+    std::vector<double> root_latency_nonzero_ms;  // Fig. 13: the tail
+    std::vector<daily_stat> days;
+    recursive_sim::stats totals;
+
+    [[nodiscard]] double overall_root_miss_rate() const;
+    [[nodiscard]] double median_daily_root_miss_rate() const;
+    [[nodiscard]] double redundant_root_fraction() const;
+    /// Fraction of client queries with root latency above `ms`.
+    [[nodiscard]] double fraction_root_latency_above(double ms) const;
+};
+
+/// Runs the shared-cache (ISI-like) workload.
+[[nodiscard]] study_result run_shared_cache_study(const dns::root_zone& zone,
+                                                  const workload_options& options,
+                                                  const latency_model& model,
+                                                  pop::resolver_software software,
+                                                  std::uint64_t seed);
+
+/// The single-user experiment: browsing drives the query stream, and each
+/// day also records page-load and active-browsing denominators.
+struct local_user_day {
+    daily_stat dns;
+    web::browsing_day browsing;
+};
+
+struct local_user_result {
+    std::vector<local_user_day> days;
+    recursive_sim::stats totals;
+
+    [[nodiscard]] double median_daily_root_miss_rate() const;
+    [[nodiscard]] double median_daily_root_latency_ms() const;
+    [[nodiscard]] double median_daily_page_load_s() const;
+    [[nodiscard]] double median_daily_active_browsing_s() const;
+    /// Root latency as a share of cumulative page-load time (paper: ~1.6%).
+    [[nodiscard]] double root_share_of_page_load() const;
+    /// Root latency as a share of active browsing time (paper: ~0.05%).
+    [[nodiscard]] double root_share_of_browsing() const;
+};
+
+[[nodiscard]] local_user_result run_local_user_study(const dns::root_zone& zone, int days,
+                                                     const web::browsing_options& browsing,
+                                                     const latency_model& model,
+                                                     pop::resolver_software software,
+                                                     std::uint64_t seed);
+
+} // namespace ac::resolver

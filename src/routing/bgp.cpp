@@ -1,0 +1,288 @@
+#include "src/routing/bgp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "src/netbase/geo.h"
+#include "src/netbase/rng.h"
+
+namespace ac::route {
+
+namespace {
+
+bool better(route_class cls, std::uint8_t len, const site_route& incumbent) {
+    if (cls != incumbent.cls) return cls < incumbent.cls;
+    return len < incumbent.path_len;
+}
+
+} // namespace
+
+anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& regions,
+                         std::vector<announcement> announcements)
+    : graph_(&graph), regions_(&regions), announcements_(std::move(announcements)) {
+    asns_.reserve(graph.as_count());
+    for (const auto& as : graph.all()) {
+        index_.emplace(as.asn, asns_.size());
+        asns_.push_back(as.asn);
+    }
+    routes_.resize(announcements_.size());
+    for (const auto& a : announcements_) {
+        if (!graph.has_as(a.origin_asn)) {
+            throw std::invalid_argument("anycast_rib: announcement from unknown ASN");
+        }
+        if (a.site >= announcements_.size()) {
+            throw std::invalid_argument("anycast_rib: site ids must be dense [0, n)");
+        }
+        routes_[a.site].assign(asns_.size(), site_route{});
+    }
+    for (const auto& a : announcements_) propagate(a);
+}
+
+void anycast_rib::propagate(const announcement& a) {
+    auto& table = routes_[a.site];
+    const std::size_t origin = as_index(a.origin_asn);
+    table[origin] = site_route{route_class::origin, 1, 0, 0};
+
+    const std::unordered_set<topo::asn_t> suppressed(a.suppressed_neighbors.begin(),
+                                                     a.suppressed_neighbors.end());
+
+    if (a.scope == announcement_scope::local) {
+        // Local sites: announced to direct neighbors with no re-export.
+        for (const auto& nb : graph_->neighbors(a.origin_asn)) {
+            if (suppressed.contains(nb.neighbor)) continue;
+            const std::size_t i = as_index(nb.neighbor);
+            // Relationship seen from the *neighbor*: it learned the route
+            // from `origin`, which is its customer/peer/provider.
+            const route_class cls = [&] {
+                switch (nb.relationship) {
+                    // nb.relationship is from origin's perspective.
+                    case topo::as_relationship::provider: return route_class::customer;
+                    case topo::as_relationship::customer: return route_class::provider;
+                    case topo::as_relationship::peer: return route_class::peer;
+                }
+                return route_class::none;
+            }();
+            if (better(cls, 2, table[i])) {
+                table[i] = site_route{cls, 2, a.origin_asn, nb.link_index};
+            }
+        }
+        return;
+    }
+
+    // Phase 1: customer routes climb provider links (origin -> its providers
+    // -> their providers ...). BFS by path length.
+    {
+        std::queue<std::size_t> frontier;
+        frontier.push(origin);
+        while (!frontier.empty()) {
+            const std::size_t cur = frontier.front();
+            frontier.pop();
+            const auto cur_len = table[cur].path_len;
+            for (const auto& nb : graph_->neighbors(asns_[cur])) {
+                if (nb.relationship != topo::as_relationship::provider) continue;
+                if (cur == origin && suppressed.contains(nb.neighbor)) continue;
+                const std::size_t i = as_index(nb.neighbor);
+                const auto len = static_cast<std::uint8_t>(cur_len + 1);
+                if (better(route_class::customer, len, table[i])) {
+                    table[i] = site_route{route_class::customer, len, asns_[cur], nb.link_index};
+                    frontier.push(i);
+                }
+            }
+        }
+    }
+
+    // Phase 2: one peer hop from any AS holding an origin/customer route.
+    // Peer routes are not re-exported to peers or providers.
+    {
+        std::vector<std::pair<std::size_t, site_route>> pending;
+        for (std::size_t cur = 0; cur < asns_.size(); ++cur) {
+            if (table[cur].cls != route_class::origin && table[cur].cls != route_class::customer) {
+                continue;
+            }
+            for (const auto& nb : graph_->neighbors(asns_[cur])) {
+                if (nb.relationship != topo::as_relationship::peer) continue;
+                if (cur == origin && suppressed.contains(nb.neighbor)) continue;
+                const std::size_t i = as_index(nb.neighbor);
+                const auto len = static_cast<std::uint8_t>(table[cur].path_len + 1);
+                pending.emplace_back(
+                    i, site_route{route_class::peer, len, asns_[cur], nb.link_index});
+            }
+        }
+        for (const auto& [i, candidate] : pending) {
+            if (better(candidate.cls, candidate.path_len, table[i])) table[i] = candidate;
+        }
+    }
+
+    // Phase 3: provider routes descend customer links from any AS holding a
+    // route. Dijkstra-style because lengths must stay minimal per class.
+    {
+        using item = std::pair<std::uint8_t, std::size_t>;  // (len at customer, index)
+        std::priority_queue<item, std::vector<item>, std::greater<>> heap;
+        for (std::size_t cur = 0; cur < asns_.size(); ++cur) {
+            if (table[cur].cls == route_class::none) continue;
+            heap.emplace(static_cast<std::uint8_t>(table[cur].path_len + 1), cur);
+        }
+        while (!heap.empty()) {
+            const auto [len, cur] = heap.top();
+            heap.pop();
+            if (static_cast<std::uint8_t>(table[cur].path_len + 1) != len) continue;  // stale
+            for (const auto& nb : graph_->neighbors(asns_[cur])) {
+                if (nb.relationship != topo::as_relationship::customer) continue;
+                if (cur == origin && suppressed.contains(nb.neighbor)) continue;
+                const std::size_t i = as_index(nb.neighbor);
+                if (better(route_class::provider, len, table[i])) {
+                    table[i] = site_route{route_class::provider, len, asns_[cur], nb.link_index};
+                    heap.emplace(static_cast<std::uint8_t>(len + 1), i);
+                }
+            }
+        }
+    }
+}
+
+std::vector<site_id> anycast_rib::best_candidates(topo::asn_t asn) const {
+    const std::size_t i = as_index(asn);
+    route_class best_cls = route_class::none;
+    std::uint8_t best_len = std::numeric_limits<std::uint8_t>::max();
+    for (const auto& table : routes_) {
+        const auto& r = table[i];
+        if (r.cls == route_class::none) continue;
+        if (r.cls < best_cls || (r.cls == best_cls && r.path_len < best_len)) {
+            best_cls = r.cls;
+            best_len = r.path_len;
+        }
+    }
+    std::vector<site_id> out;
+    if (best_cls == route_class::none) return out;
+    for (site_id s = 0; s < routes_.size(); ++s) {
+        const auto& r = routes_[s][i];
+        if (r.cls == best_cls && r.path_len == best_len) out.push_back(s);
+    }
+    return out;
+}
+
+std::optional<site_route> anycast_rib::route_toward(topo::asn_t asn, site_id site) const {
+    const auto& r = routes_.at(site)[as_index(asn)];
+    if (r.cls == route_class::none) return std::nullopt;
+    return r;
+}
+
+std::optional<path_result> anycast_rib::evaluate(topo::asn_t asn, topo::region_id region,
+                                                 site_id site) const {
+    const auto& table = routes_.at(site);
+    std::size_t cur = as_index(asn);
+    if (table[cur].cls == route_class::none) return std::nullopt;
+
+    const auto& a = announcements_[site];
+    const geo::point site_loc = regions_->at(a.origin_region).location;
+    const geo::point source_loc = regions_->at(region).location;
+
+    path_result result;
+    result.site = site;
+    result.direct_km = geo::distance_km(source_loc, site_loc);
+
+    geo::point here = source_loc;
+    double weighted_km = 0.0;  // distance already scaled by circuitousness
+    int hops = 0;
+
+    while (table[cur].cls != route_class::origin) {
+        result.as_path.push_back(asns_[cur]);
+        const auto& link = graph_->link(table[cur].link_index);
+        // Early exit: cross to the next AS at the interconnection point
+        // nearest our current position.
+        const auto& points = link.interconnect_regions;
+        topo::region_id best_region = points.front();
+        double best_km = std::numeric_limits<double>::infinity();
+        for (topo::region_id p : points) {
+            const double d = geo::distance_km(here, regions_->at(p).location);
+            if (d < best_km) {
+                best_km = d;
+                best_region = p;
+            }
+        }
+        result.path_km += best_km;
+        weighted_km += best_km * link.circuitousness;
+        here = regions_->at(best_region).location;
+        ++hops;
+        cur = as_index(table[cur].next_hop);
+    }
+    result.as_path.push_back(asns_[cur]);
+
+    // Final intra-origin segment to the site itself.
+    const double tail_km = geo::distance_km(here, site_loc);
+    result.path_km += tail_km;
+    weighted_km += tail_km * 1.2;
+
+    const auto& source_as = graph_->at(asn);
+    double rtt = geo::round_trip_fiber_ms(weighted_km);
+    rtt += source_as.last_mile_ms;
+    rtt += per_hop_overhead_ms * static_cast<double>(hops + 1);
+    // Small deterministic steady-state jitter keyed by (source, site): two
+    // different <region, AS> sources never see byte-identical medians.
+    rand::rng jitter{rand::mix_seed(0x777ee1ULL, (std::uint64_t{asn} << 20) ^ region,
+                                    (std::uint64_t{a.origin_asn} << 16) ^ site)};
+    rtt *= std::exp(jitter.normal(0.0, rtt_jitter_sigma));
+    result.rtt_ms = rtt;
+    return result;
+}
+
+std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id region) const {
+    const auto candidates = best_candidates(asn);
+    if (candidates.empty()) return std::nullopt;
+
+    // Hot potato: among BGP-equal candidates, pick the one whose first
+    // egress/interconnect is nearest the source region (lowest IGP cost).
+    const geo::point source_loc = regions_->at(region).location;
+    const std::size_t i = as_index(asn);
+    site_id best_site = candidates.front();
+    double best_first_km = std::numeric_limits<double>::infinity();
+    for (site_id s : candidates) {
+        const auto& r = routes_[s][i];
+        double first_km = 0.0;
+        if (r.cls == route_class::origin) {
+            first_km = geo::distance_km(source_loc,
+                                        regions_->at(announcements_[s].origin_region).location);
+        } else {
+            const auto& link = graph_->link(r.link_index);
+            first_km = std::numeric_limits<double>::infinity();
+            for (topo::region_id p : link.interconnect_regions) {
+                first_km = std::min(first_km, geo::distance_km(source_loc, regions_->at(p).location));
+            }
+            // Among several direct routes into the origin AS, BGP then falls
+            // to nearest egress; collocated sites make the egress also the
+            // nearest site (§7.1). Approximate by adding the origin-internal
+            // distance from that egress to the site.
+            const auto& site_loc = regions_->at(announcements_[s].origin_region).location;
+            double egress_to_site = std::numeric_limits<double>::infinity();
+            for (topo::region_id p : link.interconnect_regions) {
+                egress_to_site = std::min(
+                    egress_to_site, geo::distance_km(regions_->at(p).location, site_loc));
+            }
+            first_km += 0.25 * egress_to_site;  // IGP cost beyond the edge is discounted
+        }
+        if (first_km < best_first_km) {
+            best_first_km = first_km;
+            best_site = s;
+        }
+    }
+    return evaluate(asn, region, best_site);
+}
+
+bool anycast_rib::has_direct_route(topo::asn_t asn) const {
+    const std::size_t i = as_index(asn);
+    for (const auto& table : routes_) {
+        const auto& r = table[i];
+        if (r.cls != route_class::none && r.path_len <= 2) return true;
+    }
+    return false;
+}
+
+std::size_t anycast_rib::as_index(topo::asn_t asn) const {
+    auto it = index_.find(asn);
+    if (it == index_.end()) throw std::out_of_range("anycast_rib: unknown ASN");
+    return it->second;
+}
+
+} // namespace ac::route

@@ -1,0 +1,133 @@
+// BGP-style anycast route computation.
+//
+// For each anycast site (an announcement from a host AS at a region), routes
+// propagate through the AS graph under standard Gao-Rexford policy:
+//
+//   * export: customer-learned routes go to everyone; peer- and
+//     provider-learned routes go only to customers (valley-free);
+//     `local` scope announcements reach direct neighbors only (§2.1's
+//     local root sites, implemented by limiting BGP propagation).
+//   * selection: local-preference by relationship (customer > peer >
+//     provider), then shortest AS path — BGP's top criteria as discussed in
+//     §7.1 — then, among equal candidates, hot-potato/early-exit chosen at
+//     evaluation time per source region (lowest IGP cost, §7.1).
+//
+// Latency is *derived from the chosen path's geography*: the evaluator walks
+// the AS path hop by hop, picking at each inter-AS link the interconnection
+// point nearest the current position (early exit) and accumulating
+// great-circle distance scaled by the link's circuitousness. Inflation is
+// therefore an emergent property of policy routing over the synthetic graph,
+// never an injected quantity.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/topology/addressing.h"
+#include "src/topology/as_graph.h"
+#include "src/topology/region.h"
+
+namespace ac::route {
+
+using site_id = std::uint32_t;
+
+enum class announcement_scope : std::uint8_t {
+    global,  // normal propagation
+    local,   // direct neighbors only (no re-export)
+};
+
+/// One anycast site's BGP announcement.
+struct announcement {
+    site_id site = 0;
+    topo::asn_t origin_asn = 0;
+    topo::region_id origin_region = 0;
+    announcement_scope scope = announcement_scope::global;
+    /// Traffic engineering (§7.1): neighbors the origin does NOT announce
+    /// this site to — "not announcing to particular ASes at particular
+    /// peering points" when they make poor routing decisions. Those
+    /// neighbors can still learn the site transitively through others.
+    std::vector<topo::asn_t> suppressed_neighbors;
+};
+
+/// Route class in local-preference order (smaller value = more preferred).
+enum class route_class : std::uint8_t {
+    origin = 0,    // the AS itself originates the prefix
+    customer = 1,  // learned from a customer
+    peer = 2,      // learned from a peer
+    provider = 3,  // learned from a provider
+    none = 4,
+};
+
+/// The best route an AS holds toward one specific site.
+struct site_route {
+    route_class cls = route_class::none;
+    std::uint8_t path_len = 0;          // number of ASes on the path, incl. both ends
+    topo::asn_t next_hop = 0;           // 0 at the origin
+    std::uint32_t link_index = 0;       // link to next_hop (valid unless origin)
+};
+
+/// A fully evaluated path from a source <region, AS> to a site.
+struct path_result {
+    site_id site = 0;
+    std::vector<topo::asn_t> as_path;   // source AS first, origin AS last
+    double rtt_ms = 0.0;                // steady-state (median) round-trip time
+    double path_km = 0.0;               // one-way geographic distance travelled
+    double direct_km = 0.0;             // great-circle source-to-site distance
+};
+
+/// Routing state for one anycast prefix (one deployment or ring).
+class anycast_rib {
+public:
+    anycast_rib(const topo::as_graph& graph, const topo::region_table& regions,
+                std::vector<announcement> announcements);
+
+    /// Sites for which `asn` holds any route, restricted to the best
+    /// (class, path length) — BGP's deterministic criteria. Hot-potato
+    /// resolution among these happens per region in `select`.
+    [[nodiscard]] std::vector<site_id> best_candidates(topo::asn_t asn) const;
+
+    /// The route `asn` holds toward `site`, if any.
+    [[nodiscard]] std::optional<site_route> route_toward(topo::asn_t asn, site_id site) const;
+
+    /// Evaluates the concrete path from <asn, region> to `site`, walking the
+    /// AS path geographically. Returns nullopt if the AS has no route.
+    [[nodiscard]] std::optional<path_result> evaluate(topo::asn_t asn, topo::region_id region,
+                                                      site_id site) const;
+
+    /// Full selection for a source <region, AS>: picks among best_candidates
+    /// by lowest first-segment IGP distance (early exit), returning the
+    /// evaluated path. Returns nullopt if the AS has no route at all.
+    [[nodiscard]] std::optional<path_result> select(topo::asn_t asn, topo::region_id region) const;
+
+    /// True if this AS reaches the deployment through a route learned
+    /// directly from the origin AS (a "2 AS" path in Fig. 6a terms).
+    [[nodiscard]] bool has_direct_route(topo::asn_t asn) const;
+
+    [[nodiscard]] const std::vector<announcement>& announcements() const noexcept {
+        return announcements_;
+    }
+
+private:
+    void propagate(const announcement& a);
+    [[nodiscard]] std::size_t as_index(topo::asn_t asn) const;
+
+    const topo::as_graph* graph_;
+    const topo::region_table* regions_;
+    std::vector<announcement> announcements_;
+    // routes_[site][as_index] — dense per site because every AS usually
+    // holds a route to every globally announced site.
+    std::vector<std::vector<site_route>> routes_;
+    std::vector<topo::asn_t> asns_;                 // index -> asn
+    std::unordered_map<topo::asn_t, std::size_t> index_;  // asn -> index
+};
+
+/// Per-hop router processing added to the propagation delay, ms (round trip).
+inline constexpr double per_hop_overhead_ms = 0.25;
+
+/// Deterministic steady-state RTT jitter bound applied per (source, site).
+inline constexpr double rtt_jitter_sigma = 0.04;
+
+} // namespace ac::route

@@ -1,0 +1,122 @@
+#include "src/topology/addressing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ac::topo {
+
+net::slash24 address_space::allocate(asn_t asn, region_id region, std::uint32_t count) {
+    if (count == 0) throw std::invalid_argument("address_space: zero-size allocation");
+    if (asn == 0) throw std::invalid_argument("address_space: ASN 0 is reserved for IXP space");
+    const std::uint32_t first = next_key_;
+    next_key_ += count;
+    ranges_.push_back(range{first, first + count - 1, asn, region});
+    return net::slash24{net::ipv4_addr{first << 8}};
+}
+
+net::slash24 address_space::allocate_ixp(std::uint32_t count) {
+    if (count == 0) throw std::invalid_argument("address_space: zero-size allocation");
+    const std::uint32_t first = next_key_;
+    next_key_ += count;
+    ranges_.push_back(range{first, first + count - 1, 0, 0});
+    return net::slash24{net::ipv4_addr{first << 8}};
+}
+
+namespace {
+
+template <typename Range>
+const Range* find_range(const std::vector<Range>& ranges, std::uint32_t key) {
+    auto it = std::upper_bound(ranges.begin(), ranges.end(), key,
+                               [](std::uint32_t k, const Range& r) { return k < r.first_key; });
+    if (it == ranges.begin()) return nullptr;
+    --it;
+    return key <= it->last_key ? &*it : nullptr;
+}
+
+} // namespace
+
+std::optional<slash24_info> address_space::lookup(net::slash24 s24) const {
+    const auto* r = find_range(ranges_, s24.key());
+    if (r == nullptr || r->asn == 0) return std::nullopt;
+    return slash24_info{r->asn, r->region};
+}
+
+bool address_space::is_ixp(net::slash24 s24) const {
+    const auto* r = find_range(ranges_, s24.key());
+    return r != nullptr && r->asn == 0;
+}
+
+std::vector<net::slash24> address_space::blocks_of(asn_t asn) const {
+    std::vector<net::slash24> out;
+    for (const auto& r : ranges_) {
+        if (r.asn != asn) continue;
+        for (std::uint32_t key = r.first_key; key <= r.last_key; ++key) {
+            out.push_back(net::slash24{net::ipv4_addr{key << 8}});
+        }
+    }
+    return out;
+}
+
+std::vector<net::slash24> address_space::blocks_of(asn_t asn, region_id region) const {
+    std::vector<net::slash24> out;
+    for (const auto& r : ranges_) {
+        if (r.asn != asn || r.region != region) continue;
+        for (std::uint32_t key = r.first_key; key <= r.last_key; ++key) {
+            out.push_back(net::slash24{net::ipv4_addr{key << 8}});
+        }
+    }
+    return out;
+}
+
+ip_to_asn::ip_to_asn(const address_space& space, double unmapped_fraction, std::uint64_t seed) {
+    rand::rng gen{rand::mix_seed(seed, 0x1b2a50ull)};
+    std::uint32_t total = 0;
+    std::uint32_t kept = 0;
+    // Re-walk the ground truth via lookups on the allocator's own ranges:
+    // iterate over all allocated keys via blocks. We reconstruct from the
+    // space by probing (cheap: ranges are contiguous from the base key).
+    for (std::uint32_t key = (0x01000000u >> 8); key < space.allocated_slash24s(); ++key) {
+        const net::slash24 s24{net::ipv4_addr{key << 8}};
+        const auto info = space.lookup(s24);
+        if (!info) continue;  // IXP space never appears in the routing table
+        ++total;
+        if (gen.chance(unmapped_fraction)) continue;
+        ++kept;
+        if (!entries_.empty() && entries_.back().asn == info->asn &&
+            entries_.back().last_key + 1 == key) {
+            entries_.back().last_key = key;  // extend run
+        } else {
+            entries_.push_back(entry{key, key, info->asn});
+        }
+    }
+    coverage_ = total == 0 ? 1.0 : static_cast<double>(kept) / static_cast<double>(total);
+}
+
+std::optional<asn_t> ip_to_asn::lookup(net::slash24 s24) const {
+    const auto* e = find_range(entries_, s24.key());
+    if (e == nullptr) return std::nullopt;
+    return e->asn;
+}
+
+geo_database::geo_database(const address_space& space, const region_table& regions, options opts,
+                           std::uint64_t seed)
+    : space_(&space), regions_(&regions), opts_(opts), seed_(seed) {}
+
+std::optional<geo::point> geo_database::locate(net::slash24 s24) const {
+    const auto info = space_->lookup(s24);
+    if (!info) return std::nullopt;
+    // Error draws are keyed by the /24 itself so the database is stable:
+    // the same /24 always locates to the same (possibly wrong) place.
+    rand::rng gen{rand::mix_seed(seed_, 0x9e0db17full, s24.key())};
+    const auto& true_region = regions_->at(info->region);
+    if (gen.chance(opts_.wrong_region_p)) {
+        const auto& pool = regions_->on_continent(true_region.cont);
+        const auto& wrong = regions_->at(pool[gen.uniform_index(pool.size())]);
+        return wrong.location;
+    }
+    const double bearing = gen.uniform(0.0, 360.0);
+    const double radius = std::abs(gen.normal(0.0, opts_.jitter_km));
+    return geo::destination(true_region.location, bearing, radius);
+}
+
+} // namespace ac::topo

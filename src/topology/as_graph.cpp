@@ -1,0 +1,90 @@
+#include "src/topology/as_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ac::topo {
+
+std::string_view to_string(as_role role) noexcept {
+    switch (role) {
+        case as_role::tier1: return "tier1";
+        case as_role::transit: return "transit";
+        case as_role::eyeball: return "eyeball";
+        case as_role::content: return "content";
+        case as_role::enterprise: return "enterprise";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::uint64_t link_key(asn_t a, asn_t b) noexcept {
+    const auto lo = std::min(a, b);
+    const auto hi = std::max(a, b);
+    return (std::uint64_t{lo} << 32) | hi;
+}
+
+} // namespace
+
+void as_graph::add_as(autonomous_system as) {
+    if (index_.contains(as.asn)) {
+        throw std::invalid_argument("as_graph: duplicate ASN " + std::to_string(as.asn));
+    }
+    index_.emplace(as.asn, systems_.size());
+    adjacency_.emplace(as.asn, std::vector<neighbor_ref>{});
+    systems_.push_back(std::move(as));
+}
+
+void as_graph::add_link(asn_t a, asn_t b, as_relationship kind_for_a,
+                        std::vector<region_id> interconnect_regions, double circuitousness) {
+    if (a == b) throw std::invalid_argument("as_graph: self-link on ASN " + std::to_string(a));
+    if (!has_as(a) || !has_as(b)) {
+        throw std::invalid_argument("as_graph: link references unregistered ASN");
+    }
+    if (interconnect_regions.empty()) {
+        throw std::invalid_argument("as_graph: link requires at least one interconnect region");
+    }
+    const auto key = link_key(a, b);
+    if (link_lookup_.contains(key)) {
+        throw std::invalid_argument("as_graph: duplicate link");
+    }
+    const auto link_index = static_cast<std::uint32_t>(links_.size());
+    link_lookup_.emplace(key, link_index);
+    links_.push_back(as_link{a, b, kind_for_a, std::move(interconnect_regions), circuitousness});
+    adjacency_[a].push_back(neighbor_ref{b, kind_for_a, link_index});
+    adjacency_[b].push_back(neighbor_ref{a, invert(kind_for_a), link_index});
+}
+
+bool as_graph::has_link(asn_t a, asn_t b) const noexcept {
+    return link_lookup_.contains(link_key(a, b));
+}
+
+const autonomous_system& as_graph::at(asn_t asn) const {
+    return systems_[index_of(asn)];
+}
+
+std::span<const neighbor_ref> as_graph::neighbors(asn_t asn) const {
+    auto it = adjacency_.find(asn);
+    if (it == adjacency_.end()) {
+        throw std::out_of_range("as_graph: unknown ASN " + std::to_string(asn));
+    }
+    return it->second;
+}
+
+std::vector<asn_t> as_graph::with_role(as_role role) const {
+    std::vector<asn_t> out;
+    for (const auto& as : systems_) {
+        if (as.role == role) out.push_back(as.asn);
+    }
+    return out;
+}
+
+std::size_t as_graph::index_of(asn_t asn) const {
+    auto it = index_.find(asn);
+    if (it == index_.end()) {
+        throw std::out_of_range("as_graph: unknown ASN " + std::to_string(asn));
+    }
+    return it->second;
+}
+
+} // namespace ac::topo

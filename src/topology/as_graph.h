@@ -1,0 +1,116 @@
+// The autonomous-system graph: ASes with roles, geographic footprints, and
+// business relationships (customer-provider / settlement-free peering) that
+// interconnect at specific regions.
+//
+// Inflation in the paper is an emergent property of BGP policy routing over
+// exactly this kind of structure (§7.1): deployments reachable only through
+// transit detours see inflated catchments, deployments that peer directly
+// with eyeball networks see 2-AS paths and near-optimal latency. The graph is
+// therefore the load-bearing substrate of the whole reproduction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/topology/region.h"
+
+namespace ac::topo {
+
+using asn_t = std::uint32_t;
+
+enum class as_role : std::uint8_t {
+    tier1,      // global transit-free backbone
+    transit,    // regional/continental transit provider
+    eyeball,    // access ISP with end users
+    content,    // content/cloud network (CDN, root-operator hosts, ...)
+    enterprise, // stub organisation without users of interest
+};
+
+[[nodiscard]] std::string_view to_string(as_role role) noexcept;
+
+/// Relationship of a link seen from one endpoint.
+enum class as_relationship : std::uint8_t {
+    provider,  // the neighbor is my provider (I am its customer)
+    customer,  // the neighbor is my customer
+    peer,      // settlement-free peer
+};
+
+struct autonomous_system {
+    asn_t asn = 0;
+    as_role role = as_role::enterprise;
+    std::string name;
+    std::string organization;           // owning org; siblings share this
+    std::vector<region_id> presence;    // regions with a PoP
+    double last_mile_ms = 0.0;          // access latency users of this AS incur
+};
+
+/// An undirected adjacency with a direction-tagged relationship.
+/// `kind_for_a` describes the link from a's perspective (e.g. `provider`
+/// means b is a's provider).
+struct as_link {
+    asn_t a = 0;
+    asn_t b = 0;
+    as_relationship kind_for_a = as_relationship::peer;
+    std::vector<region_id> interconnect_regions;  // where the two ASes meet
+    double circuitousness = 1.3;  // fiber-path detour factor on this link
+};
+
+/// One neighbor entry in the adjacency index.
+struct neighbor_ref {
+    asn_t neighbor = 0;
+    as_relationship relationship = as_relationship::peer;  // from this AS's view
+    std::uint32_t link_index = 0;
+};
+
+class as_graph {
+public:
+    /// Registers an AS; asn must be unique.
+    void add_as(autonomous_system as);
+
+    /// Connects two registered ASes. `kind_for_a` is from a's perspective.
+    /// Duplicate (a, b) links are rejected; self-links are rejected.
+    void add_link(asn_t a, asn_t b, as_relationship kind_for_a,
+                  std::vector<region_id> interconnect_regions, double circuitousness = 1.3);
+
+    [[nodiscard]] bool has_as(asn_t asn) const noexcept { return index_.contains(asn); }
+    [[nodiscard]] bool has_link(asn_t a, asn_t b) const noexcept;
+
+    [[nodiscard]] const autonomous_system& at(asn_t asn) const;
+    [[nodiscard]] const std::vector<autonomous_system>& all() const noexcept { return systems_; }
+    [[nodiscard]] const std::vector<as_link>& links() const noexcept { return links_; }
+    [[nodiscard]] const as_link& link(std::uint32_t index) const { return links_.at(index); }
+
+    /// Neighbors of `asn` with relationships from its perspective.
+    [[nodiscard]] std::span<const neighbor_ref> neighbors(asn_t asn) const;
+
+    [[nodiscard]] std::size_t as_count() const noexcept { return systems_.size(); }
+    [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+
+    /// All ASes with a given role.
+    [[nodiscard]] std::vector<asn_t> with_role(as_role role) const;
+
+private:
+    [[nodiscard]] std::size_t index_of(asn_t asn) const;
+
+    std::vector<autonomous_system> systems_;
+    std::vector<as_link> links_;
+    std::unordered_map<asn_t, std::size_t> index_;
+    std::unordered_map<asn_t, std::vector<neighbor_ref>> adjacency_;
+    std::unordered_map<std::uint64_t, std::uint32_t> link_lookup_;  // (min,max) -> index
+};
+
+/// Flips a relationship to the other endpoint's perspective.
+[[nodiscard]] constexpr as_relationship invert(as_relationship rel) noexcept {
+    switch (rel) {
+        case as_relationship::provider: return as_relationship::customer;
+        case as_relationship::customer: return as_relationship::provider;
+        case as_relationship::peer: return as_relationship::peer;
+    }
+    return as_relationship::peer;
+}
+
+} // namespace ac::topo

@@ -1,0 +1,72 @@
+// Synthetic Internet generator: builds the AS graph the study runs over.
+//
+// The generated graph reproduces the structural features the paper's results
+// depend on: a small transit-free core, continental transit providers, a long
+// tail of eyeball access networks with heavy-tailed user populations, and a
+// handful of content networks whose peering breadth is a configuration knob
+// (Microsoft-like CDNs peer directly with most eyeballs; root-letter host
+// networks mostly do not).
+#pragma once
+
+#include <cstdint>
+
+#include "src/topology/as_graph.h"
+#include "src/topology/region.h"
+
+namespace ac::topo {
+
+struct graph_plan {
+    int tier1_count = 12;
+    int transits_per_continent = 16;     // scaled by continent Internet share
+    int eyeball_count = 1200;
+    int enterprise_count = 200;
+    int public_dns_count = 4;            // Google-Public-DNS-like open resolvers
+
+    // Connectivity knobs.
+    double transit_extra_provider_p = 0.5;   // chance of a 2nd tier-1 provider
+    double transit_peering_p = 0.25;         // same-continent transit peering
+    double eyeball_multihome_p = 0.35;       // chance of a 2nd transit provider
+    double eyeball_ixp_peering_p = 0.08;     // eyeball<->eyeball peering
+
+    // Latency model knobs.
+    double eyeball_last_mile_ms_min = 2.0;
+    double eyeball_last_mile_ms_max = 14.0;
+};
+
+/// First ASN of each block; keeps synthetic ASNs human-readable.
+struct asn_blocks {
+    static constexpr asn_t tier1_base = 100;
+    static constexpr asn_t transit_base = 1000;
+    static constexpr asn_t eyeball_base = 10000;
+    static constexpr asn_t enterprise_base = 50000;
+    static constexpr asn_t public_dns_base = 90000;
+    static constexpr asn_t content_base = 95000;  // reserved for callers
+};
+
+/// Builds the base graph (tier-1s, transits, eyeballs, enterprises, public
+/// DNS). Content networks (the CDN, root-letter hosts) are added afterwards
+/// by their own modules via `attach_content_as`. Deterministic in `seed`.
+[[nodiscard]] as_graph make_graph(const region_table& regions, const graph_plan& plan,
+                                  std::uint64_t seed);
+
+/// Options controlling how a content network attaches to the base graph.
+struct content_attachment {
+    asn_t asn = asn_blocks::content_base;
+    std::string name;
+    std::string organization;
+    std::vector<region_id> presence;    // PoP regions (often = site regions)
+    int tier1_providers = 2;            // transit from this many tier-1s
+    double transit_peering_fraction = 0.3;  // fraction of transits peered with
+    double eyeball_peering_fraction = 0.0;  // fraction of eyeballs peered with
+    double peer_circuitousness = 1.15;  // direct paths are close to fiber-optimal
+    std::uint64_t seed = 1;
+};
+
+/// Attaches a content AS (CDN, root-operator host network, cloud) to the
+/// graph. Peering links land at the content network's PoP nearest to each
+/// counterpart; eyeball peering is population-biased (big eyeballs peer
+/// first), matching how CDNs prioritise interconnection.
+void attach_content_as(as_graph& graph, const region_table& regions,
+                       const content_attachment& options);
+
+} // namespace ac::topo

@@ -1,0 +1,26 @@
+#include "src/web/browsing.h"
+
+#include <cmath>
+
+namespace ac::web {
+
+browsing_day simulate_browsing_day(const browsing_options& options, rand::rng& gen) {
+    browsing_day day;
+    day.page_loads = static_cast<int>(std::lround(
+        options.page_loads_per_day_median * gen.lognormal(0.0, options.page_loads_sigma)));
+    if (day.page_loads < 0) day.page_loads = 0;
+
+    for (int i = 0; i < day.page_loads; ++i) {
+        day.cumulative_page_load_s +=
+            options.page_load_time_s_median * gen.lognormal(0.0, options.page_load_time_sigma);
+        day.active_browsing_s += gen.exponential(1.0 / options.active_time_per_page_s);
+    }
+    day.browsing_dns_queries = static_cast<int>(std::lround(
+        static_cast<double>(day.page_loads) * options.dns_queries_per_page *
+        gen.lognormal(0.0, 0.2)));
+    day.background_dns_queries = static_cast<int>(
+        gen.poisson(options.background_queries_per_day));
+    return day;
+}
+
+} // namespace ac::web

@@ -1,0 +1,43 @@
+// A user's browsing day (§4.3's local perspective).
+//
+// The two-author experiment compares daily root-DNS latency against median
+// daily cumulative page-load time and active browsing time (30-second
+// interaction timeout). This model produces those denominators plus the DNS
+// query stream a day of browsing generates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netbase/rng.h"
+
+namespace ac::web {
+
+struct browsing_options {
+    double page_loads_per_day_median = 70.0;
+    double page_loads_sigma = 0.6;
+    double page_load_time_s_median = 1.6;   // until window.onLoad
+    double page_load_time_sigma = 0.5;
+    double active_time_per_page_s = 35.0;   // interaction with 30 s timeout
+    double dns_queries_per_page = 8.0;      // unique names per page load
+    double background_queries_per_day = 250.0;  // non-browsing applications
+};
+
+/// One simulated day at the end host.
+struct browsing_day {
+    int page_loads = 0;
+    double cumulative_page_load_s = 0.0;
+    double active_browsing_s = 0.0;
+    int browsing_dns_queries = 0;
+    int background_dns_queries = 0;
+
+    [[nodiscard]] int total_dns_queries() const noexcept {
+        return browsing_dns_queries + background_dns_queries;
+    }
+};
+
+[[nodiscard]] browsing_day simulate_browsing_day(const browsing_options& options,
+                                                 rand::rng& gen);
+
+} // namespace ac::web

@@ -1,0 +1,105 @@
+#include "src/web/page_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/netbase/strfmt.h"
+
+namespace ac::web {
+
+int transfer_rtts(double bytes, double init_window_bytes) {
+    if (bytes <= 0.0) return 0;
+    if (bytes <= init_window_bytes) return 1;
+    return static_cast<int>(std::ceil(std::log2(bytes / init_window_bytes)));
+}
+
+int page_load_rtts(const page& p, double init_window_bytes) {
+    if (p.connections.empty()) return 0;
+
+    // Largest-first, keep temporally non-overlapping connections.
+    std::vector<const connection*> ordered;
+    ordered.reserve(p.connections.size());
+    for (const auto& c : p.connections) ordered.push_back(&c);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const connection* a, const connection* b) { return a->bytes > b->bytes; });
+
+    std::vector<const connection*> chain;
+    for (const connection* c : ordered) {
+        const bool overlaps = std::any_of(chain.begin(), chain.end(), [&](const connection* k) {
+            return c->start_s < k->end_s && k->start_s < c->end_s;
+        });
+        if (!overlaps) chain.push_back(c);
+    }
+
+    int rtts = 2;  // first TCP + TLS handshakes; later handshakes overlap
+    for (const connection* c : chain) rtts += transfer_rtts(c->bytes, init_window_bytes);
+    return rtts;
+}
+
+page make_page(const std::string& name, const page_model_options& options, rand::rng& gen) {
+    page p;
+    p.name = name;
+
+    // Main document: starts at t=0 and anchors the serial chain.
+    connection main_doc;
+    main_doc.bytes = gen.lognormal(options.main_object_mu, options.main_object_sigma);
+    main_doc.start_s = 0.0;
+    main_doc.end_s = gen.uniform(0.3, 1.0);
+    p.connections.push_back(main_doc);
+
+    const int assets =
+        static_cast<int>(gen.uniform_int(options.min_connections, options.max_connections));
+    double serial_cursor = main_doc.end_s;
+    for (int i = 0; i < assets; ++i) {
+        connection c;
+        c.bytes = gen.lognormal(options.asset_mu, options.asset_sigma);
+        if (gen.chance(options.parallel_overlap_p)) {
+            // Parallel fetch: overlaps the main document or a sibling.
+            c.start_s = gen.uniform(0.0, std::max(0.05, serial_cursor - 0.05));
+            c.end_s = c.start_s + gen.uniform(0.1, 0.8);
+        } else {
+            // Serial dependency (discovered by parsing earlier responses).
+            c.start_s = serial_cursor + 0.01;
+            c.end_s = c.start_s + gen.uniform(0.1, 0.6);
+            serial_cursor = c.end_s;
+        }
+        p.connections.push_back(c);
+    }
+    return p;
+}
+
+double page_rtt_study::fraction_within(int rtts) const {
+    if (rtt_counts.empty()) return 0.0;
+    const auto within = std::count_if(rtt_counts.begin(), rtt_counts.end(),
+                                      [&](int n) { return n <= rtts; });
+    return static_cast<double>(within) / static_cast<double>(rtt_counts.size());
+}
+
+int page_rtt_study::percentile(double q) const {
+    if (rtt_counts.empty()) return 0;
+    std::vector<int> sorted = rtt_counts;
+    std::sort(sorted.begin(), sorted.end());
+    const auto index = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                         q * static_cast<double>(sorted.size())));
+    return sorted[index];
+}
+
+page_rtt_study run_page_rtt_study(int pages, int loads_per_page,
+                                  const page_model_options& options, std::uint64_t seed) {
+    rand::rng gen{rand::mix_seed(seed, 0x9a9eull)};
+    page_rtt_study study;
+    study.rtt_counts.reserve(static_cast<std::size_t>(pages * loads_per_page));
+    for (int pi = 0; pi < pages; ++pi) {
+        for (int load = 0; load < loads_per_page; ++load) {
+            // Each load re-draws connection timing/sizes (dynamic content).
+            auto lg = gen.fork(rand::mix_seed(static_cast<std::uint64_t>(pi),
+                                              static_cast<std::uint64_t>(load)));
+            const page p = make_page(strfmt::indexed_name("page", pi, 2), options, lg);
+            study.rtt_counts.push_back(page_load_rtts(p));
+        }
+    }
+    return study;
+}
+
+} // namespace ac::web

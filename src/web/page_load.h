@@ -1,0 +1,74 @@
+// Page-load RTT modeling (§5.1 and Appendix C).
+//
+// Per-RTT anycast inflation matters in proportion to how many RTTs a page
+// load costs. The paper lower-bounds that count with Eq. 4 — N = ceil(log2
+// (D/W)) RTTs for D bytes under slow start with a W≈15 kB initial window —
+// summed over the chain of temporally non-overlapping connections (largest
+// first), plus two RTTs for the first TCP and TLS handshakes. The result,
+// validated over nine Microsoft pages × 20 loads, is that 10 RTTs is a
+// reasonable lower bound and 90% of loads fit in 20.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netbase/rng.h"
+
+namespace ac::web {
+
+/// Default initial congestion window: ~15 kB (10 MSS), the dominant server
+/// configuration [66] and Microsoft's.
+inline constexpr double default_init_window_bytes = 15000.0;
+
+/// Eq. 4: RTTs for a connection that delivers `bytes` under slow start.
+/// Zero-byte connections cost 0; anything up to one window costs 1.
+[[nodiscard]] int transfer_rtts(double bytes, double init_window_bytes = default_init_window_bytes);
+
+/// One TCP connection observed during a page load.
+struct connection {
+    double bytes = 0.0;      // server-to-client payload until loadEventEnd
+    double start_s = 0.0;    // open time relative to navigation start
+    double end_s = 0.0;      // last data time
+};
+
+struct page {
+    std::string name;
+    std::vector<connection> connections;
+};
+
+/// Appendix C accumulation: take the largest connection, then add
+/// connections in descending size order that do not overlap in time with
+/// any already-counted connection; sum Eq. 4 over the chain and add two
+/// RTTs for the first TCP+TLS handshake.
+[[nodiscard]] int page_load_rtts(const page& p,
+                                 double init_window_bytes = default_init_window_bytes);
+
+/// Synthetic-page knobs approximating CDN-hosted dynamic pages.
+struct page_model_options {
+    int min_connections = 6;
+    int max_connections = 12;
+    double main_object_mu = 12.8;     // lognormal of the main document, bytes
+    double main_object_sigma = 0.4;
+    double asset_mu = 10.8;           // supporting objects
+    double asset_sigma = 1.0;
+    double parallel_overlap_p = 0.58; // chance an asset loads in parallel
+};
+
+/// Draws one synthetic page.
+[[nodiscard]] page make_page(const std::string& name, const page_model_options& options,
+                             rand::rng& gen);
+
+/// Appendix C experiment: loads `pages` pages `loads_per_page` times each and
+/// reports the distribution of RTT counts.
+struct page_rtt_study {
+    std::vector<int> rtt_counts;           // one entry per load
+    double fraction_within(int rtts) const;
+    int percentile(double q) const;        // e.g. 0.9 -> RTTs at p90
+};
+
+[[nodiscard]] page_rtt_study run_page_rtt_study(int pages, int loads_per_page,
+                                                const page_model_options& options,
+                                                std::uint64_t seed);
+
+} // namespace ac::web

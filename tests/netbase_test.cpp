@@ -1,0 +1,227 @@
+// Unit tests for the netbase layer: addresses, geometry, RNG, formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "src/netbase/geo.h"
+#include "src/netbase/ipv4.h"
+#include "src/netbase/rng.h"
+#include "src/netbase/strfmt.h"
+
+namespace {
+
+using namespace ac;
+
+TEST(Ipv4Addr, ParsesDottedQuad) {
+    const auto addr = net::ipv4_addr::parse("192.168.1.200");
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_EQ(addr->octet(0), 192);
+    EXPECT_EQ(addr->octet(1), 168);
+    EXPECT_EQ(addr->octet(2), 1);
+    EXPECT_EQ(addr->octet(3), 200);
+    EXPECT_EQ(addr->to_string(), "192.168.1.200");
+}
+
+TEST(Ipv4Addr, RejectsMalformedInput) {
+    EXPECT_FALSE(net::ipv4_addr::parse("").has_value());
+    EXPECT_FALSE(net::ipv4_addr::parse("1.2.3").has_value());
+    EXPECT_FALSE(net::ipv4_addr::parse("1.2.3.4.5").has_value());
+    EXPECT_FALSE(net::ipv4_addr::parse("256.1.1.1").has_value());
+    EXPECT_FALSE(net::ipv4_addr::parse("1.2.3.04").has_value());
+    EXPECT_FALSE(net::ipv4_addr::parse("a.b.c.d").has_value());
+    EXPECT_FALSE(net::ipv4_addr::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4Addr, RoundTripsAllOctets) {
+    const net::ipv4_addr addr{10, 20, 30, 40};
+    const auto reparsed = net::ipv4_addr::parse(addr.to_string());
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(*reparsed, addr);
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+    const net::ipv4_prefix p{net::ipv4_addr{192, 168, 1, 200}, 24};
+    EXPECT_EQ(p.base(), (net::ipv4_addr{192, 168, 1, 0}));
+    EXPECT_EQ(p.to_string(), "192.168.1.0/24");
+}
+
+TEST(Ipv4Prefix, ContainsAddresses) {
+    const auto p = net::ipv4_prefix::parse("10.0.0.0/8");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(p->contains(net::ipv4_addr{10, 255, 0, 1}));
+    EXPECT_FALSE(p->contains(net::ipv4_addr{11, 0, 0, 1}));
+    EXPECT_EQ(p->size(), 1u << 24);
+}
+
+TEST(Ipv4Prefix, ContainsNestedPrefixes) {
+    const auto outer = net::ipv4_prefix::parse("10.0.0.0/8");
+    const auto inner = net::ipv4_prefix::parse("10.1.0.0/16");
+    ASSERT_TRUE(outer && inner);
+    EXPECT_TRUE(outer->contains(*inner));
+    EXPECT_FALSE(inner->contains(*outer));
+}
+
+TEST(Ipv4Prefix, ZeroLengthCoversEverything) {
+    const net::ipv4_prefix everything{net::ipv4_addr{1, 2, 3, 4}, 0};
+    EXPECT_TRUE(everything.contains(net::ipv4_addr{255, 255, 255, 255}));
+    EXPECT_TRUE(everything.contains(net::ipv4_addr{0, 0, 0, 0}));
+}
+
+TEST(Slash24, ExtractsUpperBits) {
+    const net::slash24 s{net::ipv4_addr{192, 168, 1, 77}};
+    EXPECT_EQ(s.prefix().to_string(), "192.168.1.0/24");
+    EXPECT_EQ(s, net::slash24(net::ipv4_addr{192, 168, 1, 200}));
+    EXPECT_NE(s, net::slash24(net::ipv4_addr{192, 168, 2, 77}));
+}
+
+TEST(PrivateSpace, ClassifiesKnownRanges) {
+    EXPECT_TRUE(net::is_private_or_reserved(net::ipv4_addr{10, 1, 2, 3}));
+    EXPECT_TRUE(net::is_private_or_reserved(net::ipv4_addr{192, 168, 0, 1}));
+    EXPECT_TRUE(net::is_private_or_reserved(net::ipv4_addr{172, 16, 5, 5}));
+    EXPECT_TRUE(net::is_private_or_reserved(net::ipv4_addr{127, 0, 0, 1}));
+    EXPECT_TRUE(net::is_private_or_reserved(net::ipv4_addr{224, 0, 0, 5}));
+    EXPECT_FALSE(net::is_private_or_reserved(net::ipv4_addr{8, 8, 8, 8}));
+    EXPECT_FALSE(net::is_private_or_reserved(net::ipv4_addr{172, 32, 0, 1}));
+    EXPECT_FALSE(net::is_private_or_reserved(net::ipv4_addr{1, 0, 0, 1}));
+}
+
+TEST(Geo, HaversineKnownDistances) {
+    // New York <-> London: ~5570 km.
+    const geo::point nyc{40.71, -74.01};
+    const geo::point london{51.51, -0.13};
+    EXPECT_NEAR(geo::distance_km(nyc, london), 5570.0, 60.0);
+    // Identical points.
+    EXPECT_DOUBLE_EQ(geo::distance_km(nyc, nyc), 0.0);
+}
+
+TEST(Geo, DistanceIsSymmetric) {
+    const geo::point a{35.7, 139.7};
+    const geo::point b{-33.9, 151.2};
+    EXPECT_DOUBLE_EQ(geo::distance_km(a, b), geo::distance_km(b, a));
+}
+
+TEST(Geo, FiberLatencyBounds) {
+    // 1000 km one-way at ~204 km/ms => ~4.9 ms; round trip ~9.8 ms.
+    EXPECT_NEAR(geo::one_way_fiber_ms(1000.0), 4.9, 0.1);
+    EXPECT_NEAR(geo::round_trip_fiber_ms(1000.0), 9.8, 0.2);
+    // The Eq. 2 lower bound is 1.5x the fiber RTT.
+    EXPECT_NEAR(geo::best_case_rtt_ms(1000.0), 1.5 * geo::round_trip_fiber_ms(1000.0), 1e-9);
+}
+
+TEST(Geo, RttToKmInvertsRoundTrip) {
+    const double km = 2000.0;
+    EXPECT_NEAR(geo::rtt_ms_to_km(geo::round_trip_fiber_ms(km)), km, 1e-6);
+}
+
+TEST(Geo, DestinationTravelsRequestedDistance) {
+    const geo::point origin{48.9, 2.3};
+    for (double bearing : {0.0, 90.0, 180.0, 270.0}) {
+        const auto dest = geo::destination(origin, bearing, 500.0);
+        EXPECT_NEAR(geo::distance_km(origin, dest), 500.0, 1.0) << "bearing " << bearing;
+    }
+}
+
+TEST(Geo, MidpointIsEquidistant) {
+    const geo::point a{40.71, -74.01};
+    const geo::point b{51.51, -0.13};
+    const auto mid = geo::midpoint(a, b);
+    EXPECT_NEAR(geo::distance_km(a, mid), geo::distance_km(b, mid), 1.0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+    rand::rng a{12345};
+    rand::rng b{12345};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    rand::rng a{1};
+    rand::rng b{2};
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    rand::rng gen{7};
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = gen.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+    rand::rng gen{9};
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(gen.uniform_index(7));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, NormalMoments) {
+    rand::rng gen{11};
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = gen.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+    rand::rng gen{13};
+    for (double mean : {0.5, 4.0, 200.0}) {
+        double sum = 0.0;
+        const int n = 5000;
+        for (int i = 0; i < n; ++i) sum += static_cast<double>(gen.poisson(mean));
+        EXPECT_NEAR(sum / n, mean, mean * 0.1 + 0.05) << "mean " << mean;
+    }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+    rand::rng gen{17};
+    const std::vector<double> weights{1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i) ++counts[gen.weighted_index(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, ForkIsIndependentOfDrawCount) {
+    rand::rng a{21};
+    rand::rng b{21};
+    (void)a.next();
+    (void)a.next();
+    EXPECT_EQ(a.fork(5).next(), b.fork(5).next());
+}
+
+TEST(Rng, ParetoRespectsScale) {
+    rand::rng gen{23};
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(gen.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Strfmt, ZeroPadded) {
+    EXPECT_EQ(ac::strfmt::zero_padded(7, 3), "007");
+    EXPECT_EQ(ac::strfmt::zero_padded(1234, 3), "1234");
+    EXPECT_EQ(ac::strfmt::zero_padded(-4, 3), "-004");
+    EXPECT_EQ(ac::strfmt::indexed_name("x", 5, 2), "x-05");
+}
+
+TEST(Strfmt, Fixed) {
+    EXPECT_EQ(ac::strfmt::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(ac::strfmt::fixed(2.0, 0), "2");
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+// Figure CSV exports.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/report.h"
+
+namespace {
+
+using namespace ac;
+
+class ReportFixture : public ::testing::Test {
+protected:
+    static const core::world& w() {
+        static core::world instance{core::world_config::small()};
+        return instance;
+    }
+
+    static std::filesystem::path temp_dir() {
+        // Unique per test: the suite runs in parallel processes.
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        const auto dir = std::filesystem::temp_directory_path() /
+                         (std::string{"ac_report_"} + info->name());
+        std::filesystem::remove_all(dir);
+        return dir;
+    }
+
+    static std::vector<std::string> read_lines(const std::string& path) {
+        std::ifstream in{path};
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line)) lines.push_back(line);
+        return lines;
+    }
+};
+
+TEST_F(ReportFixture, WritesAllFigureFiles) {
+    const auto dir = temp_dir();
+    const auto files = core::write_figure_csvs(w(), dir.string());
+    EXPECT_EQ(files.size(), 8u);
+    for (const auto& f : files) {
+        EXPECT_TRUE(std::filesystem::exists(f)) << f;
+        EXPECT_GT(std::filesystem::file_size(f), 0u) << f;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(ReportFixture, CsvHasHeaderAndParsableRows) {
+    const auto dir = temp_dir();
+    const auto files = core::write_figure_csvs(w(), dir.string());
+    for (const auto& f : files) {
+        const auto lines = read_lines(f);
+        ASSERT_GT(lines.size(), 1u) << f;
+        // Header: no digits in first char; all rows have the same number of
+        // commas as the header.
+        const auto commas = static_cast<long>(
+            std::count(lines[0].begin(), lines[0].end(), ','));
+        EXPECT_GE(commas, 2) << f;
+        for (std::size_t i = 1; i < lines.size(); ++i) {
+            EXPECT_EQ(std::count(lines[i].begin(), lines[i].end(), ','), commas)
+                << f << " line " << i;
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(ReportFixture, CdfColumnsAreMonotone) {
+    const auto dir = temp_dir();
+    const auto files = core::write_figure_csvs(w(), dir.string());
+    // fig03: per series, the cdf column must be non-decreasing.
+    const auto fig03 = std::find_if(files.begin(), files.end(), [](const std::string& f) {
+        return f.find("fig03") != std::string::npos;
+    });
+    ASSERT_NE(fig03, files.end());
+    std::map<std::string, double> last_cdf;
+    const auto lines = read_lines(*fig03);
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::istringstream row{lines[i]};
+        std::string series;
+        std::string value;
+        std::string cdf;
+        std::getline(row, series, ',');
+        std::getline(row, value, ',');
+        std::getline(row, cdf, ',');
+        const double q = std::stod(cdf);
+        auto it = last_cdf.find(series);
+        if (it != last_cdf.end()) {
+            EXPECT_GE(q, it->second - 1e-12);
+        }
+        last_cdf[series] = q;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace

@@ -1,0 +1,209 @@
+// The recursive-resolver simulation: caching, the tree walk, and the
+// Appendix E redundant-query bug.
+#include <gtest/gtest.h>
+
+#include "src/resolver/recursive.h"
+#include "src/resolver/study.h"
+
+namespace {
+
+using namespace ac;
+
+TEST(DnsCache, InsertLookupExpire) {
+    resolver::dns_cache cache;
+    cache.insert("com", dns::rr_type::ns, 100, /*now_s=*/0.0);
+    EXPECT_TRUE(cache.contains("com", dns::rr_type::ns, 50.0));
+    EXPECT_TRUE(cache.contains("COM.", dns::rr_type::ns, 50.0));  // normalized
+    EXPECT_FALSE(cache.contains("com", dns::rr_type::a, 50.0));
+    EXPECT_FALSE(cache.contains("com", dns::rr_type::ns, 100.0));  // expired
+}
+
+TEST(DnsCache, NegativeEntriesAreNotPositive) {
+    resolver::dns_cache cache;
+    cache.insert("bogus", dns::rr_type::soa, 100, 0.0, /*negative=*/true);
+    EXPECT_FALSE(cache.contains("bogus", dns::rr_type::soa, 10.0));
+    const auto e = cache.lookup("bogus", dns::rr_type::soa, 10.0);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_TRUE(e->negative);
+}
+
+TEST(DnsCache, EvictExpiredShrinks) {
+    resolver::dns_cache cache;
+    for (int i = 0; i < 100; ++i) {
+        cache.insert("name" + std::to_string(i), dns::rr_type::a,
+                     static_cast<std::uint32_t>(i + 1), 0.0);
+    }
+    EXPECT_EQ(cache.size(), 100u);
+    cache.evict_expired(50.0);
+    EXPECT_EQ(cache.size(), 50u);  // entries expiring at t<=50 are dropped
+}
+
+class RecursiveFixture : public ::testing::Test {
+protected:
+    RecursiveFixture() : zone_(200, 1) {}
+    dns::root_zone zone_;
+    resolver::latency_model model_;
+};
+
+TEST_F(RecursiveFixture, FirstQueryWalksTheTree) {
+    resolver::recursive_sim sim{zone_, pop::resolver_software::other, model_, 1};
+    const auto outcome = sim.resolve("www.example.com", dns::rr_type::a, 0.0);
+    EXPECT_FALSE(outcome.served_from_cache);
+    EXPECT_EQ(outcome.root_queries, 1);  // cold cache: root referral needed
+    EXPECT_GT(outcome.root_latency_ms, 0.0);
+    EXPECT_GT(outcome.latency_ms, outcome.root_latency_ms);
+    EXPECT_EQ(sim.totals().tld_queries, 1);
+    EXPECT_EQ(sim.totals().auth_queries, 1);
+}
+
+TEST_F(RecursiveFixture, RepeatQueryHitsCache) {
+    resolver::recursive_sim sim{zone_, pop::resolver_software::other, model_, 1};
+    (void)sim.resolve("www.example.com", dns::rr_type::a, 0.0);
+    const auto outcome = sim.resolve("www.example.com", dns::rr_type::a, 10.0);
+    EXPECT_TRUE(outcome.served_from_cache);
+    EXPECT_EQ(outcome.root_queries, 0);
+    EXPECT_LT(outcome.latency_ms, 1.0);
+}
+
+TEST_F(RecursiveFixture, TldReferralIsSharedAcrossZones) {
+    resolver::recursive_sim sim{zone_, pop::resolver_software::other, model_, 1};
+    (void)sim.resolve("www.first.com", dns::rr_type::a, 0.0);
+    const auto outcome = sim.resolve("www.second.com", dns::rr_type::a, 10.0);
+    // Same TLD: the root referral is cached, no new root query.
+    EXPECT_EQ(outcome.root_queries, 0);
+    EXPECT_FALSE(outcome.served_from_cache);
+}
+
+TEST_F(RecursiveFixture, TldReferralExpiresAfterTwoDays) {
+    resolver::recursive_sim sim{zone_, pop::resolver_software::other, model_, 1};
+    (void)sim.resolve("www.example.com", dns::rr_type::a, 0.0);
+    const auto outcome =
+        sim.resolve("www.other.com", dns::rr_type::a, 2.0 * 86400.0 + 1.0);
+    EXPECT_EQ(outcome.root_queries, 1);
+}
+
+TEST_F(RecursiveFixture, InvalidTldGetsNegativeCached) {
+    resolver::recursive_sim sim{zone_, pop::resolver_software::other, model_, 1};
+    const auto first = sim.resolve("qwertyzxcvb", dns::rr_type::a, 0.0);
+    EXPECT_EQ(first.root_queries, 1);
+    const auto second = sim.resolve("qwertyzxcvb", dns::rr_type::a, 100.0);
+    EXPECT_EQ(second.root_queries, 0);
+    EXPECT_LT(second.latency_ms, 1.0);
+}
+
+TEST_F(RecursiveFixture, TimeoutTriggersRedundantRootQueriesOnBuggySoftware) {
+    resolver::recursive_sim sim{zone_, pop::resolver_software::bind_redundant, model_, 1};
+    (void)sim.resolve("warm.com", dns::rr_type::a, 0.0);  // prime COM referral
+    sim.force_next_timeout();
+    const auto outcome = sim.resolve("www.victim.com", dns::rr_type::a, 10.0);
+    EXPECT_GT(outcome.redundant_root_queries, 0);
+    EXPECT_EQ(outcome.root_queries, outcome.redundant_root_queries);
+    // Redundant queries happen off the critical path: no root latency.
+    EXPECT_DOUBLE_EQ(outcome.root_latency_ms, 0.0);
+    // The timeout dominates user-visible latency.
+    EXPECT_GT(outcome.latency_ms, model_.timeout_s * 1000.0);
+}
+
+TEST_F(RecursiveFixture, FixedSoftwareAsksTldInstead) {
+    resolver::recursive_sim sim{zone_, pop::resolver_software::bind_fixed, model_, 1};
+    (void)sim.resolve("warm.com", dns::rr_type::a, 0.0);
+    const auto tld_before = sim.totals().tld_queries;
+    sim.force_next_timeout();
+    const auto outcome = sim.resolve("www.victim.com", dns::rr_type::a, 10.0);
+    EXPECT_EQ(outcome.redundant_root_queries, 0);
+    EXPECT_EQ(outcome.root_queries, 0);
+    EXPECT_GT(sim.totals().tld_queries, tld_before);
+}
+
+TEST_F(RecursiveFixture, OtherSoftwareJustRetries) {
+    resolver::recursive_sim sim{zone_, pop::resolver_software::other, model_, 1};
+    (void)sim.resolve("warm.com", dns::rr_type::a, 0.0);
+    sim.force_next_timeout();
+    const auto outcome = sim.resolve("www.victim.com", dns::rr_type::a, 10.0);
+    EXPECT_EQ(outcome.redundant_root_queries, 0);
+    EXPECT_EQ(outcome.root_queries, 0);
+    EXPECT_EQ(sim.totals().timeouts, 1);
+}
+
+TEST_F(RecursiveFixture, Table5TraceHasThePattern) {
+    const auto trace = resolver::make_redundant_query_trace(zone_, 5);
+    ASSERT_FALSE(trace.empty());
+    // Pattern: client query, TLD referral, timeout, redundant root AAAA
+    // queries, retry on another NS, answer — as in Table 5.
+    EXPECT_EQ(trace.front().from, "client");
+    int redundant = 0;
+    bool timeout_seen = false;
+    bool retry_seen = false;
+    for (const auto& step : trace) {
+        if (step.note.find("timeout") != std::string::npos) timeout_seen = true;
+        if (step.note.find("redundant") != std::string::npos) {
+            ++redundant;
+            EXPECT_EQ(step.to, "root");
+            EXPECT_EQ(step.qtype, dns::rr_type::aaaa);
+            EXPECT_TRUE(timeout_seen);  // redundancy follows the timeout
+        }
+        if (step.note.find("retry") != std::string::npos) retry_seen = true;
+    }
+    EXPECT_GT(redundant, 0);
+    EXPECT_TRUE(retry_seen);
+    EXPECT_EQ(trace.back().note, "answer");
+}
+
+TEST_F(RecursiveFixture, StatsAccumulate) {
+    resolver::recursive_sim sim{zone_, pop::resolver_software::other, model_, 1};
+    for (int i = 0; i < 50; ++i) {
+        (void)sim.resolve("www.site" + std::to_string(i) + ".com", dns::rr_type::a,
+                          static_cast<double>(i));
+    }
+    EXPECT_EQ(sim.totals().client_queries, 50);
+    EXPECT_EQ(sim.totals().auth_queries, 50);
+    EXPECT_EQ(sim.totals().root_queries, 1);  // one COM referral
+}
+
+TEST(ResolverStudy, SharedCacheHasLowMissRate) {
+    const dns::root_zone zone{300, 2};
+    resolver::workload_options options;
+    options.users = 40;
+    options.days = 4;
+    options.queries_per_user_day = 300.0;
+    const auto result = resolver::run_shared_cache_study(
+        zone, options, resolver::latency_model{}, pop::resolver_software::bind_redundant, 2);
+    EXPECT_GT(result.overall_root_miss_rate(), 0.0);
+    EXPECT_LT(result.overall_root_miss_rate(), 0.05);
+    EXPECT_EQ(result.days.size(), 4u);
+    EXPECT_GT(result.redundant_root_fraction(), 0.1);
+    // Fig. 12's cache-hit band: a large share of sampled queries are sub-ms.
+    int sub_ms = 0;
+    for (double v : result.query_latency_sample_ms) {
+        if (v < 1.0) ++sub_ms;
+    }
+    EXPECT_GT(static_cast<double>(sub_ms) /
+                  static_cast<double>(result.query_latency_sample_ms.size()),
+              0.2);
+}
+
+TEST(ResolverStudy, SingleUserMissesMoreThanSharedCache) {
+    const dns::root_zone zone{300, 2};
+    resolver::workload_options options;
+    options.users = 40;
+    options.days = 4;
+    options.queries_per_user_day = 300.0;
+    const auto shared = resolver::run_shared_cache_study(
+        zone, options, resolver::latency_model{}, pop::resolver_software::bind_redundant, 2);
+    const auto local = resolver::run_local_user_study(
+        zone, 8, web::browsing_options{}, resolver::latency_model{},
+        pop::resolver_software::bind_redundant, 2);
+    EXPECT_GT(local.median_daily_root_miss_rate(), shared.median_daily_root_miss_rate());
+}
+
+TEST(ResolverStudy, RootLatencyIsTinyShareOfBrowsing) {
+    const dns::root_zone zone{300, 3};
+    const auto local = resolver::run_local_user_study(
+        zone, 10, web::browsing_options{}, resolver::latency_model{},
+        pop::resolver_software::bind_redundant, 3);
+    EXPECT_LT(local.root_share_of_page_load(), 0.2);
+    EXPECT_LT(local.root_share_of_browsing(), 0.02);
+    EXPECT_GT(local.median_daily_page_load_s(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+// BGP policy-routing tests on hand-built mini topologies: Gao-Rexford
+// export rules, local-preference ordering, path-length tie-breaks, local
+// announcement scope, and hot-potato site selection.
+#include <gtest/gtest.h>
+
+#include "src/routing/bgp.h"
+
+namespace {
+
+using namespace ac;
+
+// A four-region world laid out west-to-east, 1000 km apart.
+topo::region_table make_line_regions() {
+    std::vector<topo::region> regions;
+    for (int i = 0; i < 4; ++i) {
+        topo::region r;
+        r.id = static_cast<topo::region_id>(i);
+        r.name = "r" + std::to_string(i);
+        r.cont = topo::continent::europe;
+        r.location = geo::point{50.0, static_cast<double>(i) * 14.0};  // ~1000 km steps
+        r.population_weight = 1.0;
+        regions.push_back(r);
+    }
+    return topo::region_table{std::move(regions)};
+}
+
+topo::autonomous_system make_as(topo::asn_t asn, topo::as_role role,
+                                std::vector<topo::region_id> presence) {
+    topo::autonomous_system as;
+    as.asn = asn;
+    as.role = role;
+    as.name = "as" + std::to_string(asn);
+    as.organization = as.name;
+    as.presence = std::move(presence);
+    as.last_mile_ms = 1.0;
+    return as;
+}
+
+class RoutingPolicy : public ::testing::Test {
+protected:
+    RoutingPolicy() : regions_(make_line_regions()) {
+        // Topology (relationships from the first argument's perspective):
+        //   origin(1) --provider--> transit(2) --provider--> tier1(3)
+        //   origin(1) --peer-- peerAS(4);  peerAS(4) --peer-- peer2(5)
+        //   customer(6) --provider--> origin(1)
+        //   eyeball(7) --provider--> transit(2)
+        //   eyeball(8) --provider--> tier1(3)
+        graph_.add_as(make_as(1, topo::as_role::content, {0}));
+        graph_.add_as(make_as(2, topo::as_role::transit, {0, 1}));
+        graph_.add_as(make_as(3, topo::as_role::tier1, {1, 2}));
+        graph_.add_as(make_as(4, topo::as_role::transit, {0, 2}));
+        graph_.add_as(make_as(5, topo::as_role::transit, {2}));
+        graph_.add_as(make_as(6, topo::as_role::eyeball, {0}));
+        graph_.add_as(make_as(7, topo::as_role::eyeball, {1}));
+        graph_.add_as(make_as(8, topo::as_role::eyeball, {2}));
+
+        graph_.add_link(1, 2, topo::as_relationship::provider, {0}, 1.2);
+        graph_.add_link(2, 3, topo::as_relationship::provider, {1}, 1.2);
+        graph_.add_link(1, 4, topo::as_relationship::peer, {0}, 1.2);
+        graph_.add_link(4, 5, topo::as_relationship::peer, {2}, 1.2);
+        graph_.add_link(6, 1, topo::as_relationship::provider, {0}, 1.2);
+        graph_.add_link(7, 2, topo::as_relationship::provider, {1}, 1.2);
+        graph_.add_link(8, 3, topo::as_relationship::provider, {2}, 1.2);
+    }
+
+    route::anycast_rib make_rib(std::vector<route::announcement> announcements) {
+        return route::anycast_rib{graph_, regions_, std::move(announcements)};
+    }
+
+    topo::region_table regions_;
+    topo::as_graph graph_;
+};
+
+TEST_F(RoutingPolicy, OriginHoldsOriginRoute) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto r = rib.route_toward(1, 0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->cls, route::route_class::origin);
+    EXPECT_EQ(r->path_len, 1);
+}
+
+TEST_F(RoutingPolicy, ProviderLearnsCustomerRoute) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto r = rib.route_toward(2, 0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->cls, route::route_class::customer);
+    EXPECT_EQ(r->path_len, 2);
+    EXPECT_EQ(r->next_hop, 1u);
+}
+
+TEST_F(RoutingPolicy, CustomerRouteClimbsTransitively) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto r = rib.route_toward(3, 0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->cls, route::route_class::customer);
+    EXPECT_EQ(r->path_len, 3);
+}
+
+TEST_F(RoutingPolicy, PeerLearnsButDoesNotReexportToPeers) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto peer = rib.route_toward(4, 0);
+    ASSERT_TRUE(peer.has_value());
+    EXPECT_EQ(peer->cls, route::route_class::peer);
+    // AS 5 peers with 4; a peer-learned route must not flow peer-to-peer.
+    EXPECT_FALSE(rib.route_toward(5, 0).has_value());
+}
+
+TEST_F(RoutingPolicy, CustomersLearnFromAnyRoute) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    // Eyeball 7 sits under transit 2: provider route, length 3.
+    const auto r7 = rib.route_toward(7, 0);
+    ASSERT_TRUE(r7.has_value());
+    EXPECT_EQ(r7->cls, route::route_class::provider);
+    EXPECT_EQ(r7->path_len, 3);
+    // Eyeball 8 under the tier-1: provider route, length 4.
+    const auto r8 = rib.route_toward(8, 0);
+    ASSERT_TRUE(r8.has_value());
+    EXPECT_EQ(r8->cls, route::route_class::provider);
+    EXPECT_EQ(r8->path_len, 4);
+}
+
+TEST_F(RoutingPolicy, DirectCustomerOfOriginGetsProviderRoute) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto r = rib.route_toward(6, 0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->cls, route::route_class::provider);
+    EXPECT_EQ(r->path_len, 2);
+}
+
+TEST_F(RoutingPolicy, LocalScopeReachesNeighborsOnly) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::local, {}}});
+    EXPECT_TRUE(rib.route_toward(2, 0).has_value());   // direct provider
+    EXPECT_TRUE(rib.route_toward(4, 0).has_value());   // direct peer
+    EXPECT_TRUE(rib.route_toward(6, 0).has_value());   // direct customer
+    EXPECT_FALSE(rib.route_toward(3, 0).has_value());  // two hops away
+    EXPECT_FALSE(rib.route_toward(7, 0).has_value());
+}
+
+TEST_F(RoutingPolicy, EvaluateBuildsFullAsPath) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto path = rib.evaluate(8, 2, 0);
+    ASSERT_TRUE(path.has_value());
+    const std::vector<topo::asn_t> expected{8, 3, 2, 1};
+    EXPECT_EQ(path->as_path, expected);
+    EXPECT_GT(path->rtt_ms, 0.0);
+    EXPECT_GT(path->path_km, 0.0);
+}
+
+TEST_F(RoutingPolicy, RttGrowsWithPathDistance) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    // AS 7 (one region away) vs AS 8 (two regions away, longer AS path).
+    const auto near = rib.evaluate(7, 1, 0);
+    const auto far = rib.evaluate(8, 2, 0);
+    ASSERT_TRUE(near && far);
+    EXPECT_LT(near->rtt_ms, far->rtt_ms);
+}
+
+TEST_F(RoutingPolicy, SelectPrefersCustomerOverPeerRegardlessOfLength) {
+    // Site 0 reachable from AS 5? No. Use AS 4: it holds a peer route to
+    // site 0 (len 2). Give it also a provider route via a second site's
+    // chain — peer must still win over provider.
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto route4 = rib.route_toward(4, 0);
+    ASSERT_TRUE(route4.has_value());
+    EXPECT_EQ(route4->cls, route::route_class::peer);
+}
+
+TEST_F(RoutingPolicy, HasDirectRouteDetectsShortPaths) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    EXPECT_TRUE(rib.has_direct_route(2));
+    EXPECT_TRUE(rib.has_direct_route(4));
+    EXPECT_FALSE(rib.has_direct_route(8));
+}
+
+TEST_F(RoutingPolicy, DenseSiteIdsEnforced) {
+    EXPECT_THROW(make_rib({{5, 1, 0, route::announcement_scope::global, {}}}),
+                 std::invalid_argument);
+}
+
+TEST_F(RoutingPolicy, UnknownOriginRejected) {
+    EXPECT_THROW(make_rib({{0, 99, 0, route::announcement_scope::global, {}}}),
+                 std::invalid_argument);
+}
+
+class HotPotato : public ::testing::Test {
+protected:
+    HotPotato() : regions_(make_line_regions()) {
+        // Origin AS 1 present at both ends (regions 0 and 3) with two sites;
+        // eyeball 2 present in the middle (region 1, nearer region 0).
+        graph_.add_as(make_as(1, topo::as_role::content, {0, 3}));
+        graph_.add_as(make_as(2, topo::as_role::eyeball, {1}));
+        graph_.add_link(2, 1, topo::as_relationship::peer, {0, 3}, 1.2);
+    }
+
+    topo::region_table regions_;
+    topo::as_graph graph_;
+};
+
+TEST_F(HotPotato, SelectsNearestEgressAmongEqualRoutes) {
+    route::anycast_rib rib{graph_,
+                           regions_,
+                           {{0, 1, 0, route::announcement_scope::global, {}},
+                            {1, 1, 3, route::announcement_scope::global, {}}}};
+    // Both sites are peer routes of identical length; the eyeball at region 1
+    // should early-exit to the site at region 0.
+    const auto candidates = rib.best_candidates(2);
+    EXPECT_EQ(candidates.size(), 2u);
+    const auto chosen = rib.select(2, 1);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_EQ(chosen->site, 0u);
+}
+
+TEST_F(HotPotato, EvaluateReportsDirectDistance) {
+    route::anycast_rib rib{graph_,
+                           regions_,
+                           {{0, 1, 0, route::announcement_scope::global, {}},
+                            {1, 1, 3, route::announcement_scope::global, {}}}};
+    const auto path = rib.evaluate(2, 1, 1);
+    ASSERT_TRUE(path.has_value());
+    // Direct distance to the far site (region 3) is ~2 region-steps.
+    EXPECT_NEAR(path->direct_km,
+                geo::distance_km(regions_.at(1).location, regions_.at(3).location), 1.0);
+}
+
+} // namespace

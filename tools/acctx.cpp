@@ -1,0 +1,242 @@
+// acctx — the anycast-context command line.
+//
+// One binary to build worlds, run the paper's analyses, and move capture
+// files around:
+//
+//   acctx world    [--seed N] [--scale small|full] [--year 2018|2020]
+//   acctx inflation [...]           Fig. 2-style root inflation summary
+//   acctx amortize  [...]           Fig. 3-style queries/user/day summary
+//   acctx cdn       [...]           Fig. 5-style CDN inflation summary
+//   acctx export    [...] --out F   write the DITL dataset to a capture file
+//   acctx analyze   --in F          filter + summarize a capture file
+//   acctx report    [...] --out DIR write plot-ready CSVs for every figure
+//
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/inflation.h"
+#include "src/analysis/join.h"
+#include "src/capture/serialize.h"
+#include "src/core/render.h"
+#include "src/core/report.h"
+#include "src/core/world.h"
+#include "src/netbase/strfmt.h"
+
+namespace {
+
+using namespace ac;
+
+struct cli_options {
+    std::string command;
+    std::uint64_t seed = 42;
+    bool small = false;
+    core::ditl_year year = core::ditl_year::y2018;
+    std::optional<std::string> in_path;
+    std::optional<std::string> out_path;
+};
+
+[[noreturn]] void usage(int code) {
+    std::cerr << "usage: acctx <world|inflation|amortize|cdn|export|analyze|report>\n"
+              << "             [--seed N] [--scale small|full] [--year 2018|2020]\n"
+              << "             [--in FILE] [--out FILE]\n";
+    std::exit(code);
+}
+
+cli_options parse_args(int argc, char** argv) {
+    if (argc < 2) usage(2);
+    cli_options options;
+    options.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) usage(2);
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            options.seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--scale") {
+            const auto v = value();
+            if (v == "small") {
+                options.small = true;
+            } else if (v == "full") {
+                options.small = false;
+            } else {
+                usage(2);
+            }
+        } else if (arg == "--year") {
+            const auto v = value();
+            if (v == "2018") {
+                options.year = core::ditl_year::y2018;
+            } else if (v == "2020") {
+                options.year = core::ditl_year::y2020;
+            } else {
+                usage(2);
+            }
+        } else if (arg == "--in") {
+            options.in_path = value();
+        } else if (arg == "--out") {
+            options.out_path = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::cerr << "acctx: unknown option " << arg << "\n";
+            usage(2);
+        }
+    }
+    return options;
+}
+
+core::world build_world(const cli_options& options) {
+    auto config = options.small ? core::world_config::small() : core::world_config{};
+    config.seed = options.seed;
+    config.year = options.year;
+    std::cerr << "building " << (options.small ? "small" : "full") << " world (seed "
+              << config.seed << ", "
+              << (config.year == core::ditl_year::y2018 ? "2018" : "2020") << ")...\n";
+    return core::world{std::move(config)};
+}
+
+int cmd_world(const cli_options& options) {
+    const auto w = build_world(options);
+    std::cout << "regions:      " << w.regions().size() << "\n";
+    std::cout << "ASes:         " << w.graph().as_count() << " (" << w.graph().link_count()
+              << " links)\n";
+    std::cout << "users:        " << strfmt::fixed(w.users().total_users() / 1e6, 1)
+              << "M across " << w.users().locations().size() << " <region, AS> locations\n";
+    std::cout << "recursives:   " << w.users().recursives().size() << " /24s\n";
+    std::cout << "DITL letters: " << w.ditl().letters.size() << ", "
+              << strfmt::fixed(w.ditl().total_queries_per_day() / 1e9, 2)
+              << "B queries/day\n";
+    std::cout << "CDN:          " << w.cdn_net().front_end_regions().size()
+              << " front-ends, " << w.cdn_net().ring_count() << " rings\n";
+    std::cout << "Atlas probes: " << w.fleet().probes().size() << " in "
+              << w.fleet().as_coverage() << " ASes\n";
+    return 0;
+}
+
+int cmd_inflation(const cli_options& options) {
+    const auto w = build_world(options);
+    const auto result = analysis::compute_root_inflation(w.filtered(), w.roots(), w.geodb(),
+                                                         w.cdn_user_counts());
+    std::cout << "geographic inflation per root query (ms):\n";
+    for (const auto& [letter, cdf] : result.geographic) {
+        core::print_cdf_row(std::cout, std::string{letter}, cdf);
+    }
+    core::print_cdf_row(std::cout, "All Roots", result.geographic_all_roots);
+    std::cout << "latency inflation per root query (ms):\n";
+    for (const auto& [letter, cdf] : result.latency) {
+        core::print_cdf_row(std::cout, std::string{letter}, cdf);
+    }
+    core::print_cdf_row(std::cout, "All Roots", result.latency_all_roots);
+    return 0;
+}
+
+int cmd_amortize(const cli_options& options) {
+    const auto w = build_world(options);
+    const auto result = analysis::compute_amortization(
+        w.filtered(), w.users(), w.cdn_user_counts(), w.apnic_user_counts(), w.as_mapper(),
+        w.config().query_model);
+    core::print_cdf_row(std::cout, "Ideal", result.ideal, "q/user/day");
+    core::print_cdf_row(std::cout, "CDN", result.cdn, "q/user/day");
+    core::print_cdf_row(std::cout, "APNIC", result.apnic, "q/user/day");
+    return 0;
+}
+
+int cmd_cdn(const cli_options& options) {
+    const auto w = build_world(options);
+    const auto result = analysis::compute_cdn_inflation(w.server_logs(), w.cdn_net());
+    for (int ring = 0; ring < w.cdn_net().ring_count(); ++ring) {
+        core::print_cdf_row(std::cout, w.cdn_net().ring_name(ring) + " geographic",
+                            result.geographic_by_ring[static_cast<std::size_t>(ring)]);
+        core::print_cdf_row(std::cout, w.cdn_net().ring_name(ring) + " latency",
+                            result.latency_by_ring[static_cast<std::size_t>(ring)]);
+    }
+    return 0;
+}
+
+int cmd_export(const cli_options& options) {
+    if (!options.out_path) {
+        std::cerr << "acctx export: --out FILE required\n";
+        return 2;
+    }
+    const auto w = build_world(options);
+    std::ofstream out{*options.out_path};
+    if (!out) {
+        std::cerr << "acctx: cannot open " << *options.out_path << " for writing\n";
+        return 1;
+    }
+    capture::write_dataset(out, w.ditl());
+    std::cout << "wrote " << w.ditl().letters.size() << " letter captures to "
+              << *options.out_path << "\n";
+    return 0;
+}
+
+int cmd_report(const cli_options& options) {
+    if (!options.out_path) {
+        std::cerr << "acctx report: --out DIR required\n";
+        return 2;
+    }
+    const auto w = build_world(options);
+    const auto files = core::write_figure_csvs(w, *options.out_path);
+    for (const auto& f : files) std::cout << "wrote " << f << "\n";
+    return 0;
+}
+
+int cmd_analyze(const cli_options& options) {
+    if (!options.in_path) {
+        std::cerr << "acctx analyze: --in FILE required\n";
+        return 2;
+    }
+    std::ifstream in{*options.in_path};
+    if (!in) {
+        std::cerr << "acctx: cannot open " << *options.in_path << "\n";
+        return 1;
+    }
+    const auto dataset = capture::read_dataset(in);
+    std::cout << "letters: " << dataset.letters.size() << ", total "
+              << strfmt::fixed(dataset.total_queries_per_day() / 1e9, 3)
+              << "B queries/day\n";
+    for (const auto& filtered : capture::filter_all(dataset)) {
+        std::cout << "  " << filtered.letter << ": raw "
+                  << strfmt::fixed(filtered.stats.raw_queries_per_day / 1e6, 1)
+                  << "M/day, kept " << strfmt::fixed(filtered.stats.kept / 1e6, 1)
+                  << "M/day (invalid "
+                  << strfmt::fixed(100.0 * filtered.stats.invalid_dropped /
+                                       filtered.stats.raw_queries_per_day,
+                                   0)
+                  << "%, ptr "
+                  << strfmt::fixed(100.0 * filtered.stats.ptr_dropped /
+                                       filtered.stats.raw_queries_per_day,
+                                   0)
+                  << "%, ipv6 "
+                  << strfmt::fixed(100.0 * filtered.stats.ipv6_dropped /
+                                       filtered.stats.raw_queries_per_day,
+                                   0)
+                  << "%)\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto options = parse_args(argc, argv);
+    try {
+        if (options.command == "world") return cmd_world(options);
+        if (options.command == "inflation") return cmd_inflation(options);
+        if (options.command == "amortize") return cmd_amortize(options);
+        if (options.command == "cdn") return cmd_cdn(options);
+        if (options.command == "export") return cmd_export(options);
+        if (options.command == "analyze") return cmd_analyze(options);
+        if (options.command == "report") return cmd_report(options);
+    } catch (const std::exception& e) {
+        std::cerr << "acctx: " << e.what() << "\n";
+        return 1;
+    }
+    std::cerr << "acctx: unknown command '" << options.command << "'\n";
+    usage(2);
+}
