@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_peering.dir/bench_ablation_peering.cpp.o"
+  "CMakeFiles/bench_ablation_peering.dir/bench_ablation_peering.cpp.o.d"
+  "bench_ablation_peering"
+  "bench_ablation_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

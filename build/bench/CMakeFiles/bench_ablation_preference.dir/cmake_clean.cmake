@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preference.dir/bench_ablation_preference.cpp.o"
+  "CMakeFiles/bench_ablation_preference.dir/bench_ablation_preference.cpp.o.d"
+  "bench_ablation_preference"
+  "bench_ablation_preference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unicast.dir/bench_ablation_unicast.cpp.o"
+  "CMakeFiles/bench_ablation_unicast.dir/bench_ablation_unicast.cpp.o.d"
+  "bench_ablation_unicast"
+  "bench_ablation_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appc_page_rtts.dir/bench_appc_page_rtts.cpp.o"
+  "CMakeFiles/bench_appc_page_rtts.dir/bench_appc_page_rtts.cpp.o.d"
+  "bench_appc_page_rtts"
+  "bench_appc_page_rtts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appc_page_rtts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_rings.dir/bench_fig01_rings.cpp.o"
+  "CMakeFiles/bench_fig01_rings.dir/bench_fig01_rings.cpp.o.d"
+  "bench_fig01_rings"
+  "bench_fig01_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

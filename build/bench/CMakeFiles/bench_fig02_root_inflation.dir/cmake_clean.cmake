@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_root_inflation.dir/bench_fig02_root_inflation.cpp.o"
+  "CMakeFiles/bench_fig02_root_inflation.dir/bench_fig02_root_inflation.cpp.o.d"
+  "bench_fig02_root_inflation"
+  "bench_fig02_root_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_root_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_amortization.dir/bench_fig03_amortization.cpp.o"
+  "CMakeFiles/bench_fig03_amortization.dir/bench_fig03_amortization.cpp.o.d"
+  "bench_fig03_amortization"
+  "bench_fig03_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

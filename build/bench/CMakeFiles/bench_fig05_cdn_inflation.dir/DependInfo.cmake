@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig05_cdn_inflation.cpp" "bench/CMakeFiles/bench_fig05_cdn_inflation.dir/bench_fig05_cdn_inflation.cpp.o" "gcc" "bench/CMakeFiles/bench_fig05_cdn_inflation.dir/bench_fig05_cdn_inflation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/ac_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/ac_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/ac_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/ac_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/ac_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/anycast/CMakeFiles/ac_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/ac_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ac_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/ac_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ac_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/ac_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_cdn_inflation.dir/bench_fig05_cdn_inflation.cpp.o"
+  "CMakeFiles/bench_fig05_cdn_inflation.dir/bench_fig05_cdn_inflation.cpp.o.d"
+  "bench_fig05_cdn_inflation"
+  "bench_fig05_cdn_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_cdn_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

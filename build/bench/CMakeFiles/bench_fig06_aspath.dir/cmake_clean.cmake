@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_aspath.dir/bench_fig06_aspath.cpp.o"
+  "CMakeFiles/bench_fig06_aspath.dir/bench_fig06_aspath.cpp.o.d"
+  "bench_fig06_aspath"
+  "bench_fig06_aspath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_aspath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_invalid_tld.dir/bench_fig08_invalid_tld.cpp.o"
+  "CMakeFiles/bench_fig08_invalid_tld.dir/bench_fig08_invalid_tld.cpp.o.d"
+  "bench_fig08_invalid_tld"
+  "bench_fig08_invalid_tld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_invalid_tld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ditl2020.dir/bench_fig11_ditl2020.cpp.o"
+  "CMakeFiles/bench_fig11_ditl2020.dir/bench_fig11_ditl2020.cpp.o.d"
+  "bench_fig11_ditl2020"
+  "bench_fig11_ditl2020.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ditl2020.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_cache_miss.dir/bench_sec43_cache_miss.cpp.o"
+  "CMakeFiles/bench_sec43_cache_miss.dir/bench_sec43_cache_miss.cpp.o.d"
+  "bench_sec43_cache_miss"
+  "bench_sec43_cache_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_cache_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_redundant.dir/bench_tab05_redundant.cpp.o"
+  "CMakeFiles/bench_tab05_redundant.dir/bench_tab05_redundant.cpp.o.d"
+  "bench_tab05_redundant"
+  "bench_tab05_redundant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_redundant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

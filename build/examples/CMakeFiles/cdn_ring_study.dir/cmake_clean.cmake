@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_ring_study.dir/cdn_ring_study.cpp.o"
+  "CMakeFiles/cdn_ring_study.dir/cdn_ring_study.cpp.o.d"
+  "cdn_ring_study"
+  "cdn_ring_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_ring_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

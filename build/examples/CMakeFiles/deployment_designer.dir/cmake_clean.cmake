@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_designer.dir/deployment_designer.cpp.o"
+  "CMakeFiles/deployment_designer.dir/deployment_designer.cpp.o.d"
+  "deployment_designer"
+  "deployment_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

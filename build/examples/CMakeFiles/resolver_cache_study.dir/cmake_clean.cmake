@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_cache_study.dir/resolver_cache_study.cpp.o"
+  "CMakeFiles/resolver_cache_study.dir/resolver_cache_study.cpp.o.d"
+  "resolver_cache_study"
+  "resolver_cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_dns_study.dir/root_dns_study.cpp.o"
+  "CMakeFiles/root_dns_study.dir/root_dns_study.cpp.o.d"
+  "root_dns_study"
+  "root_dns_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_dns_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

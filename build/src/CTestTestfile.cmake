@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netbase")
+subdirs("topology")
+subdirs("routing")
+subdirs("anycast")
+subdirs("dns")
+subdirs("capture")
+subdirs("population")
+subdirs("cdn")
+subdirs("atlas")
+subdirs("web")
+subdirs("resolver")
+subdirs("analysis")
+subdirs("core")

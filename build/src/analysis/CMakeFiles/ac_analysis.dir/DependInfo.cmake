@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/deployment_metrics.cpp" "src/analysis/CMakeFiles/ac_analysis.dir/deployment_metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/ac_analysis.dir/deployment_metrics.cpp.o.d"
+  "/root/repo/src/analysis/diagnosis.cpp" "src/analysis/CMakeFiles/ac_analysis.dir/diagnosis.cpp.o" "gcc" "src/analysis/CMakeFiles/ac_analysis.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/analysis/inflation.cpp" "src/analysis/CMakeFiles/ac_analysis.dir/inflation.cpp.o" "gcc" "src/analysis/CMakeFiles/ac_analysis.dir/inflation.cpp.o.d"
+  "/root/repo/src/analysis/join.cpp" "src/analysis/CMakeFiles/ac_analysis.dir/join.cpp.o" "gcc" "src/analysis/CMakeFiles/ac_analysis.dir/join.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/ac_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/ac_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/unicast.cpp" "src/analysis/CMakeFiles/ac_analysis.dir/unicast.cpp.o" "gcc" "src/analysis/CMakeFiles/ac_analysis.dir/unicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/ac_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/ac_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/ac_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/ac_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/ac_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/anycast/CMakeFiles/ac_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ac_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/ac_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ac_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_analysis.dir/deployment_metrics.cpp.o"
+  "CMakeFiles/ac_analysis.dir/deployment_metrics.cpp.o.d"
+  "CMakeFiles/ac_analysis.dir/diagnosis.cpp.o"
+  "CMakeFiles/ac_analysis.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/ac_analysis.dir/inflation.cpp.o"
+  "CMakeFiles/ac_analysis.dir/inflation.cpp.o.d"
+  "CMakeFiles/ac_analysis.dir/join.cpp.o"
+  "CMakeFiles/ac_analysis.dir/join.cpp.o.d"
+  "CMakeFiles/ac_analysis.dir/stats.cpp.o"
+  "CMakeFiles/ac_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/ac_analysis.dir/unicast.cpp.o"
+  "CMakeFiles/ac_analysis.dir/unicast.cpp.o.d"
+  "libac_analysis.a"
+  "libac_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_anycast.dir/deployment.cpp.o"
+  "CMakeFiles/ac_anycast.dir/deployment.cpp.o.d"
+  "CMakeFiles/ac_anycast.dir/failover.cpp.o"
+  "CMakeFiles/ac_anycast.dir/failover.cpp.o.d"
+  "CMakeFiles/ac_anycast.dir/placement.cpp.o"
+  "CMakeFiles/ac_anycast.dir/placement.cpp.o.d"
+  "libac_anycast.a"
+  "libac_anycast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_anycast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

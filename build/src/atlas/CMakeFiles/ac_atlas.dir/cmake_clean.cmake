@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_atlas.dir/atlas.cpp.o"
+  "CMakeFiles/ac_atlas.dir/atlas.cpp.o.d"
+  "libac_atlas.a"
+  "libac_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/ditl.cpp" "src/capture/CMakeFiles/ac_capture.dir/ditl.cpp.o" "gcc" "src/capture/CMakeFiles/ac_capture.dir/ditl.cpp.o.d"
+  "/root/repo/src/capture/filter.cpp" "src/capture/CMakeFiles/ac_capture.dir/filter.cpp.o" "gcc" "src/capture/CMakeFiles/ac_capture.dir/filter.cpp.o.d"
+  "/root/repo/src/capture/serialize.cpp" "src/capture/CMakeFiles/ac_capture.dir/serialize.cpp.o" "gcc" "src/capture/CMakeFiles/ac_capture.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/ac_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/anycast/CMakeFiles/ac_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/ac_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ac_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/ac_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ac_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_capture.dir/ditl.cpp.o"
+  "CMakeFiles/ac_capture.dir/ditl.cpp.o.d"
+  "CMakeFiles/ac_capture.dir/filter.cpp.o"
+  "CMakeFiles/ac_capture.dir/filter.cpp.o.d"
+  "CMakeFiles/ac_capture.dir/serialize.cpp.o"
+  "CMakeFiles/ac_capture.dir/serialize.cpp.o.d"
+  "libac_capture.a"
+  "libac_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/cdn.cpp" "src/cdn/CMakeFiles/ac_cdn.dir/cdn.cpp.o" "gcc" "src/cdn/CMakeFiles/ac_cdn.dir/cdn.cpp.o.d"
+  "/root/repo/src/cdn/telemetry.cpp" "src/cdn/CMakeFiles/ac_cdn.dir/telemetry.cpp.o" "gcc" "src/cdn/CMakeFiles/ac_cdn.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/ac_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/ac_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ac_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/ac_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_cdn.dir/cdn.cpp.o"
+  "CMakeFiles/ac_cdn.dir/cdn.cpp.o.d"
+  "CMakeFiles/ac_cdn.dir/telemetry.cpp.o"
+  "CMakeFiles/ac_cdn.dir/telemetry.cpp.o.d"
+  "libac_cdn.a"
+  "libac_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_core.dir/datasets.cpp.o"
+  "CMakeFiles/ac_core.dir/datasets.cpp.o.d"
+  "CMakeFiles/ac_core.dir/render.cpp.o"
+  "CMakeFiles/ac_core.dir/render.cpp.o.d"
+  "CMakeFiles/ac_core.dir/report.cpp.o"
+  "CMakeFiles/ac_core.dir/report.cpp.o.d"
+  "CMakeFiles/ac_core.dir/survey.cpp.o"
+  "CMakeFiles/ac_core.dir/survey.cpp.o.d"
+  "CMakeFiles/ac_core.dir/world.cpp.o"
+  "CMakeFiles/ac_core.dir/world.cpp.o.d"
+  "libac_core.a"
+  "libac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/query_model.cpp" "src/dns/CMakeFiles/ac_dns.dir/query_model.cpp.o" "gcc" "src/dns/CMakeFiles/ac_dns.dir/query_model.cpp.o.d"
+  "/root/repo/src/dns/root_letters.cpp" "src/dns/CMakeFiles/ac_dns.dir/root_letters.cpp.o" "gcc" "src/dns/CMakeFiles/ac_dns.dir/root_letters.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/dns/CMakeFiles/ac_dns.dir/zone.cpp.o" "gcc" "src/dns/CMakeFiles/ac_dns.dir/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anycast/CMakeFiles/ac_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/ac_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ac_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ac_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/ac_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_dns.dir/query_model.cpp.o"
+  "CMakeFiles/ac_dns.dir/query_model.cpp.o.d"
+  "CMakeFiles/ac_dns.dir/root_letters.cpp.o"
+  "CMakeFiles/ac_dns.dir/root_letters.cpp.o.d"
+  "CMakeFiles/ac_dns.dir/zone.cpp.o"
+  "CMakeFiles/ac_dns.dir/zone.cpp.o.d"
+  "libac_dns.a"
+  "libac_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_netbase.dir/geo.cpp.o"
+  "CMakeFiles/ac_netbase.dir/geo.cpp.o.d"
+  "CMakeFiles/ac_netbase.dir/ipv4.cpp.o"
+  "CMakeFiles/ac_netbase.dir/ipv4.cpp.o.d"
+  "CMakeFiles/ac_netbase.dir/rng.cpp.o"
+  "CMakeFiles/ac_netbase.dir/rng.cpp.o.d"
+  "CMakeFiles/ac_netbase.dir/strfmt.cpp.o"
+  "CMakeFiles/ac_netbase.dir/strfmt.cpp.o.d"
+  "libac_netbase.a"
+  "libac_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_population.dir/population.cpp.o"
+  "CMakeFiles/ac_population.dir/population.cpp.o.d"
+  "libac_population.a"
+  "libac_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

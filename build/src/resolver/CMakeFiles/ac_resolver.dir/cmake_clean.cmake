@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_resolver.dir/cache.cpp.o"
+  "CMakeFiles/ac_resolver.dir/cache.cpp.o.d"
+  "CMakeFiles/ac_resolver.dir/recursive.cpp.o"
+  "CMakeFiles/ac_resolver.dir/recursive.cpp.o.d"
+  "CMakeFiles/ac_resolver.dir/study.cpp.o"
+  "CMakeFiles/ac_resolver.dir/study.cpp.o.d"
+  "libac_resolver.a"
+  "libac_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_routing.dir/bgp.cpp.o"
+  "CMakeFiles/ac_routing.dir/bgp.cpp.o.d"
+  "libac_routing.a"
+  "libac_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

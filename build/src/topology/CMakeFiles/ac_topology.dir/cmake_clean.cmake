@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_topology.dir/addressing.cpp.o"
+  "CMakeFiles/ac_topology.dir/addressing.cpp.o.d"
+  "CMakeFiles/ac_topology.dir/as_graph.cpp.o"
+  "CMakeFiles/ac_topology.dir/as_graph.cpp.o.d"
+  "CMakeFiles/ac_topology.dir/generator.cpp.o"
+  "CMakeFiles/ac_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/ac_topology.dir/region.cpp.o"
+  "CMakeFiles/ac_topology.dir/region.cpp.o.d"
+  "libac_topology.a"
+  "libac_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

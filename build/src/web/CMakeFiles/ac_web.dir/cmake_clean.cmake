@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_web.dir/browsing.cpp.o"
+  "CMakeFiles/ac_web.dir/browsing.cpp.o.d"
+  "CMakeFiles/ac_web.dir/page_load.cpp.o"
+  "CMakeFiles/ac_web.dir/page_load.cpp.o.d"
+  "libac_web.a"
+  "libac_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

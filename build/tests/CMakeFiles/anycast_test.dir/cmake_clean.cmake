@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_test.dir/anycast_test.cpp.o"
+  "CMakeFiles/anycast_test.dir/anycast_test.cpp.o.d"
+  "anycast_test"
+  "anycast_test.pdb"
+  "anycast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

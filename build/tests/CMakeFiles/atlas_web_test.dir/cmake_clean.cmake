@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_web_test.dir/atlas_web_test.cpp.o"
+  "CMakeFiles/atlas_web_test.dir/atlas_web_test.cpp.o.d"
+  "atlas_web_test"
+  "atlas_web_test.pdb"
+  "atlas_web_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_web_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

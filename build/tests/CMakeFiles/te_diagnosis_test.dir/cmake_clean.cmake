@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_diagnosis_test.dir/te_diagnosis_test.cpp.o"
+  "CMakeFiles/te_diagnosis_test.dir/te_diagnosis_test.cpp.o.d"
+  "te_diagnosis_test"
+  "te_diagnosis_test.pdb"
+  "te_diagnosis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_diagnosis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

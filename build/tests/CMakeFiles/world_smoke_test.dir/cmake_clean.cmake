@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_smoke_test.dir/world_smoke_test.cpp.o"
+  "CMakeFiles/world_smoke_test.dir/world_smoke_test.cpp.o.d"
+  "world_smoke_test"
+  "world_smoke_test.pdb"
+  "world_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctx.dir/acctx.cpp.o"
+  "CMakeFiles/acctx.dir/acctx.cpp.o.d"
+  "acctx"
+  "acctx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
