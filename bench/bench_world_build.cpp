@@ -1,0 +1,109 @@
+// World-construction throughput baseline: builds the small world serially
+// and on the pool, prints per-stage timings, and exports the comparison as
+// BENCH_world_build.json so later scaling PRs have a recorded reference.
+//
+//   bench_world_build [--threads N] [--repeat R] [--out FILE]
+//
+// N defaults to hardware concurrency (or 4 when it is unknown/1, so the
+// schedule still exercises the pool); R repeats each build and keeps the
+// best wall time; FILE defaults to BENCH_world_build.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/core/world.h"
+
+namespace {
+
+using namespace ac;
+
+struct build_result {
+    double wall_ms = 0.0;
+    engine::stage_report report;
+};
+
+build_result build_once(int threads) {
+    auto config = core::world_config::small();
+    config.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const core::world w{std::move(config)};
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - start;
+    return build_result{wall.count(), w.timing()};
+}
+
+build_result best_of(int threads, int repeat) {
+    build_result best = build_once(threads);
+    for (int i = 1; i < repeat; ++i) {
+        auto r = build_once(threads);
+        if (r.wall_ms < best.wall_ms) best = std::move(r);
+    }
+    return best;
+}
+
+void write_report(std::ostream& out, const build_result& serial, const build_result& parallel,
+                  int threads) {
+    out << "{\n  \"bench\": \"world_build\",\n  \"scale\": \"small\",\n";
+    out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"serial\": {\"threads\": 1, \"wall_ms\": " << serial.wall_ms << "},\n";
+    out << "  \"parallel\": {\"threads\": " << threads << ", \"wall_ms\": " << parallel.wall_ms
+        << "},\n";
+    out << "  \"speedup\": " << (serial.wall_ms / parallel.wall_ms) << ",\n";
+    out << "  \"serial_stages\": ";
+    serial.report.write_json(out);
+    out << ",\n  \"parallel_stages\": ";
+    parallel.report.write_json(out);
+    out << "}\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    int threads = 0;
+    int repeat = 1;
+    std::string out_path = "BENCH_world_build.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_world_build: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads") {
+            threads = std::atoi(value());
+        } else if (arg == "--repeat") {
+            repeat = std::max(1, std::atoi(value()));
+        } else if (arg == "--out") {
+            out_path = value();
+        } else {
+            std::cerr << "usage: bench_world_build [--threads N] [--repeat R] [--out FILE]\n";
+            return 2;
+        }
+    }
+    if (threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 1 ? static_cast<int>(hw) : 4;
+    }
+
+    std::cerr << "building small world serially (threads=1)...\n";
+    const auto serial = best_of(1, repeat);
+    std::cerr << "building small world on the pool (threads=" << threads << ")...\n";
+    const auto parallel = best_of(threads, repeat);
+
+    write_report(std::cout, serial, parallel, threads);
+    std::ofstream out{out_path};
+    if (!out) {
+        std::cerr << "bench_world_build: cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    write_report(out, serial, parallel, threads);
+    std::cerr << "wrote " << out_path << " (speedup " << (serial.wall_ms / parallel.wall_ms)
+              << "x)\n";
+    return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+#
+#   ci/verify.sh           tier-1 (build + ctest)
+#   ci/verify.sh --tsan    additionally build with AC_SANITIZE=thread and run
+#                          the engine tests under TSan (build-tsan/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake -B build -S .
+cmake --build build -j "${jobs}"
+ctest --test-dir build --output-on-failure -j "${jobs}"
+
+if [[ "${1:-}" == "--tsan" ]]; then
+    cmake -B build-tsan -S . -DAC_SANITIZE=thread
+    cmake --build build-tsan -j "${jobs}" --target engine_test
+    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
+fi
+
+echo "verify: OK"

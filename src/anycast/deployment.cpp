@@ -10,7 +10,7 @@
 namespace ac::anycast {
 
 deployment::deployment(std::string name, std::vector<site> sites, const topo::as_graph& graph,
-                       const topo::region_table& regions)
+                       const topo::region_table& regions, engine::thread_pool* pool)
     : name_(std::move(name)), sites_(std::move(sites)), regions_(&regions) {
     if (sites_.empty()) throw std::invalid_argument("deployment: needs at least one site");
     std::vector<route::announcement> announcements;
@@ -21,7 +21,7 @@ deployment::deployment(std::string name, std::vector<site> sites, const topo::as
                                                     sites_[i].region, sites_[i].scope, {}});
         if (sites_[i].scope == route::announcement_scope::global) ++global_count_;
     }
-    rib_ = std::make_unique<route::anycast_rib>(graph, regions, std::move(announcements));
+    rib_ = std::make_unique<route::anycast_rib>(graph, regions, std::move(announcements), pool);
 }
 
 double deployment::nearest_global_site_km(const geo::point& p) const {
@@ -86,7 +86,7 @@ topo::asn_t volunteer_host(const topo::as_graph& graph, topo::region_id region, 
 } // namespace
 
 deployment build_deployment(const deployment_plan& plan, topo::as_graph& graph,
-                            const topo::region_table& regions) {
+                            const topo::region_table& regions, engine::thread_pool* pool) {
     rand::rng gen{rand::mix_seed(plan.seed, 0xdeb107u)};
     const bool population_weighted = plan.strategy != hosting_strategy::open_hosting;
 
@@ -154,42 +154,57 @@ deployment build_deployment(const deployment_plan& plan, topo::as_graph& graph,
         sites.push_back(std::move(s));
     }
 
-    return deployment{plan.name, std::move(sites), graph, regions};
+    return deployment{plan.name, std::move(sites), graph, regions, pool};
 }
 
 catchment_table::catchment_table(const deployment& dep, std::span<const source> sources,
-                                 std::uint64_t seed)
+                                 std::uint64_t seed, engine::thread_pool* pool)
     : dep_(&dep) {
-    rows_.reserve(sources.size());
-    for (const auto& src : sources) {
-        auto primary = dep.rib().select(src.asn, src.region);
-        if (!primary) continue;
+    // Map phase: every source's row is computed independently — the RNG is
+    // keyed by (seed, source), never by draw order — into its own slot, so
+    // chunks can run on any thread without changing a single byte.
+    std::vector<std::optional<catchment_row>> computed(sources.size());
+    engine::parallel_over(pool, sources.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto& src = sources[i];
+            auto primary = dep.rib().select(src.asn, src.region);
+            if (!primary) continue;
 
-        catchment_row row;
-        row.src = src;
-        row.primary = std::move(*primary);
+            catchment_row row;
+            row.src = src;
+            row.primary = std::move(*primary);
 
-        // Intermediate-AS load balancing occasionally splits a source across
-        // two BGP-equal sites (App. B.2): model as a secondary site carrying
-        // a small traffic share for ~15% of sources that have alternatives.
-        const auto candidates = dep.rib().best_candidates(src.asn);
-        if (candidates.size() > 1) {
-            rand::rng gen{rand::mix_seed(seed, (std::uint64_t{src.asn} << 16) ^ src.region)};
-            if (gen.chance(0.15)) {
-                for (route::site_id alt : candidates) {
-                    if (alt == row.primary.site) continue;
-                    if (auto alt_path = dep.rib().evaluate(src.asn, src.region, alt)) {
-                        row.secondary = std::move(*alt_path);
-                        row.secondary_fraction = gen.uniform(0.05, 0.4);
-                        break;
+            // Intermediate-AS load balancing occasionally splits a source
+            // across two BGP-equal sites (App. B.2): model as a secondary
+            // site carrying a small traffic share for ~15% of sources that
+            // have alternatives.
+            const auto candidates = dep.rib().best_candidates(src.asn);
+            if (candidates.size() > 1) {
+                rand::rng gen{rand::mix_seed(seed, (std::uint64_t{src.asn} << 16) ^ src.region)};
+                if (gen.chance(0.15)) {
+                    for (route::site_id alt : candidates) {
+                        if (alt == row.primary.site) continue;
+                        if (auto alt_path = dep.rib().evaluate(src.asn, src.region, alt)) {
+                            row.secondary = std::move(*alt_path);
+                            row.secondary_fraction = gen.uniform(0.05, 0.4);
+                            break;
+                        }
                     }
                 }
             }
+            computed[i] = std::move(row);
         }
+    });
 
+    // Reduce phase: append routable rows in source order (serial runs take
+    // the same two-phase path, so the table is identical at any thread count).
+    rows_.reserve(sources.size());
+    for (auto& maybe_row : computed) {
+        if (!maybe_row) continue;
+        const auto& src = maybe_row->src;
         const std::uint64_t key = (std::uint64_t{src.asn} << 32) | src.region;
         index_.emplace(key, rows_.size());
-        rows_.push_back(std::move(row));
+        rows_.push_back(std::move(*maybe_row));
     }
 }
 

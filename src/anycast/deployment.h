@@ -33,7 +33,7 @@ struct site {
 class deployment {
 public:
     deployment(std::string name, std::vector<site> sites, const topo::as_graph& graph,
-               const topo::region_table& regions);
+               const topo::region_table& regions, engine::thread_pool* pool = nullptr);
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] const std::vector<site>& sites() const noexcept { return sites_; }
@@ -88,9 +88,11 @@ struct deployment_plan {
 };
 
 /// Builds a deployment per `plan`, creating and attaching a dedicated host
-/// network when the strategy needs one. Mutates `graph`.
+/// network when the strategy needs one. Mutates `graph`. A non-serial `pool`
+/// parallelizes per-site route propagation.
 [[nodiscard]] deployment build_deployment(const deployment_plan& plan, topo::as_graph& graph,
-                                          const topo::region_table& regions);
+                                          const topo::region_table& regions,
+                                          engine::thread_pool* pool = nullptr);
 
 /// A traffic source: one <region, AS> location (§2.2's user granularity).
 struct source {
@@ -113,7 +115,11 @@ struct catchment_row {
 /// to any site are skipped (they do not appear in the table).
 class catchment_table {
 public:
-    catchment_table(const deployment& dep, std::span<const source> sources, std::uint64_t seed);
+    /// Row computation is keyed per source (seed mixed with the source's
+    /// <AS, region>), so a non-serial `pool` chunks sources across threads
+    /// and still yields byte-identical rows in the same order.
+    catchment_table(const deployment& dep, std::span<const source> sources, std::uint64_t seed,
+                    engine::thread_pool* pool = nullptr);
 
     [[nodiscard]] const std::vector<catchment_row>& rows() const noexcept { return rows_; }
     [[nodiscard]] const catchment_row* find(topo::asn_t asn, topo::region_id region) const;

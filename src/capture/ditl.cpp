@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/anycast/deployment.h"
+#include "src/engine/stream_rng.h"
 
 namespace ac::capture {
 
@@ -55,18 +56,25 @@ net::ipv4_addr anonymize(net::ipv4_addr ip, dns::anonymization anon) {
     return ip;
 }
 
+/// Stage ids for per-item RNG streams (engine/stream_rng.h). The per-letter
+/// profile stage mixes the letter in, so every (letter, profile) pair owns
+/// one independent stream.
+constexpr std::uint64_t stage_junk = 0xd171'0001ULL;
+constexpr std::uint64_t stage_profiles = 0xd171'0002ULL;
+
 } // namespace
 
 ditl_dataset generate_ditl(const dns::root_system& roots, const pop::user_base& base,
                            const std::vector<dns::recursive_query_profile>& profiles,
                            topo::address_space& space, const ditl_options& options,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, engine::thread_pool* pool) {
     rand::rng gen{rand::mix_seed(seed, 0xd171ull)};
 
     // --- Junk sources: allocate fresh /24s scattered across the world. ---
+    // Serial: address allocation is order-sensitive, but each source's draws
+    // come from its own keyed stream, not from a shared sequential one.
     std::vector<junk_source> junk;
     {
-        std::vector<const topo::autonomous_system*> hosts;
         // Junk comes from anywhere; reuse locations of recursives' ASes is
         // enough diversity and avoids needing the graph here.
         std::unordered_map<std::uint64_t, std::pair<topo::asn_t, topo::region_id>> locs;
@@ -79,13 +87,14 @@ ditl_dataset generate_ditl(const dns::root_system& roots, const pop::user_base& 
         for (const auto& [_, v] : locs) loc_list.push_back(v);
         std::sort(loc_list.begin(), loc_list.end());
         for (int i = 0; i < options.junk_source_count && !loc_list.empty(); ++i) {
-            const auto& [asn, region] = loc_list[gen.uniform_index(loc_list.size())];
+            auto jgen = engine::item_rng(seed, stage_junk, static_cast<std::uint64_t>(i));
+            const auto& [asn, region] = loc_list[jgen.uniform_index(loc_list.size())];
             junk_source js;
             js.block = space.allocate(asn, region, 1);
             js.asn = asn;
             js.region = region;
             js.queries_per_day =
-                options.junk_source_median_qpd * gen.lognormal(0.0, options.junk_source_sigma);
+                options.junk_source_median_qpd * jgen.lognormal(0.0, options.junk_source_sigma);
             junk.push_back(js);
         }
     }
@@ -111,7 +120,8 @@ ditl_dataset generate_ditl(const dns::root_system& roots, const pop::user_base& 
 
         const auto& dep = roots.deployment_of(letter);
         anycast::catchment_table catchment{dep, sources,
-                                           rand::mix_seed(seed, 0xca7ull, static_cast<std::uint64_t>(letter))};
+                                           rand::mix_seed(seed, 0xca7ull, static_cast<std::uint64_t>(letter)),
+                                           pool};
         const int li = dns::letter_index(letter);
 
         letter_capture lc;
@@ -122,82 +132,119 @@ ditl_dataset generate_ditl(const dns::root_system& roots, const pop::user_base& 
         // Per-/24 aggregation buffer for TCP rows.
         std::unordered_map<std::uint64_t, tcp_latency_row> tcp_acc;  // (s24, site)
 
+        // --- Recursive-sourced traffic: the hot loop. Map phase computes
+        // each profile's records and TCP contributions into its own slot
+        // from a (seed, stage^letter, profile) keyed stream; the ordered
+        // reduce below makes the output independent of thread count. ---
+        struct tcp_part {
+            std::uint64_t key = 0;
+            net::slash24 source;
+            route::site_id site = 0;
+            int samples = 0;
+            double queries_per_day = 0.0;
+            double median_rtt_ms = 0.0;
+        };
+        struct profile_part {
+            std::vector<capture_record> records;
+            std::vector<tcp_part> tcp;
+        };
+        const std::uint64_t profile_stage =
+            stage_profiles ^ (static_cast<std::uint64_t>(letter) << 32);
+        std::vector<profile_part> parts(profiles.size());
+        engine::parallel_over(pool, profiles.size(), [&](std::size_t begin, std::size_t end) {
+            for (std::size_t pi = begin; pi < end; ++pi) {
+                const auto& profile = profiles[pi];
+                auto& part = parts[pi];
+                const auto& rec = base.recursives()[profile.recursive_index];
+                const double weight = profile.letter_weight[static_cast<std::size_t>(li)];
+                if (weight <= 0.0) continue;
+                const auto* row = catchment.find(rec.asn, rec.region);
+                if (row == nullptr) continue;
+
+                auto emit = [&](net::ipv4_addr ip, route::site_id site, query_category cat,
+                                double qpd) {
+                    if (qpd <= 0.0) return;
+                    part.records.push_back(
+                        capture_record{anonymize(ip, spec.anon), site, cat, qpd});
+                };
+
+                const double valid = profile.valid_per_day * weight;
+                const double invalid = profile.invalid_per_day() * weight;
+                const double ptr = profile.ptr_per_day * weight;
+
+                // Decide the /24's split mode once.
+                auto rgen = engine::item_rng(seed, profile_stage, pi);
+                const bool per_ip_split =
+                    row->secondary.has_value() && rgen.chance(options.per_ip_split_share);
+
+                double secondary_budget = row->secondary_fraction;  // share of IPs (per-ip mode)
+                for (std::size_t ip_i = 0; ip_i < rec.resolver_ips.size(); ++ip_i) {
+                    const double ip_share = rec.ip_activity_share[ip_i];
+                    const auto ip = rec.resolver_ips[ip_i];
+                    route::site_id primary_site = row->primary.site;
+                    double secondary_share = 0.0;
+                    if (row->secondary) {
+                        if (per_ip_split) {
+                            // Whole IPs move to the secondary site until the
+                            // split fraction is consumed.
+                            if (secondary_budget >= ip_share * 0.5) {
+                                primary_site = row->secondary->site;
+                                secondary_budget -= ip_share;
+                            }
+                        } else {
+                            secondary_share = row->secondary_fraction;
+                        }
+                    }
+                    const route::site_id other_site =
+                        row->secondary ? row->secondary->site : primary_site;
+                    for (auto [cat, qpd] : {std::pair{query_category::valid_tld, valid},
+                                            std::pair{query_category::invalid_tld, invalid},
+                                            std::pair{query_category::ptr, ptr}}) {
+                        const double at_ip = qpd * ip_share;
+                        emit(ip, primary_site, cat, at_ip * (1.0 - secondary_share));
+                        if (secondary_share > 0.0) {
+                            emit(ip, other_site, cat, at_ip * secondary_share);
+                        }
+                    }
+                }
+
+                // TCP RTT evidence (usable letters only; D/L PCAPs are broken).
+                if (spec.tcp_usable && profile.tcp_share > 0.0) {
+                    const double tcp_qpd = valid * profile.tcp_share;
+                    auto add_tcp = [&](const route::path_result& path, double share) {
+                        const double qpd = tcp_qpd * share;
+                        const auto samples =
+                            static_cast<int>(std::floor(qpd * options.capture_days));
+                        if (samples <= 0) return;
+                        // Median handshake RTT tracks the path's steady-state RTT.
+                        part.tcp.push_back(tcp_part{
+                            (std::uint64_t{rec.block.key()} << 16) | path.site, rec.block,
+                            path.site, samples, qpd, path.rtt_ms * rgen.lognormal(0.0, 0.03)});
+                    };
+                    add_tcp(row->primary, 1.0 - row->secondary_fraction);
+                    if (row->secondary) add_tcp(*row->secondary, row->secondary_fraction);
+                }
+            }
+        });
+
+        // Ordered reduce: identical to what the old sequential loop built.
+        for (auto& part : parts) {
+            lc.records.insert(lc.records.end(), part.records.begin(), part.records.end());
+            for (const auto& t : part.tcp) {
+                auto& acc = tcp_acc[t.key];
+                acc.source = t.source;
+                acc.site = t.site;
+                acc.sample_count += t.samples;
+                acc.queries_per_day += t.queries_per_day;
+                acc.median_rtt_ms = t.median_rtt_ms;
+            }
+        }
+
         auto emit = [&](net::ipv4_addr ip, route::site_id site, query_category cat, double qpd) {
             if (qpd <= 0.0) return;
             lc.records.push_back(
                 capture_record{anonymize(ip, spec.anon), site, cat, qpd});
         };
-
-        // --- Recursive-sourced traffic. ---
-        for (const auto& profile : profiles) {
-            const auto& rec = base.recursives()[profile.recursive_index];
-            const double weight = profile.letter_weight[static_cast<std::size_t>(li)];
-            if (weight <= 0.0) continue;
-            const auto* row = catchment.find(rec.asn, rec.region);
-            if (row == nullptr) continue;
-
-            const double valid = profile.valid_per_day * weight;
-            const double invalid = profile.invalid_per_day() * weight;
-            const double ptr = profile.ptr_per_day * weight;
-
-            // Decide the /24's split mode once.
-            auto rgen = lgen.fork(rec.block.key());
-            const bool per_ip_split =
-                row->secondary.has_value() && rgen.chance(options.per_ip_split_share);
-
-            double secondary_budget = row->secondary_fraction;  // share of IPs (per-ip mode)
-            for (std::size_t ip_i = 0; ip_i < rec.resolver_ips.size(); ++ip_i) {
-                const double ip_share = rec.ip_activity_share[ip_i];
-                const auto ip = rec.resolver_ips[ip_i];
-                route::site_id primary_site = row->primary.site;
-                double secondary_share = 0.0;
-                if (row->secondary) {
-                    if (per_ip_split) {
-                        // Whole IPs move to the secondary site until the
-                        // split fraction is consumed.
-                        if (secondary_budget >= ip_share * 0.5) {
-                            primary_site = row->secondary->site;
-                            secondary_budget -= ip_share;
-                        }
-                    } else {
-                        secondary_share = row->secondary_fraction;
-                    }
-                }
-                const route::site_id other_site =
-                    row->secondary ? row->secondary->site : primary_site;
-                for (auto [cat, qpd] : {std::pair{query_category::valid_tld, valid},
-                                        std::pair{query_category::invalid_tld, invalid},
-                                        std::pair{query_category::ptr, ptr}}) {
-                    const double at_ip = qpd * ip_share;
-                    emit(ip, primary_site, cat, at_ip * (1.0 - secondary_share));
-                    if (secondary_share > 0.0) {
-                        emit(ip, other_site, cat, at_ip * secondary_share);
-                    }
-                }
-            }
-
-            // TCP RTT evidence (usable letters only; D/L PCAPs are broken).
-            if (spec.tcp_usable && profile.tcp_share > 0.0) {
-                const double tcp_qpd = valid * profile.tcp_share;
-                auto add_tcp = [&](const route::path_result& path, double share) {
-                    const double qpd = tcp_qpd * share;
-                    const auto samples =
-                        static_cast<int>(std::floor(qpd * options.capture_days));
-                    if (samples <= 0) return;
-                    const std::uint64_t key =
-                        (std::uint64_t{rec.block.key()} << 16) | path.site;
-                    auto& acc = tcp_acc[key];
-                    acc.source = rec.block;
-                    acc.site = path.site;
-                    acc.sample_count += samples;
-                    acc.queries_per_day += qpd;
-                    // Median handshake RTT tracks the path's steady-state RTT.
-                    acc.median_rtt_ms = path.rtt_ms * rgen.lognormal(0.0, 0.03);
-                };
-                add_tcp(row->primary, 1.0 - row->secondary_fraction);
-                if (row->secondary) add_tcp(*row->secondary, row->secondary_fraction);
-            }
-        }
 
         // --- Junk-only sources (never resolve for users). ---
         for (const auto& js : junk) {

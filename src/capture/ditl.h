@@ -14,6 +14,7 @@
 
 #include "src/dns/query_model.h"
 #include "src/dns/root_letters.h"
+#include "src/engine/thread_pool.h"
 #include "src/netbase/ipv4.h"
 #include "src/population/population.h"
 #include "src/topology/addressing.h"
@@ -80,10 +81,15 @@ struct ditl_dataset {
 
 /// Generates the full DITL dataset. Junk sources allocate fresh /24s from
 /// `space` (they must geolocate and map to ASes like everything else).
+///
+/// Per-source synthesis draws from streams keyed by (seed, stage, item) —
+/// engine/stream_rng.h — so a non-serial `pool` chunks profiles across
+/// threads and the dataset is byte-identical at any thread count.
 [[nodiscard]] ditl_dataset generate_ditl(const dns::root_system& roots,
                                          const pop::user_base& base,
                                          const std::vector<dns::recursive_query_profile>& profiles,
                                          topo::address_space& space,
-                                         const ditl_options& options, std::uint64_t seed);
+                                         const ditl_options& options, std::uint64_t seed,
+                                         engine::thread_pool* pool = nullptr);
 
 } // namespace ac::capture

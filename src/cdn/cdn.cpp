@@ -11,7 +11,7 @@
 namespace ac::cdn {
 
 cdn_network::cdn_network(const cdn_plan& plan, topo::as_graph& graph,
-                         const topo::region_table& regions)
+                         const topo::region_table& regions, engine::thread_pool* pool)
     : plan_(plan), regions_(&regions) {
     if (plan_.ring_sizes.empty() ||
         !std::is_sorted(plan_.ring_sizes.begin(), plan_.ring_sizes.end())) {
@@ -72,7 +72,8 @@ cdn_network::cdn_network(const cdn_plan& plan, topo::as_graph& graph,
                                                     front_ends_[i],
                                                     route::announcement_scope::global, {}});
     }
-    pop_rib_ = std::make_unique<route::anycast_rib>(graph, regions, std::move(announcements));
+    pop_rib_ = std::make_unique<route::anycast_rib>(graph, regions, std::move(announcements),
+                                                    pool);
 }
 
 std::string cdn_network::ring_name(int ring) const {

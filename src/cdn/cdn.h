@@ -39,7 +39,9 @@ struct cdn_plan {
 /// The CDN: one content AS whose PoPs are the ring-110 front-end locations.
 class cdn_network {
 public:
-    cdn_network(const cdn_plan& plan, topo::as_graph& graph, const topo::region_table& regions);
+    /// A non-serial `pool` parallelizes per-PoP route propagation.
+    cdn_network(const cdn_plan& plan, topo::as_graph& graph, const topo::region_table& regions,
+                engine::thread_pool* pool = nullptr);
 
     [[nodiscard]] int ring_count() const noexcept { return static_cast<int>(plan_.ring_sizes.size()); }
     [[nodiscard]] int ring_size(int ring) const { return plan_.ring_sizes.at(static_cast<std::size_t>(ring)); }

@@ -2,81 +2,107 @@
 
 #include <cmath>
 
+#include "src/engine/stream_rng.h"
+
 namespace ac::cdn {
+
+namespace {
+
+/// Stage ids for per-location RNG streams (engine/stream_rng.h).
+constexpr std::uint64_t stage_server_logs = 0x5e10'e501ULL;
+constexpr std::uint64_t stage_client_rows = 0xc11e'4701ULL;
+
+} // namespace
 
 std::vector<server_log_row> generate_server_logs(const cdn_network& cdn,
                                                  const pop::user_base& base,
                                                  const telemetry_options& options,
-                                                 std::uint64_t seed) {
-    rand::rng gen{rand::mix_seed(seed, 0x5e10e5ull)};
+                                                 std::uint64_t seed,
+                                                 engine::thread_pool* pool) {
+    const auto& locations = base.locations();
+    // Map phase: one slot per <region, AS> location, each drawing from its
+    // own (seed, stage, location) keyed stream — byte-identical output at
+    // any thread count.
+    std::vector<std::vector<server_log_row>> parts(locations.size());
+    engine::parallel_over(pool, locations.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto& loc = locations[i];
+            auto lg = engine::item_rng(seed, stage_server_logs, i);
+            // Service-to-ring pinning: each ring serves a different slice of
+            // the location's users.
+            std::vector<double> ring_share(static_cast<std::size_t>(cdn.ring_count()));
+            double total_share = 0.0;
+            for (auto& s : ring_share) {
+                s = lg.lognormal(0.0, options.ring_share_sigma);
+                total_share += s;
+            }
+            for (int ring = 0; ring < cdn.ring_count(); ++ring) {
+                const auto path = cdn.evaluate(loc.asn, loc.region, ring);
+                if (!path) continue;
+                const double share = ring_share[static_cast<std::size_t>(ring)] / total_share;
+                const double connections = loc.users * share * options.connections_per_user *
+                                           options.capture_days;
+                const auto samples = static_cast<long>(std::floor(connections));
+                if (samples < options.min_samples) continue;
+
+                server_log_row row;
+                row.asn = loc.asn;
+                row.region = loc.region;
+                row.ring = ring;
+                row.front_end = path->front_end;
+                row.median_rtt_ms = path->rtt_ms * lg.lognormal(0.0, 0.02);
+                row.sample_count = samples;
+                row.users = loc.users;
+                row.front_end_km = path->front_end_km;
+                parts[i].push_back(row);
+            }
+        }
+    });
+
     std::vector<server_log_row> rows;
-    rows.reserve(base.locations().size() * static_cast<std::size_t>(cdn.ring_count()));
-
-    for (const auto& loc : base.locations()) {
-        auto lg = gen.fork((std::uint64_t{loc.asn} << 20) ^ loc.region);
-        // Service-to-ring pinning: each ring serves a different slice of the
-        // location's users.
-        std::vector<double> ring_share(static_cast<std::size_t>(cdn.ring_count()));
-        double total_share = 0.0;
-        for (auto& s : ring_share) {
-            s = lg.lognormal(0.0, options.ring_share_sigma);
-            total_share += s;
-        }
-        for (int ring = 0; ring < cdn.ring_count(); ++ring) {
-            const auto path = cdn.evaluate(loc.asn, loc.region, ring);
-            if (!path) continue;
-            const double share = ring_share[static_cast<std::size_t>(ring)] / total_share;
-            const double connections = loc.users * share * options.connections_per_user *
-                                       options.capture_days;
-            const auto samples = static_cast<long>(std::floor(connections));
-            if (samples < options.min_samples) continue;
-
-            server_log_row row;
-            row.asn = loc.asn;
-            row.region = loc.region;
-            row.ring = ring;
-            row.front_end = path->front_end;
-            row.median_rtt_ms = path->rtt_ms * lg.lognormal(0.0, 0.02);
-            row.sample_count = samples;
-            row.users = loc.users;
-            row.front_end_km = path->front_end_km;
-            rows.push_back(row);
-        }
-    }
+    rows.reserve(locations.size() * static_cast<std::size_t>(cdn.ring_count()));
+    for (const auto& part : parts) rows.insert(rows.end(), part.begin(), part.end());
     return rows;
 }
 
 std::vector<client_measurement_row> generate_client_measurements(
     const cdn_network& cdn, const pop::user_base& base, const telemetry_options& options,
-    std::uint64_t seed) {
-    rand::rng gen{rand::mix_seed(seed, 0xc11e47ull)};
-    std::vector<client_measurement_row> rows;
-    rows.reserve(base.locations().size() * static_cast<std::size_t>(cdn.ring_count()));
+    std::uint64_t seed, engine::thread_pool* pool) {
+    const auto& locations = base.locations();
+    std::vector<std::vector<client_measurement_row>> parts(locations.size());
+    engine::parallel_over(pool, locations.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto& loc = locations[i];
+            auto lg = engine::item_rng(seed, stage_client_rows, i);
+            for (int ring = 0; ring < cdn.ring_count(); ++ring) {
+                const auto path = cdn.evaluate(loc.asn, loc.region, ring);
+                if (!path) continue;
+                // Odin instructs a sample of the location's users; sample
+                // counts scale with population but every ring is measured
+                // (§2.2).
+                const auto samples = static_cast<long>(
+                    std::floor(std::max(1.0, loc.users * 0.001 * options.capture_days)));
+                if (samples < options.min_samples) continue;
 
-    for (const auto& loc : base.locations()) {
-        auto lg = gen.fork((std::uint64_t{loc.asn} << 20) ^ loc.region);
-        for (int ring = 0; ring < cdn.ring_count(); ++ring) {
-            const auto path = cdn.evaluate(loc.asn, loc.region, ring);
-            if (!path) continue;
-            // Odin instructs a sample of the location's users; sample counts
-            // scale with population but every ring is measured (§2.2).
-            const auto samples = static_cast<long>(
-                std::floor(std::max(1.0, loc.users * 0.001 * options.capture_days)));
-            if (samples < options.min_samples) continue;
-
-            client_measurement_row row;
-            row.asn = loc.asn;
-            row.region = loc.region;
-            row.ring = ring;
-            // DNS resolution and TCP connect are factored out of the fetch
-            // (§2.2 footnote); what remains is a small multiple of the RTT.
-            row.median_fetch_ms =
-                path->rtt_ms * options.fetch_rtt_multiple * lg.lognormal(0.0, 0.05);
-            row.sample_count = samples;
-            row.users = loc.users;
-            rows.push_back(row);
+                client_measurement_row row;
+                row.asn = loc.asn;
+                row.region = loc.region;
+                row.ring = ring;
+                // DNS resolution and TCP connect are factored out of the
+                // fetch (§2.2 footnote); what remains is a small multiple of
+                // the RTT.
+                row.median_fetch_ms =
+                    path->rtt_ms * options.fetch_rtt_multiple * lg.lognormal(0.0, 0.05);
+                row.sample_count = samples;
+                row.users = loc.users;
+                parts[i].push_back(row);
+            }
         }
-    }
+    });
+
+    std::vector<client_measurement_row> rows;
+    rows.reserve(locations.size() * static_cast<std::size_t>(cdn.ring_count()));
+    for (const auto& part : parts) rows.insert(rows.end(), part.begin(), part.end());
     return rows;
 }
 

@@ -52,15 +52,17 @@ struct telemetry_options {
     double fetch_rtt_multiple = 1.6;
 };
 
-/// Server-side logs across all rings and all user locations.
-[[nodiscard]] std::vector<server_log_row> generate_server_logs(const cdn_network& cdn,
-                                                               const pop::user_base& base,
-                                                               const telemetry_options& options,
-                                                               std::uint64_t seed);
+/// Server-side logs across all rings and all user locations. Each location
+/// draws from its own (seed, stage, location) keyed stream, so a non-serial
+/// `pool` chunks locations across threads with byte-identical output.
+[[nodiscard]] std::vector<server_log_row> generate_server_logs(
+    const cdn_network& cdn, const pop::user_base& base, const telemetry_options& options,
+    std::uint64_t seed, engine::thread_pool* pool = nullptr);
 
-/// Client-side measurements: every location measures every ring.
+/// Client-side measurements: every location measures every ring. Same
+/// per-location stream keying and pool semantics as generate_server_logs.
 [[nodiscard]] std::vector<client_measurement_row> generate_client_measurements(
     const cdn_network& cdn, const pop::user_base& base, const telemetry_options& options,
-    std::uint64_t seed);
+    std::uint64_t seed, engine::thread_pool* pool = nullptr);
 
 } // namespace ac::cdn

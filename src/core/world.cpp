@@ -18,54 +18,97 @@ world_config world_config::small() {
 
 world::world(world_config config)
     : config_(std::move(config)),
-      regions_(topo::make_regions(config_.regions, config_.seed)),
-      graph_(topo::make_graph(regions_, config_.graph, rand::mix_seed(config_.seed, 1))) {
-    // Order matters: every step below may extend the graph or the address
-    // space that later steps consume.
-    users_ = std::make_unique<pop::user_base>(graph_, regions_, space_, config_.users,
-                                              rand::mix_seed(config_.seed, 2));
+      pool_(std::make_unique<engine::thread_pool>(config_.threads)) {
+    // Construction runs as a stage graph: stages execute one at a time in
+    // dependency order (several stages mutate the shared graph or address
+    // space, so the *order* below is part of the bit-identity contract),
+    // while the hot stages parallelize internally over the pool. Dependency
+    // edges also serialize the mutators: users allocates address space,
+    // roots and cdn both attach host networks to the graph.
+    engine::thread_pool* pool = pool_.get();
+    engine::stage_graph stages;
 
-    const auto specs = config_.year == ditl_year::y2018 ? dns::letters_2018()
-                                                        : dns::letters_2020();
-    roots_ = std::make_unique<dns::root_system>(specs, graph_, regions_,
-                                                rand::mix_seed(config_.seed, 3));
-
-    cdn_ = [&] {
+    stages.add("regions", {}, [&] {
+        regions_ = topo::make_regions(config_.regions, config_.seed);
+        return regions_.size();
+    });
+    stages.add("graph", {"regions"}, [&] {
+        graph_ = topo::make_graph(regions_, config_.graph, rand::mix_seed(config_.seed, 1));
+        return static_cast<std::size_t>(graph_.as_count());
+    });
+    stages.add("users", {"graph"}, [&] {
+        users_ = std::make_unique<pop::user_base>(graph_, regions_, space_, config_.users,
+                                                  rand::mix_seed(config_.seed, 2));
+        return users_->locations().size();
+    });
+    stages.add("roots", {"users"}, [&] {
+        const auto specs = config_.year == ditl_year::y2018 ? dns::letters_2018()
+                                                            : dns::letters_2020();
+        roots_ = std::make_unique<dns::root_system>(specs, graph_, regions_,
+                                                    rand::mix_seed(config_.seed, 3), pool);
+        return roots_->all_letters().size();
+    });
+    stages.add("cdn", {"roots"}, [&] {
         auto plan = config_.cdn;
         plan.seed = rand::mix_seed(config_.seed, 4);
-        return std::make_unique<cdn::cdn_network>(plan, graph_, regions_);
-    }();
+        cdn_ = std::make_unique<cdn::cdn_network>(plan, graph_, regions_, pool);
+        return cdn_->front_end_regions().size();
+    });
+    stages.add("user_counts", {"cdn"}, [&] {
+        cdn_counts_ = std::make_unique<pop::cdn_user_counts>(
+            *users_, pop::cdn_user_counts::options{}, rand::mix_seed(config_.seed, 5));
+        apnic_counts_ = std::make_unique<pop::apnic_user_counts>(
+            *users_, pop::apnic_user_counts::options{}, rand::mix_seed(config_.seed, 6));
+        return users_->locations().size();
+    });
+    stages.add("zone", {"user_counts"}, [&] {
+        zone_ = std::make_unique<dns::root_zone>(config_.root_zone_tlds,
+                                                 rand::mix_seed(config_.seed, 7));
+        return static_cast<std::size_t>(config_.root_zone_tlds);
+    });
+    stages.add("profiles", {"zone"}, [&] {
+        const auto rtts = dns::compute_letter_rtts(*users_, *roots_, pool);
+        profiles_ = dns::build_query_profiles(*users_, rtts, config_.query_model,
+                                              rand::mix_seed(config_.seed, 8));
+        return profiles_.size();
+    });
+    stages.add("ditl", {"profiles"}, [&] {
+        ditl_ = capture::generate_ditl(*roots_, *users_, profiles_, space_, config_.ditl,
+                                       rand::mix_seed(config_.seed, 9), pool);
+        std::size_t records = 0;
+        for (const auto& lc : ditl_.letters) records += lc.records.size();
+        return records;
+    });
+    stages.add("filter", {"ditl"}, [&] {
+        filtered_ = capture::filter_all(ditl_);
+        return filtered_.size();
+    });
+    stages.add("server_logs", {"filter"}, [&] {
+        server_logs_ = cdn::generate_server_logs(*cdn_, *users_, config_.telemetry,
+                                                 rand::mix_seed(config_.seed, 10), pool);
+        return server_logs_.size();
+    });
+    stages.add("client_rows", {"server_logs"}, [&] {
+        client_rows_ = cdn::generate_client_measurements(
+            *cdn_, *users_, config_.telemetry, rand::mix_seed(config_.seed, 11), pool);
+        return client_rows_.size();
+    });
+    stages.add("fleet", {"client_rows"}, [&] {
+        auto fleet_plan = config_.atlas;
+        fleet_plan.seed = rand::mix_seed(config_.seed, 12);
+        fleet_ = std::make_unique<atlas::probe_fleet>(graph_, regions_, fleet_plan);
+        return fleet_->probes().size();
+    });
+    stages.add("databases", {"ditl", "fleet"}, [&] {
+        // Databases snapshot the final address space (junk /24s included).
+        ip_to_asn_ = std::make_unique<topo::ip_to_asn>(space_, config_.ip_to_asn_unmapped,
+                                                       rand::mix_seed(config_.seed, 13));
+        geodb_ = std::make_unique<topo::geo_database>(space_, regions_, config_.geodb,
+                                                      rand::mix_seed(config_.seed, 14));
+        return 2;
+    });
 
-    cdn_counts_ = std::make_unique<pop::cdn_user_counts>(*users_, pop::cdn_user_counts::options{},
-                                                         rand::mix_seed(config_.seed, 5));
-    apnic_counts_ = std::make_unique<pop::apnic_user_counts>(
-        *users_, pop::apnic_user_counts::options{}, rand::mix_seed(config_.seed, 6));
-
-    zone_ = std::make_unique<dns::root_zone>(config_.root_zone_tlds,
-                                             rand::mix_seed(config_.seed, 7));
-
-    const auto rtts = dns::compute_letter_rtts(*users_, *roots_);
-    profiles_ = dns::build_query_profiles(*users_, rtts, config_.query_model,
-                                          rand::mix_seed(config_.seed, 8));
-
-    ditl_ = capture::generate_ditl(*roots_, *users_, profiles_, space_, config_.ditl,
-                                   rand::mix_seed(config_.seed, 9));
-    filtered_ = capture::filter_all(ditl_);
-
-    server_logs_ = cdn::generate_server_logs(*cdn_, *users_, config_.telemetry,
-                                             rand::mix_seed(config_.seed, 10));
-    client_rows_ = cdn::generate_client_measurements(*cdn_, *users_, config_.telemetry,
-                                                     rand::mix_seed(config_.seed, 11));
-
-    auto fleet_plan = config_.atlas;
-    fleet_plan.seed = rand::mix_seed(config_.seed, 12);
-    fleet_ = std::make_unique<atlas::probe_fleet>(graph_, regions_, fleet_plan);
-
-    // Databases snapshot the final address space (junk /24s included).
-    ip_to_asn_ = std::make_unique<topo::ip_to_asn>(space_, config_.ip_to_asn_unmapped,
-                                                   rand::mix_seed(config_.seed, 13));
-    geodb_ = std::make_unique<topo::geo_database>(space_, regions_, config_.geodb,
-                                                  rand::mix_seed(config_.seed, 14));
+    timing_ = stages.run(pool->lanes());
 }
 
 } // namespace ac::core

@@ -10,6 +10,8 @@
 
 #include "src/atlas/atlas.h"
 #include "src/capture/ditl.h"
+#include "src/engine/stage_graph.h"
+#include "src/engine/thread_pool.h"
 #include "src/capture/filter.h"
 #include "src/cdn/cdn.h"
 #include "src/cdn/telemetry.h"
@@ -40,6 +42,11 @@ struct world_config {
     int root_zone_tlds = 1400;
     ditl_year year = ditl_year::y2018;
     std::uint64_t seed = 42;
+    /// Construction threads: 0 = hardware concurrency, 1 = serial (bypasses
+    /// the pool), N = N workers. Thread count never changes a single output
+    /// byte: parallel generators draw from per-item keyed RNG streams
+    /// (engine/stream_rng.h) and merge in item order.
+    int threads = 0;
 
     /// A smaller world for unit tests (fewer ASes, fewer sources).
     [[nodiscard]] static world_config small();
@@ -81,8 +88,14 @@ public:
     [[nodiscard]] const topo::ip_to_asn& as_mapper() const noexcept { return *ip_to_asn_; }
     [[nodiscard]] const topo::geo_database& geodb() const noexcept { return *geodb_; }
 
+    /// Per-stage construction instrumentation (wall time, item counts),
+    /// rendered by `acctx world --timing` and bench_world_build.
+    [[nodiscard]] const engine::stage_report& timing() const noexcept { return timing_; }
+
 private:
     world_config config_;
+    std::unique_ptr<engine::thread_pool> pool_;
+    engine::stage_report timing_;
     topo::region_table regions_;
     topo::as_graph graph_;
     topo::address_space space_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 namespace ac::dns {
 
@@ -23,26 +24,34 @@ double refresh_median(pop::resolver_software software, const query_model_options
 
 } // namespace
 
-letter_rtt_table compute_letter_rtts(const pop::user_base& base, const root_system& roots) {
+letter_rtt_table compute_letter_rtts(const pop::user_base& base, const root_system& roots,
+                                     engine::thread_pool* pool) {
     letter_rtt_table table(base.recursives().size());
-    // Memoize per <region, AS>: many recursives share a location.
-    std::unordered_map<std::uint64_t, std::array<double, letter_count>> memo;
+    // Many recursives share a <region, AS> location: collect the unique
+    // locations (in first-appearance order) and evaluate each letter's RIB
+    // over them in bulk, so the selection work can run on the pool.
+    std::vector<route::source_key> locations;
+    std::unordered_map<std::uint64_t, std::size_t> location_of;
+    for (const auto& rec : base.recursives()) {
+        const std::uint64_t key = (std::uint64_t{rec.asn} << 32) | rec.region;
+        if (location_of.emplace(key, locations.size()).second) {
+            locations.push_back(route::source_key{rec.asn, rec.region});
+        }
+    }
+
+    std::vector<std::array<double, letter_count>> per_location(locations.size());
+    for (auto& rtts : per_location) rtts.fill(-1.0);
+    for (char letter : roots.all_letters()) {
+        const auto paths = roots.deployment_of(letter).rib().select_many(locations, pool);
+        const auto li = static_cast<std::size_t>(letter_index(letter));
+        for (std::size_t i = 0; i < locations.size(); ++i) {
+            if (paths[i]) per_location[i][li] = paths[i]->rtt_ms;
+        }
+    }
+
     for (std::size_t i = 0; i < base.recursives().size(); ++i) {
         const auto& rec = base.recursives()[i];
-        const std::uint64_t key = (std::uint64_t{rec.asn} << 32) | rec.region;
-        auto it = memo.find(key);
-        if (it == memo.end()) {
-            std::array<double, letter_count> rtts{};
-            rtts.fill(-1.0);
-            for (char letter : roots.all_letters()) {
-                const auto& dep = roots.deployment_of(letter);
-                if (auto path = dep.rib().select(rec.asn, rec.region)) {
-                    rtts[static_cast<std::size_t>(letter_index(letter))] = path->rtt_ms;
-                }
-            }
-            it = memo.emplace(key, rtts).first;
-        }
-        table[i] = it->second;
+        table[i] = per_location[location_of.at((std::uint64_t{rec.asn} << 32) | rec.region)];
     }
     return table;
 }

@@ -88,9 +88,11 @@ struct recursive_query_profile {
 using letter_rtt_table = std::vector<std::array<double, letter_count>>;
 
 /// Computes RTTs from every recursive's <region, AS> to every letter via the
-/// letters' routing state.
+/// letters' routing state. Route selection is stateless, so the unique
+/// locations can be evaluated on `pool` without affecting results.
 [[nodiscard]] letter_rtt_table compute_letter_rtts(const pop::user_base& base,
-                                                   const root_system& roots);
+                                                   const root_system& roots,
+                                                   engine::thread_pool* pool = nullptr);
 
 /// Builds query profiles for all recursives. Deterministic in `seed`.
 [[nodiscard]] std::vector<recursive_query_profile> build_query_profiles(

@@ -60,7 +60,8 @@ std::vector<letter_spec> letters_2020() {
 }
 
 root_system::root_system(std::vector<letter_spec> specs, topo::as_graph& graph,
-                         const topo::region_table& regions, std::uint64_t seed)
+                         const topo::region_table& regions, std::uint64_t seed,
+                         engine::thread_pool* pool)
     : specs_(std::move(specs)) {
     for (const auto& spec : specs_) {
         anycast::deployment_plan plan;
@@ -83,7 +84,7 @@ root_system::root_system(std::vector<letter_spec> specs, topo::as_graph& graph,
         deployments_.emplace(
             spec.letter,
             std::make_unique<anycast::deployment>(
-                anycast::build_deployment(plan, graph, regions)));
+                anycast::build_deployment(plan, graph, regions, pool)));
     }
 }
 

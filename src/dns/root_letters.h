@@ -45,8 +45,12 @@ struct letter_spec {
 /// once per world.
 class root_system {
 public:
+    /// A non-serial `pool` parallelizes per-site route propagation inside
+    /// each letter's deployment (letters themselves build in order, since
+    /// each mutates the shared graph).
     root_system(std::vector<letter_spec> specs, topo::as_graph& graph,
-                const topo::region_table& regions, std::uint64_t seed);
+                const topo::region_table& regions, std::uint64_t seed,
+                engine::thread_pool* pool = nullptr);
 
     [[nodiscard]] const std::vector<letter_spec>& specs() const noexcept { return specs_; }
     [[nodiscard]] const letter_spec& spec(char letter) const;

@@ -1,0 +1,105 @@
+#include "src/engine/stage_graph.h"
+
+#include <chrono>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ac::engine {
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+    out << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') out << '\\';
+        out << c;
+    }
+    out << '"';
+}
+
+} // namespace
+
+void stage_report::write_json(std::ostream& out) const {
+    out << "{\n  \"threads\": " << threads << ",\n  \"total_wall_ms\": " << total_wall_ms
+        << ",\n  \"stages\": [\n";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const auto& s = stages[i];
+        out << "    {\"name\": ";
+        write_json_string(out, s.name);
+        out << ", \"wall_ms\": " << s.wall_ms << ", \"items\": " << s.items << "}";
+        out << (i + 1 < stages.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+}
+
+void stage_graph::add(std::string name, std::vector<std::string> deps, stage_fn fn) {
+    for (const auto& s : stages_) {
+        if (s.name == name) {
+            throw std::invalid_argument("stage_graph: duplicate stage '" + name + "'");
+        }
+    }
+    stages_.push_back(stage{std::move(name), std::move(deps), std::move(fn)});
+}
+
+stage_report stage_graph::run(int threads) {
+    std::unordered_map<std::string, std::size_t> index;
+    index.reserve(stages_.size());
+    for (std::size_t i = 0; i < stages_.size(); ++i) index.emplace(stages_[i].name, i);
+
+    std::vector<std::vector<std::size_t>> deps(stages_.size());
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        deps[i].reserve(stages_[i].deps.size());
+        for (const auto& d : stages_[i].deps) {
+            auto it = index.find(d);
+            if (it == index.end()) {
+                throw std::invalid_argument("stage_graph: stage '" + stages_[i].name +
+                                            "' depends on unknown stage '" + d + "'");
+            }
+            deps[i].push_back(it->second);
+        }
+    }
+
+    stage_report report;
+    report.threads = threads;
+    report.stages.reserve(stages_.size());
+
+    using clock = std::chrono::steady_clock;
+    const auto run_start = clock::now();
+
+    // Kahn's algorithm, but scanning in registration order each round so the
+    // schedule is deterministic and honors the order stages were declared in.
+    std::vector<bool> done(stages_.size(), false);
+    std::size_t executed = 0;
+    while (executed < stages_.size()) {
+        bool progressed = false;
+        for (std::size_t i = 0; i < stages_.size(); ++i) {
+            if (done[i]) continue;
+            bool ready = true;
+            for (std::size_t d : deps[i]) {
+                if (!done[d]) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready) continue;
+
+            const auto start = clock::now();
+            const std::size_t items = stages_[i].fn();
+            const std::chrono::duration<double, std::milli> wall = clock::now() - start;
+            report.stages.push_back(stage_stats{stages_[i].name, wall.count(), items});
+            done[i] = true;
+            ++executed;
+            progressed = true;
+        }
+        if (!progressed) {
+            throw std::invalid_argument("stage_graph: dependency cycle");
+        }
+    }
+
+    const std::chrono::duration<double, std::milli> total = clock::now() - run_start;
+    report.total_wall_ms = total.count();
+    return report;
+}
+
+} // namespace ac::engine

@@ -1,0 +1,67 @@
+// Stage graph: named world-construction stages executed in dependency order,
+// with per-stage instrumentation.
+//
+// Stages are registered with name-based dependencies and executed one at a
+// time in a *deterministic* topological order (among ready stages, earliest
+// registration wins). Running stages sequentially is deliberate: stages
+// mutate shared substrate state (the AS graph grows, the address space
+// allocates), so cross-stage parallelism would break the bit-identity
+// contract. Parallelism lives *inside* a stage, via the thread_pool the
+// stage body captures.
+//
+// Each stage reports how many items it processed; the runner adds wall time
+// and thread count, producing a `stage_report` that renders as JSON for
+// `acctx world --timing` and `bench_world_build`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ac::engine {
+
+/// Instrumentation for one executed stage.
+struct stage_stats {
+    std::string name;
+    double wall_ms = 0.0;
+    std::size_t items = 0;  // stage-defined unit (rows, sources, ASes, ...)
+};
+
+/// The full execution record of one stage_graph::run.
+struct stage_report {
+    std::vector<stage_stats> stages;  // in execution order
+    double total_wall_ms = 0.0;
+    int threads = 1;  // parallel lanes available to stage bodies
+
+    void write_json(std::ostream& out) const;
+};
+
+class stage_graph {
+public:
+    /// A stage body returns the number of items it processed.
+    using stage_fn = std::function<std::size_t()>;
+
+    /// Registers a stage. Dependencies are stage names; they may be
+    /// registered before or after this call, but must exist by run().
+    /// Duplicate names are rejected.
+    void add(std::string name, std::vector<std::string> deps, stage_fn fn);
+
+    [[nodiscard]] std::size_t size() const noexcept { return stages_.size(); }
+
+    /// Executes every stage in dependency order and returns the report.
+    /// `threads` is recorded in the report (the runner itself is serial).
+    /// Throws std::invalid_argument on unknown dependencies or cycles.
+    [[nodiscard]] stage_report run(int threads = 1);
+
+private:
+    struct stage {
+        std::string name;
+        std::vector<std::string> deps;
+        stage_fn fn;
+    };
+    std::vector<stage> stages_;
+};
+
+} // namespace ac::engine

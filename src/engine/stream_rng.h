@@ -1,0 +1,36 @@
+// Counter-based deterministic RNG streams for parallel generators.
+//
+// The bit-identity contract ("two worlds with the same config are
+// bit-identical", world.h) must survive parallel execution: a chunk's draws
+// may not depend on how many items some other thread already processed.
+// Sequential-draw generators break that — the Nth draw depends on the N-1
+// before it. The fix is *per-item keying*: every item of every stage owns an
+// independent stream seeded by splitmix64-mixing
+//
+//     (world seed, stage id, item index)
+//
+// so any thread can compute item i's draws from scratch, in any order, and
+// get the same values as a serial run. Stage ids are 64-bit constants chosen
+// by each substrate (see e.g. capture/ditl.cpp); they only need to be
+// distinct within one world seed's lifetime.
+#pragma once
+
+#include <cstdint>
+
+#include "src/netbase/rng.h"
+
+namespace ac::engine {
+
+/// The seed of item `item`'s stream within stage `stage` of a world.
+[[nodiscard]] constexpr std::uint64_t item_seed(std::uint64_t world_seed, std::uint64_t stage,
+                                                std::uint64_t item) noexcept {
+    return rand::mix_seed(world_seed, stage, item);
+}
+
+/// A ready-to-draw generator for one item's stream.
+[[nodiscard]] inline rand::rng item_rng(std::uint64_t world_seed, std::uint64_t stage,
+                                        std::uint64_t item) noexcept {
+    return rand::rng{item_seed(world_seed, stage, item)};
+}
+
+} // namespace ac::engine

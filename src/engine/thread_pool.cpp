@@ -1,0 +1,117 @@
+#include "src/engine/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ac::engine {
+
+int thread_pool::resolve(int threads) noexcept {
+    if (threads == 1) return 0;  // serial: bypass the pool entirely
+    if (threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 1 ? static_cast<int>(hw) : 0;
+    }
+    return threads;
+}
+
+thread_pool::thread_pool(int threads) {
+    const int n = resolve(threads);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::unique_lock lock{mutex_};
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void thread_pool::record_exception() noexcept {
+    // Caller holds no lock; keep only the first failure.
+    std::unique_lock lock{mutex_};
+    if (!first_error_) first_error_ = std::current_exception();
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock{mutex_};
+            work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            record_exception();
+        }
+        {
+            std::unique_lock lock{mutex_};
+            if (--in_flight_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+void thread_pool::submit(std::function<void()> task) {
+    if (serial()) {
+        try {
+            task();
+        } catch (...) {
+            record_exception();
+        }
+        return;
+    }
+    {
+        std::unique_lock lock{mutex_};
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+void thread_pool::wait() {
+    std::exception_ptr error;
+    {
+        std::unique_lock lock{mutex_};
+        idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+        error = std::exchange(first_error_, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+void thread_pool::parallel_for(std::size_t count, std::size_t grain,
+                               const std::function<void(std::size_t, std::size_t)>& body) {
+    if (count == 0) return;
+    if (serial()) {
+        body(0, count);  // exceptions propagate directly
+        return;
+    }
+    if (grain == 0) {
+        // ~4 chunks per lane keeps load balanced without queue churn.
+        grain = std::max<std::size_t>(1, count / (static_cast<std::size_t>(lanes()) * 4));
+    }
+    for (std::size_t begin = 0; begin < count; begin += grain) {
+        const std::size_t end = std::min(count, begin + grain);
+        submit([&body, begin, end] { body(begin, end); });
+    }
+    wait();
+}
+
+void parallel_over(thread_pool* pool, std::size_t count,
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   std::size_t grain) {
+    if (pool == nullptr || pool->serial()) {
+        if (count > 0) body(0, count);
+        return;
+    }
+    pool->parallel_for(count, grain, body);
+}
+
+} // namespace ac::engine

@@ -1,0 +1,80 @@
+// Fixed-size worker pool with a chunked parallel_for primitive.
+//
+// The engine is the substrate-independent execution layer: it knows nothing
+// about worlds, routes or captures. Callers hand it closures; determinism is
+// the *caller's* contract (see stream_rng.h) — the pool only guarantees that
+// every submitted task runs exactly once and that parallel_for covers every
+// index exactly once, regardless of thread count or schedule.
+//
+// Thread-count semantics (shared with `world_config::threads`):
+//   0  -> hardware concurrency
+//   1  -> serial: no worker threads are created and every task runs inline
+//         on the calling thread (the pool is bypassed entirely)
+//   N  -> N worker threads
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ac::engine {
+
+class thread_pool {
+public:
+    explicit thread_pool(int threads = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Number of worker threads (0 in serial mode).
+    [[nodiscard]] int workers() const noexcept { return static_cast<int>(workers_.size()); }
+    /// True when tasks run inline on the calling thread.
+    [[nodiscard]] bool serial() const noexcept { return workers_.empty(); }
+    /// Useful parallel width: max(1, workers()).
+    [[nodiscard]] int lanes() const noexcept { return serial() ? 1 : workers(); }
+
+    /// Enqueues one task (runs it inline in serial mode). Tasks must not
+    /// themselves call submit/wait on the same pool.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has finished. Rethrows the first
+    /// exception any task raised.
+    void wait();
+
+    /// Runs `body(begin, end)` over disjoint chunks covering [0, count).
+    /// `grain` is the chunk length (0 = auto). Blocks until all chunks are
+    /// done; rethrows the first exception. Serial mode runs one inline chunk.
+    void parallel_for(std::size_t count, std::size_t grain,
+                      const std::function<void(std::size_t, std::size_t)>& body);
+
+    /// Resolves the `threads` config value to a concrete worker count.
+    [[nodiscard]] static int resolve(int threads) noexcept;
+
+private:
+    void worker_loop();
+    void record_exception() noexcept;
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;   // workers wait for tasks
+    std::condition_variable idle_cv_;   // wait() waits for drain
+    std::size_t in_flight_ = 0;         // queued + running tasks
+    std::exception_ptr first_error_;
+    bool stopping_ = false;
+};
+
+/// Chunked map over [0, count) that works with or without a pool: a null or
+/// serial pool runs inline. This is the one entry point substrates use, so a
+/// `thread_pool* pool = nullptr` default parameter keeps them pool-optional.
+void parallel_over(thread_pool* pool, std::size_t count,
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   std::size_t grain = 0);
+
+} // namespace ac::engine

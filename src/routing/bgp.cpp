@@ -21,7 +21,7 @@ bool better(route_class cls, std::uint8_t len, const site_route& incumbent) {
 } // namespace
 
 anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& regions,
-                         std::vector<announcement> announcements)
+                         std::vector<announcement> announcements, engine::thread_pool* pool)
     : graph_(&graph), regions_(&regions), announcements_(std::move(announcements)) {
     asns_.reserve(graph.as_count());
     for (const auto& as : graph.all()) {
@@ -29,6 +29,7 @@ anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& 
         asns_.push_back(as.asn);
     }
     routes_.resize(announcements_.size());
+    std::unordered_set<site_id> seen_sites;
     for (const auto& a : announcements_) {
         if (!graph.has_as(a.origin_asn)) {
             throw std::invalid_argument("anycast_rib: announcement from unknown ASN");
@@ -37,8 +38,21 @@ anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& 
             throw std::invalid_argument("anycast_rib: site ids must be dense [0, n)");
         }
         routes_[a.site].assign(asns_.size(), site_route{});
+        seen_sites.insert(a.site);
     }
-    for (const auto& a : announcements_) propagate(a);
+    // Each site's propagation writes only its own table, so sites are
+    // independent work items — unless two announcements share a site id, in
+    // which case only the serial order is well-defined.
+    if (seen_sites.size() == announcements_.size()) {
+        engine::parallel_over(pool, announcements_.size(),
+                              [this](std::size_t begin, std::size_t end) {
+                                  for (std::size_t i = begin; i < end; ++i) {
+                                      propagate(announcements_[i]);
+                                  }
+                              });
+    } else {
+        for (const auto& a : announcements_) propagate(a);
+    }
 }
 
 void anycast_rib::propagate(const announcement& a) {
@@ -268,6 +282,17 @@ std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id 
         }
     }
     return evaluate(asn, region, best_site);
+}
+
+std::vector<std::optional<path_result>> anycast_rib::select_many(
+    std::span<const source_key> sources, engine::thread_pool* pool) const {
+    std::vector<std::optional<path_result>> out(sources.size());
+    engine::parallel_over(pool, sources.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            out[i] = select(sources[i].asn, sources[i].region);
+        }
+    });
+    return out;
 }
 
 bool anycast_rib::has_direct_route(topo::asn_t asn) const {

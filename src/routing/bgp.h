@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "src/engine/thread_pool.h"
 #include "src/topology/addressing.h"
 #include "src/topology/as_graph.h"
 #include "src/topology/region.h"
@@ -78,11 +79,19 @@ struct path_result {
     double direct_km = 0.0;             // great-circle source-to-site distance
 };
 
+/// One <AS, region> traffic source, for bulk route evaluation.
+struct source_key {
+    topo::asn_t asn = 0;
+    topo::region_id region = 0;
+};
+
 /// Routing state for one anycast prefix (one deployment or ring).
 class anycast_rib {
 public:
+    /// With a non-serial `pool`, per-site propagation runs in parallel (each
+    /// site owns a disjoint route table, so the result is schedule-free).
     anycast_rib(const topo::as_graph& graph, const topo::region_table& regions,
-                std::vector<announcement> announcements);
+                std::vector<announcement> announcements, engine::thread_pool* pool = nullptr);
 
     /// Sites for which `asn` holds any route, restricted to the best
     /// (class, path length) — BGP's deterministic criteria. Hot-potato
@@ -102,6 +111,13 @@ public:
     /// evaluated path. Returns nullopt if the AS has no route at all.
     [[nodiscard]] std::optional<path_result> select(topo::asn_t asn, topo::region_id region) const;
 
+    /// Bulk `select` over many sources, chunked across the pool (inline when
+    /// `pool` is null or serial). Result i corresponds to sources[i];
+    /// evaluation is stateless per source, so output is thread-count
+    /// independent.
+    [[nodiscard]] std::vector<std::optional<path_result>> select_many(
+        std::span<const source_key> sources, engine::thread_pool* pool = nullptr) const;
+
     /// True if this AS reaches the deployment through a route learned
     /// directly from the origin AS (a "2 AS" path in Fig. 6a terms).
     [[nodiscard]] bool has_direct_route(topo::asn_t asn) const;
@@ -109,6 +125,10 @@ public:
     [[nodiscard]] const std::vector<announcement>& announcements() const noexcept {
         return announcements_;
     }
+
+    /// ASNs this RIB holds routes for (the graph snapshot at construction;
+    /// ASes attached to the graph later are unknown to this RIB).
+    [[nodiscard]] std::span<const topo::asn_t> known_asns() const noexcept { return asns_; }
 
 private:
     void propagate(const announcement& a);

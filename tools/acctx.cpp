@@ -4,12 +4,16 @@
 // files around:
 //
 //   acctx world    [--seed N] [--scale small|full] [--year 2018|2020]
+//                  [--threads N] [--timing]
 //   acctx inflation [...]           Fig. 2-style root inflation summary
 //   acctx amortize  [...]           Fig. 3-style queries/user/day summary
 //   acctx cdn       [...]           Fig. 5-style CDN inflation summary
 //   acctx export    [...] --out F   write the DITL dataset to a capture file
 //   acctx analyze   --in F          filter + summarize a capture file
 //   acctx report    [...] --out DIR write plot-ready CSVs for every figure
+//
+// Every world-building command accepts --threads N (0 = hardware
+// concurrency, 1 = serial); thread count never changes output bytes.
 //
 #include <fstream>
 #include <iostream>
@@ -35,6 +39,8 @@ struct cli_options {
     std::uint64_t seed = 42;
     bool small = false;
     core::ditl_year year = core::ditl_year::y2018;
+    int threads = 0;
+    bool timing = false;
     std::optional<std::string> in_path;
     std::optional<std::string> out_path;
 };
@@ -42,7 +48,10 @@ struct cli_options {
 [[noreturn]] void usage(int code) {
     std::cerr << "usage: acctx <world|inflation|amortize|cdn|export|analyze|report>\n"
               << "             [--seed N] [--scale small|full] [--year 2018|2020]\n"
-              << "             [--in FILE] [--out FILE]\n";
+              << "             [--threads N] [--timing] [--in FILE] [--out FILE]\n"
+              << "  --threads N   construction threads (0 = hardware concurrency,\n"
+              << "                1 = serial); output is identical at any N\n"
+              << "  --timing      with 'world': print the per-stage build report as JSON\n";
     std::exit(code);
 }
 
@@ -76,6 +85,10 @@ cli_options parse_args(int argc, char** argv) {
             } else {
                 usage(2);
             }
+        } else if (arg == "--threads") {
+            options.threads = static_cast<int>(std::strtol(value().c_str(), nullptr, 10));
+        } else if (arg == "--timing") {
+            options.timing = true;
         } else if (arg == "--in") {
             options.in_path = value();
         } else if (arg == "--out") {
@@ -94,6 +107,7 @@ core::world build_world(const cli_options& options) {
     auto config = options.small ? core::world_config::small() : core::world_config{};
     config.seed = options.seed;
     config.year = options.year;
+    config.threads = options.threads;
     std::cerr << "building " << (options.small ? "small" : "full") << " world (seed "
               << config.seed << ", "
               << (config.year == core::ditl_year::y2018 ? "2018" : "2020") << ")...\n";
@@ -115,6 +129,7 @@ int cmd_world(const cli_options& options) {
               << " front-ends, " << w.cdn_net().ring_count() << " rings\n";
     std::cout << "Atlas probes: " << w.fleet().probes().size() << " in "
               << w.fleet().as_coverage() << " ASes\n";
+    if (options.timing) w.timing().write_json(std::cout);
     return 0;
 }
 
