@@ -1,0 +1,197 @@
+// Row-vs-columnar analysis throughput: times the hash-map aggregation the
+// analyses used before src/table/ existed against the sort-based columnar
+// kernels that replaced it, over the small world's DITL rows, and exports
+// the comparison as BENCH_analysis.json.
+//
+//   bench_analysis [--threads N] [--repeat R] [--out FILE]
+//
+// N sizes the pool for the parallel inflation pass (defaults to hardware
+// concurrency, or 4 when unknown/1); R repeats each pass and keeps the best
+// wall time (default 5); FILE defaults to BENCH_analysis.json.
+//
+// Each aggregation pass includes producing sorted (key, sum) output, since
+// ascending key order is the determinism contract the analyses rely on: the
+// hash-map baseline pays a sort at extraction, the columnar kernel sorts up
+// front.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/inflation.h"
+#include "src/core/world.h"
+#include "src/table/table.h"
+
+namespace {
+
+using namespace ac;
+
+double time_best_ms(int repeat, const auto& fn) {
+    double best = 0.0;
+    for (int i = 0; i < repeat; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const std::chrono::duration<double, std::milli> wall =
+            std::chrono::steady_clock::now() - start;
+        if (i == 0 || wall.count() < best) best = wall.count();
+    }
+    return best;
+}
+
+/// Keeps results observable so the compiler cannot drop a timed pass.
+volatile double g_sink = 0.0;
+
+template <typename K>
+double hash_group_sum(std::span<const K> keys, std::span<const double> values) {
+    std::unordered_map<K, double> sums;
+    sums.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) sums[keys[i]] += values[i];
+    std::vector<std::pair<K, double>> out(sums.begin(), sums.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    double check = 0.0;
+    for (const auto& [k, v] : out) check += v;
+    return check;
+}
+
+template <typename K>
+double columnar_group_sum(std::span<const K> keys, std::span<const double> values) {
+    const auto grouping = table::make_grouping(keys);
+    const auto sums = table::sum_by(grouping, values);
+    double check = 0.0;
+    for (const double v : sums) check += v;
+    return check;
+}
+
+struct pass_result {
+    std::string name;
+    std::size_t rows = 0;
+    std::size_t groups = 0;
+    double hash_map_ms = 0.0;
+    double columnar_ms = 0.0;
+};
+
+template <typename K>
+pass_result run_group_pass(std::string name, int repeat, std::span<const K> keys,
+                           std::span<const double> values) {
+    pass_result pass;
+    pass.name = std::move(name);
+    pass.rows = keys.size();
+    pass.groups = table::distinct_count(keys);
+    pass.hash_map_ms =
+        time_best_ms(repeat, [&] { g_sink = hash_group_sum(keys, values); });
+    pass.columnar_ms =
+        time_best_ms(repeat, [&] { g_sink = columnar_group_sum(keys, values); });
+    return pass;
+}
+
+void write_report(std::ostream& out, const std::vector<pass_result>& passes,
+                  double inflation_serial_ms, double inflation_parallel_ms, int threads) {
+    out << "{\n  \"bench\": \"analysis\",\n  \"scale\": \"small\",\n";
+    out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"group_by_passes\": [\n";
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+        const auto& p = passes[i];
+        out << "    {\"name\": \"" << p.name << "\", \"rows\": " << p.rows
+            << ", \"groups\": " << p.groups << ", \"hash_map_ms\": " << p.hash_map_ms
+            << ", \"columnar_ms\": " << p.columnar_ms
+            << ", \"speedup\": " << (p.hash_map_ms / p.columnar_ms) << "}"
+            << (i + 1 < passes.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"root_inflation\": {\"serial_ms\": " << inflation_serial_ms
+        << ", \"parallel_ms\": " << inflation_parallel_ms << ", \"threads\": " << threads
+        << ", \"speedup\": " << (inflation_serial_ms / inflation_parallel_ms) << "}\n";
+    out << "}\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    int threads = 0;
+    int repeat = 5;
+    std::string out_path = "BENCH_analysis.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_analysis: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads") {
+            threads = std::atoi(value());
+        } else if (arg == "--repeat") {
+            repeat = std::max(1, std::atoi(value()));
+        } else if (arg == "--out") {
+            out_path = value();
+        } else {
+            std::cerr << "usage: bench_analysis [--threads N] [--repeat R] [--out FILE]\n";
+            return 2;
+        }
+    }
+    if (threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 1 ? static_cast<int>(hw) : 4;
+    }
+
+    std::cerr << "building small world...\n";
+    auto config = core::world_config::small();
+    config.threads = 1;
+    const core::world w{std::move(config)};
+
+    // Concatenate every filtered letter's rows at three key granularities:
+    // /24, exact IP, and the packed (/24, site) composite the capture
+    // aggregation uses.
+    table::column<std::uint32_t> s24_keys;
+    table::column<std::uint32_t> ip_keys;
+    table::column<std::uint64_t> site_keys;
+    table::column<double> qpd;
+    for (const auto& t : w.filtered_tables()) {
+        for (std::size_t i = 0; i < t.rows(); ++i) {
+            s24_keys.push_back(t.source_ip[i] >> 8);
+            ip_keys.push_back(t.source_ip[i]);
+            site_keys.push_back((std::uint64_t{t.source_ip[i] >> 8} << 32) | t.site[i]);
+            qpd.push_back(t.queries_per_day[i]);
+        }
+    }
+    std::cerr << "timing group-by over " << qpd.size() << " rows (repeat " << repeat
+              << ")...\n";
+
+    std::vector<pass_result> passes;
+    passes.push_back(
+        run_group_pass<std::uint32_t>("volume_by_slash24", repeat, s24_keys.view(), qpd.view()));
+    passes.push_back(
+        run_group_pass<std::uint32_t>("volume_by_ip", repeat, ip_keys.view(), qpd.view()));
+    passes.push_back(run_group_pass<std::uint64_t>("volume_by_slash24_site", repeat,
+                                                   site_keys.view(), qpd.view()));
+
+    std::cerr << "timing root inflation (serial vs " << threads << " threads)...\n";
+    const double inflation_serial_ms = time_best_ms(repeat, [&] {
+        const auto r = analysis::compute_root_inflation(w.filtered_tables(), w.roots(),
+                                                        w.geodb(), w.cdn_user_counts());
+        g_sink = r.geographic_all_roots.empty() ? 0.0 : r.geographic_all_roots.quantile(0.5);
+    });
+    engine::thread_pool pool{threads};
+    const double inflation_parallel_ms = time_best_ms(repeat, [&] {
+        const auto r = analysis::compute_root_inflation(
+            w.filtered_tables(), w.roots(), w.geodb(), w.cdn_user_counts(), {}, &pool);
+        g_sink = r.geographic_all_roots.empty() ? 0.0 : r.geographic_all_roots.quantile(0.5);
+    });
+
+    write_report(std::cout, passes, inflation_serial_ms, inflation_parallel_ms, threads);
+    std::ofstream out{out_path};
+    if (!out) {
+        std::cerr << "bench_analysis: cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    write_report(out, passes, inflation_serial_ms, inflation_parallel_ms, threads);
+    std::cerr << "wrote " << out_path << "\n";
+    return 0;
+}

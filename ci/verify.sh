@@ -4,6 +4,8 @@
 #   ci/verify.sh           tier-1 (build + ctest)
 #   ci/verify.sh --tsan    additionally build with AC_SANITIZE=thread and run
 #                          the engine tests under TSan (build-tsan/)
+#   ci/verify.sh --asan    additionally build with AC_SANITIZE=address
+#                          (ASan+UBSan) and run the tier-1 suite (build-asan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +19,13 @@ if [[ "${1:-}" == "--tsan" ]]; then
     cmake -B build-tsan -S . -DAC_SANITIZE=thread
     cmake --build build-tsan -j "${jobs}" --target engine_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
+fi
+
+if [[ "${1:-}" == "--asan" ]]; then
+    cmake -B build-asan -S . -DAC_SANITIZE=address
+    cmake --build build-asan -j "${jobs}"
+    ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 fi
 
 echo "verify: OK"

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 
 #include "src/netbase/geo.h"
+#include "src/table/table.h"
 
 namespace ac::analysis {
 
@@ -123,17 +123,29 @@ aspath_study_result run_aspath_study(const atlas::probe_fleet& fleet,
                                      const cdn::cdn_network& cdn,
                                      const topo::as_graph& graph) {
     // Deduplicate probes to <region, AS> locations (the paper weights
-    // locations, not probes).
-    std::unordered_map<std::uint64_t, atlas::probe> locations;
-    for (const auto& p : fleet.probes()) {
-        locations.emplace((std::uint64_t{p.asn} << 32) | p.region, p);
+    // locations, not probes): one grouping over packed keys, keeping each
+    // group's first row, visited in ascending key order.
+    const auto& probes = fleet.probes();
+    table::column<std::uint64_t> loc_keys;
+    loc_keys.reserve(probes.size());
+    for (const auto& p : probes) {
+        loc_keys.push_back((std::uint64_t{p.asn} << 32) | p.region);
     }
+    const auto locations = table::make_grouping(loc_keys.view());
 
-    const auto& regions = cdn.regions();
-    std::map<std::string, destination_acc> accs;
+    // Samples as columns, tagged by destination id; grouped once at the end.
+    constexpr std::uint32_t dest_cdn = 0;
+    constexpr std::uint32_t dest_all_roots = 1;
+    constexpr std::uint32_t dest_letter0 = 2;
     const auto letters = roots.geographic_analysis_letters();
 
-    for (const auto& [key, probe] : locations) {
+    const auto& regions = cdn.regions();
+    table::column<std::uint32_t> dest;
+    table::column<int> length_col;
+    table::column<double> gi_col;
+
+    for (std::size_t g = 0; g < locations.groups(); ++g) {
+        const auto& probe = probes[locations.rows(g).front()];
         const auto loc = regions.at(probe.region).location;
 
         // CDN: external path is ring-independent; inflation uses R110.
@@ -142,13 +154,15 @@ aspath_study_result run_aspath_study(const atlas::probe_fleet& fleet,
             const double min_km = cdn.nearest_front_end_km(loc, cdn.ring_count() - 1);
             const double gi = std::max(0.0, geo::round_trip_fiber_ms(path->front_end_km) -
                                                 geo::round_trip_fiber_ms(min_km));
-            accs["CDN"].record(length, gi);
+            dest.push_back(dest_cdn);
+            length_col.push_back(length);
+            gi_col.push_back(gi);
         }
 
         // Letters, individually and pooled as "All Roots" (grouped by
         // <region, AS, root>, so each letter contributes one sample).
-        for (char letter : letters) {
-            const auto& dep = roots.deployment_of(letter);
+        for (std::size_t li = 0; li < letters.size(); ++li) {
+            const auto& dep = roots.deployment_of(letters[li]);
             const auto path = dep.rib().select(probe.asn, probe.region);
             if (!path) continue;
             const int length = atlas::organization_path_length(path->as_path, graph);
@@ -158,35 +172,61 @@ aspath_study_result run_aspath_study(const atlas::probe_fleet& fleet,
             const double min_km = dep.nearest_global_site_km(loc);
             const double gi = std::max(0.0, geo::round_trip_fiber_ms(site_km) -
                                                 geo::round_trip_fiber_ms(min_km));
-            accs[std::string{letter}].record(length, gi);
-            accs["All Roots"].record(length, gi);
+            dest.push_back(dest_letter0 + static_cast<std::uint32_t>(li));
+            length_col.push_back(length);
+            gi_col.push_back(gi);
+            dest.push_back(dest_all_roots);
+            length_col.push_back(length);
+            gi_col.push_back(gi);
         }
     }
 
+    // Per-destination accumulators over the grouped sample columns, rows in
+    // original append order.
+    const auto by_dest = table::make_grouping(dest.view());
+    std::vector<destination_acc> accs(by_dest.groups());
+    for (std::size_t g = 0; g < by_dest.groups(); ++g) {
+        for (const auto row : by_dest.rows(g)) {
+            accs[g].record(length_col[row], gi_col[row]);
+        }
+    }
+    const auto acc_of = [&](std::uint32_t id) -> const destination_acc* {
+        const auto it = std::lower_bound(by_dest.keys.begin(), by_dest.keys.end(), id);
+        if (it == by_dest.keys.end() || *it != id) return nullptr;
+        return &accs[static_cast<std::size_t>(it - by_dest.keys.begin())];
+    };
+
     aspath_study_result result;
     // Stable presentation order: CDN, All Roots, then letters by size desc.
-    std::vector<std::string> order{"CDN", "All Roots"};
-    std::vector<std::pair<int, char>> sized;
-    for (char letter : letters) {
-        sized.emplace_back(roots.deployment_of(letter).global_site_count(), letter);
+    std::vector<std::pair<std::string, std::uint32_t>> order{{"CDN", dest_cdn},
+                                                             {"All Roots", dest_all_roots}};
+    std::vector<std::pair<int, std::size_t>> sized;
+    for (std::size_t li = 0; li < letters.size(); ++li) {
+        sized.emplace_back(roots.deployment_of(letters[li]).global_site_count(), li);
     }
-    std::sort(sized.begin(), sized.end(), std::greater<>());
-    for (const auto& [_, letter] : sized) order.emplace_back(1, letter);
+    std::sort(sized.begin(), sized.end(), [&](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return letters[a.second] > letters[b.second];  // ties: letter desc
+    });
+    for (const auto& [_, li] : sized) {
+        order.emplace_back(std::string{letters[li]},
+                           dest_letter0 + static_cast<std::uint32_t>(li));
+    }
 
-    for (const auto& name : order) {
-        auto it = accs.find(name);
-        if (it == accs.end() || it->second.total_weight <= 0.0) continue;
+    for (const auto& [name, id] : order) {
+        const auto* acc = acc_of(id);
+        if (acc == nullptr || acc->total_weight <= 0.0) continue;
         path_length_distribution dist;
         dist.destination = name;
         for (std::size_t b = 0; b < 4; ++b) {
-            dist.share[b] = it->second.length_weight[b] / it->second.total_weight;
+            dist.share[b] = acc->length_weight[b] / acc->total_weight;
         }
         result.lengths.push_back(dist);
 
         inflation_by_path_length infl;
         infl.destination = name;
         for (std::size_t b = 0; b < 3; ++b) {
-            infl.boxes[b] = summarize(it->second.inflation[b]);
+            infl.boxes[b] = summarize(acc->inflation[b]);
         }
         result.inflation.push_back(infl);
     }

@@ -2,20 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "src/netbase/geo.h"
+#include "src/table/table.h"
 
 namespace ac::analysis {
 
 namespace {
 
-/// Per-/24 accumulation for the All-Roots expectation: inflation weighted by
-/// the recursive's query spread over letters.
-struct all_roots_acc {
-    double weighted_inflation = 0.0;  // sum of per-letter inflation * volume
-    double volume = 0.0;
-    double users = 0.0;
+/// One /24's contribution to a letter's inflation CDFs, produced by the
+/// parallel per-group reduction and committed serially in key order.
+struct slash24_slice {
+    double gi_ms = 0.0;
+    double li_ms = 0.0;
+    double weight = 0.0;
+    double vol_total = 0.0;  // global-site query volume behind gi_ms
+    double lat_vol = 0.0;    // TCP-covered volume behind li_ms
+    bool has_gi = false;
+    bool has_li = false;
+};
+
+/// Row-major accumulator columns for the All-Roots expectation: one row per
+/// (letter, /24) contribution, grouped by /24 key at the end so per-key sums
+/// accumulate in letter-encounter order.
+struct all_roots_rows {
+    table::column<std::uint32_t> key;
+    table::column<double> weighted_inflation;  // per-letter inflation * volume
+    table::column<double> volume;
+    table::column<double> users;
+
+    void push(std::uint32_t k, double inflation, double vol, double w) {
+        key.push_back(k);
+        weighted_inflation.push_back(inflation * vol);
+        volume.push_back(vol);
+        users.push_back(w);
+    }
+
+    void finalize_into(weighted_cdf& cdf) const {
+        const auto grouping = table::make_grouping(key.view());
+        const auto inflation_sums = table::sum_by(grouping, weighted_inflation.view());
+        const auto volume_sums = table::sum_by(grouping, volume.view());
+        for (std::size_t g = 0; g < grouping.groups(); ++g) {
+            if (volume_sums[g] > 0.0) {
+                // A /24's user weight is the same in every letter; take the
+                // last row's, matching assignment semantics.
+                cdf.add(inflation_sums[g] / volume_sums[g], users[grouping.rows(g).back()]);
+            }
+        }
+    }
 };
 
 } // namespace
@@ -26,17 +60,18 @@ double root_inflation_result::efficiency(char letter) const {
     return it->second.fraction_leq(zero_inflation_epsilon_ms);
 }
 
-root_inflation_result compute_root_inflation(std::span<const capture::filtered_letter> letters,
+root_inflation_result compute_root_inflation(std::span<const capture::letter_table> letters,
                                              const dns::root_system& roots,
                                              const topo::geo_database& geodb,
                                              const pop::cdn_user_counts& users,
-                                             const root_inflation_options& options) {
+                                             const root_inflation_options& options,
+                                             engine::thread_pool* pool) {
     root_inflation_result result;
     const auto geo_letters = roots.geographic_analysis_letters();
     const auto lat_letters = roots.latency_analysis_letters();
 
-    std::unordered_map<std::uint32_t, all_roots_acc> gi_all;  // by /24 key
-    std::unordered_map<std::uint32_t, all_roots_acc> li_all;
+    all_roots_rows gi_all;
+    all_roots_rows li_all;
 
     for (const auto& letter : letters) {
         const bool in_geo = std::find(geo_letters.begin(), geo_letters.end(), letter.letter) !=
@@ -46,86 +81,118 @@ root_inflation_result compute_root_inflation(std::span<const capture::filtered_l
                             lat_letters.end();
         const auto& dep = roots.deployment_of(letter.letter);
 
-        // Median TCP RTT per (source /24, site).
-        std::unordered_map<std::uint64_t, double> tcp_median;
+        // Median TCP RTT per packed (source /24 key << 32) | site.
+        table::sorted_lookup<std::uint64_t, double> tcp_median;
         if (in_lat) {
-            for (const auto& row : letter.tcp_rtts) {
-                tcp_median[(std::uint64_t{row.source.key()} << 16) | row.site] =
-                    row.median_rtt_ms;
-            }
+            tcp_median = table::sorted_lookup<std::uint64_t, double>(
+                letter.tcp_key.view(), letter.tcp_median_rtt_ms.view());
         }
+
+        table::column<std::uint32_t> s24;
+        s24.reserve(letter.rows());
+        for (std::size_t i = 0; i < letter.rows(); ++i) {
+            s24.push_back(letter.source_ip[i] >> 8);
+        }
+        const auto grouping = table::make_grouping(s24.view());
+
+        const auto slices = table::group_reduce<slash24_slice>(
+            pool, grouping,
+            [&](std::uint32_t key, std::span<const table::row_index> rows) {
+                slash24_slice slice;
+                const net::slash24 block{net::ipv4_addr{key << 8}};
+                const auto located = geodb.locate(block);
+                if (!located) return slice;  // unallocated (e.g. scrambled) source
+
+                double weight = 1.0;
+                if (options.weight_by_users) {
+                    const auto count = users.count(block);
+                    if (!count) return slice;  // outside the DITL∩CDN join
+                    weight = *count;
+                }
+
+                // Per-site volume runs: rows stably sorted by site keep the
+                // original row order inside each site, so each site's sum is
+                // bitwise what the row-order aggregation produced.
+                std::vector<table::row_index> by_site(rows.begin(), rows.end());
+                std::stable_sort(by_site.begin(), by_site.end(),
+                                 [&](table::row_index a, table::row_index b) {
+                                     return letter.site[a] < letter.site[b];
+                                 });
+
+                // Per-site aggregation over *global* sites only.
+                double vol_total = 0.0;
+                double dist_weighted = 0.0;  // sum of volume * distance
+                double lat_vol = 0.0;
+                double lat_weighted = 0.0;   // sum of volume * median RTT
+                std::size_t i = 0;
+                while (i < by_site.size()) {
+                    const std::uint32_t site_id = letter.site[by_site[i]];
+                    double site_volume = 0.0;
+                    for (; i < by_site.size() && letter.site[by_site[i]] == site_id; ++i) {
+                        site_volume += letter.queries_per_day[by_site[i]];
+                    }
+                    const auto& site = dep.site_at(site_id);
+                    if (site.scope != route::announcement_scope::global) continue;
+                    const auto site_loc = dep.regions().at(site.region).location;
+                    const double d = geo::distance_km(*located, site_loc);
+                    vol_total += site_volume;
+                    dist_weighted += site_volume * d;
+                    if (in_lat) {
+                        const auto* rtt =
+                            tcp_median.find((std::uint64_t{key} << 32) | site_id);
+                        if (rtt) {
+                            lat_vol += site_volume;
+                            lat_weighted += site_volume * *rtt;
+                        }
+                    }
+                }
+                if (vol_total <= 0.0) return slice;
+
+                const double min_km = dep.nearest_global_site_km(*located);
+                const double avg_km = dist_weighted / vol_total;
+                slice.gi_ms = std::max(
+                    0.0, geo::round_trip_fiber_ms(avg_km) - geo::round_trip_fiber_ms(min_km));
+                slice.weight = weight;
+                slice.vol_total = vol_total;
+                slice.has_gi = true;
+
+                if (in_lat && lat_vol > 0.0) {
+                    const double avg_rtt = lat_weighted / lat_vol;
+                    slice.li_ms =
+                        std::max(0.0, avg_rtt - geo::best_case_rtt_ms(min_km));
+                    slice.lat_vol = lat_vol;
+                    slice.has_li = true;
+                }
+                return slice;
+            });
 
         auto& gi_cdf = result.geographic[letter.letter];
         weighted_cdf* li_cdf = in_lat ? &result.latency[letter.letter] : nullptr;
-
-        for (const auto& volume : capture::aggregate_by_slash24(letter.records)) {
-            const auto located = geodb.locate(volume.source);
-            if (!located) continue;  // unallocated (e.g. scrambled) source
-
-            double weight = 1.0;
-            if (options.weight_by_users) {
-                const auto count = users.count(volume.source);
-                if (!count) continue;  // outside the DITL∩CDN join
-                weight = *count;
-            }
-
-            // Per-site aggregation over *global* sites only.
-            double vol_total = 0.0;
-            double dist_weighted = 0.0;     // sum of volume * distance
-            double lat_vol = 0.0;
-            double lat_weighted = 0.0;      // sum of volume * median RTT
-            for (const auto& site_vol : volume.sites) {
-                const auto& site = dep.site_at(site_vol.site);
-                if (site.scope != route::announcement_scope::global) continue;
-                const auto site_loc = dep.regions().at(site.region).location;
-                const double d = geo::distance_km(*located, site_loc);
-                vol_total += site_vol.queries_per_day;
-                dist_weighted += site_vol.queries_per_day * d;
-                if (in_lat) {
-                    auto it = tcp_median.find(
-                        (std::uint64_t{volume.source.key()} << 16) | site_vol.site);
-                    if (it != tcp_median.end()) {
-                        lat_vol += site_vol.queries_per_day;
-                        lat_weighted += site_vol.queries_per_day * it->second;
-                    }
-                }
-            }
-            if (vol_total <= 0.0) continue;
-
-            const double min_km = dep.nearest_global_site_km(*located);
-            const double avg_km = dist_weighted / vol_total;
-            const double gi_ms = std::max(
-                0.0, geo::round_trip_fiber_ms(avg_km) - geo::round_trip_fiber_ms(min_km));
-            gi_cdf.add(gi_ms, weight);
-
-            auto& acc = gi_all[volume.source.key()];
-            acc.weighted_inflation += gi_ms * vol_total;
-            acc.volume += vol_total;
-            acc.users = weight;
-
-            if (in_lat && lat_vol > 0.0) {
-                const double avg_rtt = lat_weighted / lat_vol;
-                const double li_ms = std::max(0.0, avg_rtt - geo::best_case_rtt_ms(min_km));
-                li_cdf->add(li_ms, weight);
-                auto& lacc = li_all[volume.source.key()];
-                lacc.weighted_inflation += li_ms * lat_vol;
-                lacc.volume += lat_vol;
-                lacc.users = weight;
+        for (std::size_t g = 0; g < grouping.groups(); ++g) {
+            const auto& slice = slices[g];
+            if (!slice.has_gi) continue;
+            gi_cdf.add(slice.gi_ms, slice.weight);
+            gi_all.push(grouping.keys[g], slice.gi_ms, slice.vol_total, slice.weight);
+            if (slice.has_li) {
+                li_cdf->add(slice.li_ms, slice.weight);
+                li_all.push(grouping.keys[g], slice.li_ms, slice.lat_vol, slice.weight);
             }
         }
     }
 
-    for (const auto& [key, acc] : gi_all) {
-        if (acc.volume > 0.0) {
-            result.geographic_all_roots.add(acc.weighted_inflation / acc.volume, acc.users);
-        }
-    }
-    for (const auto& [key, acc] : li_all) {
-        if (acc.volume > 0.0) {
-            result.latency_all_roots.add(acc.weighted_inflation / acc.volume, acc.users);
-        }
-    }
+    gi_all.finalize_into(result.geographic_all_roots);
+    li_all.finalize_into(result.latency_all_roots);
     return result;
+}
+
+root_inflation_result compute_root_inflation(std::span<const capture::filtered_letter> letters,
+                                             const dns::root_system& roots,
+                                             const topo::geo_database& geodb,
+                                             const pop::cdn_user_counts& users,
+                                             const root_inflation_options& options,
+                                             engine::thread_pool* pool) {
+    return compute_root_inflation(capture::to_tables(letters), roots, geodb, users, options,
+                                  pool);
 }
 
 double cdn_inflation_result::efficiency(int ring) const {
@@ -133,23 +200,30 @@ double cdn_inflation_result::efficiency(int ring) const {
     return cdf.empty() ? 0.0 : cdf.fraction_leq(zero_inflation_epsilon_ms);
 }
 
-cdn_inflation_result compute_cdn_inflation(std::span<const cdn::server_log_row> logs,
+cdn_inflation_result compute_cdn_inflation(const cdn::server_log_table& logs,
                                            const cdn::cdn_network& cdn) {
     cdn_inflation_result result;
     result.geographic_by_ring.resize(static_cast<std::size_t>(cdn.ring_count()));
     result.latency_by_ring.resize(static_cast<std::size_t>(cdn.ring_count()));
 
-    for (const auto& row : logs) {
-        const auto user_loc = cdn.regions().at(row.region).location;
-        const double min_km = cdn.nearest_front_end_km(user_loc, row.ring);
+    for (std::size_t i = 0; i < logs.rows(); ++i) {
+        const auto ring = static_cast<std::size_t>(logs.ring[i]);
+        const auto user_loc = cdn.regions().at(logs.region[i]).location;
+        const double min_km = cdn.nearest_front_end_km(user_loc, logs.ring[i]);
         const double gi_ms =
-            std::max(0.0, geo::round_trip_fiber_ms(row.front_end_km) -
+            std::max(0.0, geo::round_trip_fiber_ms(logs.front_end_km[i]) -
                               geo::round_trip_fiber_ms(min_km));
-        const double li_ms = std::max(0.0, row.median_rtt_ms - geo::best_case_rtt_ms(min_km));
-        result.geographic_by_ring[static_cast<std::size_t>(row.ring)].add(gi_ms, row.users);
-        result.latency_by_ring[static_cast<std::size_t>(row.ring)].add(li_ms, row.users);
+        const double li_ms =
+            std::max(0.0, logs.median_rtt_ms[i] - geo::best_case_rtt_ms(min_km));
+        result.geographic_by_ring[ring].add(gi_ms, logs.users[i]);
+        result.latency_by_ring[ring].add(li_ms, logs.users[i]);
     }
     return result;
+}
+
+cdn_inflation_result compute_cdn_inflation(std::span<const cdn::server_log_row> logs,
+                                           const cdn::cdn_network& cdn) {
+    return compute_cdn_inflation(cdn::to_table(logs), cdn);
 }
 
 } // namespace ac::analysis

@@ -10,6 +10,12 @@
 //
 // Results are CDFs of *users*: each /24's value is weighted by the Microsoft
 // user count behind it (the DITL∩CDN join).
+//
+// Both metrics run on the shared columnar kernels (src/table/): records are
+// grouped by source /24 through a stable sort, so /24s are visited in
+// ascending key order and every floating-point accumulation order is a pure
+// function of the input rows. The columnar forms are the primary
+// implementations; the row-oriented overloads convert and delegate.
 #pragma once
 
 #include <map>
@@ -22,6 +28,7 @@
 #include "src/cdn/cdn.h"
 #include "src/cdn/telemetry.h"
 #include "src/dns/root_letters.h"
+#include "src/engine/thread_pool.h"
 #include "src/population/population.h"
 #include "src/topology/addressing.h"
 
@@ -48,13 +55,20 @@ struct root_inflation_result {
     [[nodiscard]] double efficiency(char letter) const;
 };
 
-/// Computes Fig. 2 from filtered DITL captures. Letters are selected by
+/// Computes Fig. 2 from columnar DITL captures. Letters are selected by
 /// their data-availability flags (G/I excluded; H single-site excluded;
-/// D/L excluded from the latency metric).
+/// D/L excluded from the latency metric). Per-/24 reductions fan out over
+/// `pool` (null = inline); output is identical at any thread count.
+[[nodiscard]] root_inflation_result compute_root_inflation(
+    std::span<const capture::letter_table> letters, const dns::root_system& roots,
+    const topo::geo_database& geodb, const pop::cdn_user_counts& users,
+    const root_inflation_options& options = {}, engine::thread_pool* pool = nullptr);
+
+/// Row-oriented shim: converts to columns and delegates.
 [[nodiscard]] root_inflation_result compute_root_inflation(
     std::span<const capture::filtered_letter> letters, const dns::root_system& roots,
     const topo::geo_database& geodb, const pop::cdn_user_counts& users,
-    const root_inflation_options& options = {});
+    const root_inflation_options& options = {}, engine::thread_pool* pool = nullptr);
 
 struct cdn_inflation_result {
     std::vector<weighted_cdf> geographic_by_ring;  // indexed by ring
@@ -63,8 +77,12 @@ struct cdn_inflation_result {
     [[nodiscard]] double efficiency(int ring) const;
 };
 
-/// Computes Fig. 5's CDN curves from server-side logs. Users in a
+/// Computes Fig. 5's CDN curves from columnar server-side logs. Users in a
 /// <region, AS> location sit at the location's mean position (§6).
+[[nodiscard]] cdn_inflation_result compute_cdn_inflation(const cdn::server_log_table& logs,
+                                                         const cdn::cdn_network& cdn);
+
+/// Row-oriented shim: converts to columns and delegates.
 [[nodiscard]] cdn_inflation_result compute_cdn_inflation(
     std::span<const cdn::server_log_row> logs, const cdn::cdn_network& cdn);
 

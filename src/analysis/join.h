@@ -6,6 +6,12 @@
 // queries-per-user-per-day CDFs (Fig. 3 / Fig. 8 / Fig. 9), the overlap
 // statistics that justify the /24 aggregation (Table 4), and the
 // favorite-site coherence measure of Eq. 3 (Fig. 10).
+//
+// All aggregation runs on the shared columnar kernels (src/table/): volumes
+// are grouped by sorted key, so every result is deterministic by
+// construction — iteration order is ascending key order, never hash order.
+// Each function has a columnar form (the primary implementation, fed
+// `capture::letter_table` views) and a row-oriented shim that converts.
 #pragma once
 
 #include <map>
@@ -14,6 +20,7 @@
 #include "src/analysis/stats.h"
 #include "src/capture/filter.h"
 #include "src/dns/query_model.h"
+#include "src/engine/thread_pool.h"
 #include "src/population/population.h"
 #include "src/topology/addressing.h"
 
@@ -38,7 +45,14 @@ struct amortization_result {
 };
 
 /// Builds Fig. 3 (or Fig. 8 when fed unfiltered captures, or Fig. 9 with
-/// join_by_slash24=false).
+/// join_by_slash24=false). Columnar form.
+[[nodiscard]] amortization_result compute_amortization(
+    std::span<const capture::letter_table> letters, const pop::user_base& base,
+    const pop::cdn_user_counts& cdn_users, const pop::apnic_user_counts& apnic_users,
+    const topo::ip_to_asn& as_mapper, const dns::query_model_options& model_options,
+    const amortization_options& options = {});
+
+/// Row-oriented shim: converts to columns and delegates.
 [[nodiscard]] amortization_result compute_amortization(
     std::span<const capture::filtered_letter> letters, const pop::user_base& base,
     const pop::cdn_user_counts& cdn_users, const pop::apnic_user_counts& apnic_users,
@@ -59,6 +73,11 @@ struct overlap_comparison {
     overlap_stats by_slash24;  // /24 join
 };
 
+/// Columnar form: both universes are sorted key columns merged in one pass.
+[[nodiscard]] overlap_comparison compute_overlap(
+    std::span<const capture::letter_table> letters, const pop::cdn_user_counts& cdn_users);
+
+/// Row-oriented shim: converts to columns and delegates.
 [[nodiscard]] overlap_comparison compute_overlap(
     std::span<const capture::filtered_letter> letters, const pop::cdn_user_counts& cdn_users);
 
@@ -69,7 +88,13 @@ struct favorite_site_result {
     std::map<char, weighted_cdf> fraction_not_favorite;  // CDF over /24s
 };
 
+/// Columnar form. Per-/24 reductions fan out over `pool` (null = inline);
+/// output is identical at any thread count.
 [[nodiscard]] favorite_site_result compute_favorite_site(
-    std::span<const capture::letter_capture> captures);
+    std::span<const capture::letter_table> captures, engine::thread_pool* pool = nullptr);
+
+/// Row-oriented shim: converts to columns and delegates.
+[[nodiscard]] favorite_site_result compute_favorite_site(
+    std::span<const capture::letter_capture> captures, engine::thread_pool* pool = nullptr);
 
 } // namespace ac::analysis

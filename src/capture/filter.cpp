@@ -1,7 +1,8 @@
 #include "src/capture/filter.h"
 
 #include <algorithm>
-#include <map>
+
+#include "src/table/table.h"
 
 namespace ac::capture {
 
@@ -43,49 +44,108 @@ std::vector<filtered_letter> filter_all(const ditl_dataset& dataset,
 
 namespace {
 
-template <typename Key, typename Extract>
-auto aggregate(std::span<const capture_record> records, Extract extract) {
-    // (key, site) -> volume
-    std::map<std::pair<Key, route::site_id>, double> acc;
+/// Composite (source key << 32) | site, so one stable sort yields runs
+/// ordered by source then site — the same (key, site) order the analyses
+/// expect from the old map-based aggregation.
+template <typename Extract>
+std::pair<table::column<std::uint64_t>, table::column<double>> keyed_rows(
+    std::span<const capture_record> records, Extract extract) {
+    table::column<std::uint64_t> keys;
+    table::column<double> qpd;
+    keys.reserve(records.size());
+    qpd.reserve(records.size());
     for (const auto& r : records) {
-        acc[{extract(r), r.site}] += r.queries_per_day;
+        keys.push_back((std::uint64_t{extract(r)} << 32) | r.site);
+        qpd.push_back(r.queries_per_day);
     }
-    return acc;
+    return {std::move(keys), std::move(qpd)};
 }
 
 } // namespace
 
 std::vector<slash24_volume> aggregate_by_slash24(std::span<const capture_record> records) {
-    auto acc = aggregate<std::uint32_t>(
+    const auto [keys, qpd] = keyed_rows(
         records, [](const capture_record& r) { return net::slash24{r.source_ip}.key(); });
+    const auto grouping = table::make_grouping(keys.view());
+    const auto sums = table::sum_by(grouping, qpd.view());
+
     std::vector<slash24_volume> out;
-    for (const auto& [key, qpd] : acc) {
-        const auto& [s24_key, site] = key;
+    for (std::size_t g = 0; g < grouping.groups(); ++g) {
+        const auto s24_key = static_cast<std::uint32_t>(grouping.keys[g] >> 32);
+        const auto site = static_cast<route::site_id>(grouping.keys[g]);
         if (out.empty() || out.back().source.key() != s24_key) {
             slash24_volume v;
             v.source = net::slash24{net::ipv4_addr{s24_key << 8}};
             out.push_back(std::move(v));
         }
-        out.back().sites.push_back(slash24_site_volume{site, qpd});
-        out.back().total_queries_per_day += qpd;
+        out.back().sites.push_back(slash24_site_volume{site, sums[g]});
+        out.back().total_queries_per_day += sums[g];
     }
     return out;
 }
 
 std::vector<ip_volume> aggregate_by_ip(std::span<const capture_record> records) {
-    auto acc = aggregate<std::uint32_t>(
-        records, [](const capture_record& r) { return r.source_ip.value(); });
+    const auto [keys, qpd] =
+        keyed_rows(records, [](const capture_record& r) { return r.source_ip.value(); });
+    const auto grouping = table::make_grouping(keys.view());
+    const auto sums = table::sum_by(grouping, qpd.view());
+
     std::vector<ip_volume> out;
-    for (const auto& [key, qpd] : acc) {
-        const auto& [ip_value, site] = key;
+    for (std::size_t g = 0; g < grouping.groups(); ++g) {
+        const auto ip_value = static_cast<std::uint32_t>(grouping.keys[g] >> 32);
+        const auto site = static_cast<route::site_id>(grouping.keys[g]);
         if (out.empty() || out.back().source.value() != ip_value) {
             ip_volume v;
             v.source = net::ipv4_addr{ip_value};
             out.push_back(std::move(v));
         }
-        out.back().sites.push_back(slash24_site_volume{site, qpd});
-        out.back().total_queries_per_day += qpd;
+        out.back().sites.push_back(slash24_site_volume{site, sums[g]});
+        out.back().total_queries_per_day += sums[g];
     }
+    return out;
+}
+
+namespace {
+
+letter_table columns_of(char letter, const dns::letter_spec& spec,
+                        std::span<const capture_record> records,
+                        std::span<const tcp_latency_row> tcp_rtts) {
+    letter_table t;
+    t.letter = letter;
+    t.spec = spec;
+    t.source_ip.reserve(records.size());
+    t.site.reserve(records.size());
+    t.category.reserve(records.size());
+    t.queries_per_day.reserve(records.size());
+    for (const auto& r : records) {
+        t.source_ip.push_back(r.source_ip.value());
+        t.site.push_back(r.site);
+        t.category.push_back(r.category);
+        t.queries_per_day.push_back(r.queries_per_day);
+    }
+    t.tcp_key.reserve(tcp_rtts.size());
+    t.tcp_median_rtt_ms.reserve(tcp_rtts.size());
+    for (const auto& row : tcp_rtts) {
+        t.tcp_key.push_back((std::uint64_t{row.source.key()} << 32) | row.site);
+        t.tcp_median_rtt_ms.push_back(row.median_rtt_ms);
+    }
+    return t;
+}
+
+} // namespace
+
+letter_table to_table(const filtered_letter& letter) {
+    return columns_of(letter.letter, letter.spec, letter.records, letter.tcp_rtts);
+}
+
+letter_table to_table(const letter_capture& capture) {
+    return columns_of(capture.letter, capture.spec, capture.records, capture.tcp_rtts);
+}
+
+std::vector<letter_table> to_tables(std::span<const filtered_letter> letters) {
+    std::vector<letter_table> out;
+    out.reserve(letters.size());
+    for (const auto& letter : letters) out.push_back(to_table(letter));
     return out;
 }
 

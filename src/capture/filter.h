@@ -10,6 +10,7 @@
 #include <span>
 
 #include "src/capture/ditl.h"
+#include "src/table/column.h"
 
 namespace ac::capture {
 
@@ -69,5 +70,27 @@ struct ip_volume {
 };
 
 [[nodiscard]] std::vector<ip_volume> aggregate_by_ip(std::span<const capture_record> records);
+
+/// Columnar (struct-of-arrays) form of one letter's capture rows: one
+/// contiguous column per record attribute, plus the TCP medians keyed by
+/// a packed (source /24 key << 32) | site composite. This is the layout the
+/// analysis kernels (src/table/) consume; the row forms above remain the
+/// generator/serialization interchange format.
+struct letter_table {
+    char letter = 'A';
+    dns::letter_spec spec;
+    table::column<std::uint32_t> source_ip;  // ipv4_addr::value()
+    table::column<std::uint32_t> site;
+    table::column<query_category> category;
+    table::column<double> queries_per_day;
+    table::column<std::uint64_t> tcp_key;    // (slash24 key << 32) | site
+    table::column<double> tcp_median_rtt_ms;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return source_ip.size(); }
+};
+
+[[nodiscard]] letter_table to_table(const filtered_letter& letter);
+[[nodiscard]] letter_table to_table(const letter_capture& capture);
+[[nodiscard]] std::vector<letter_table> to_tables(std::span<const filtered_letter> letters);
 
 } // namespace ac::capture

@@ -106,4 +106,28 @@ std::vector<client_measurement_row> generate_client_measurements(
     return rows;
 }
 
+server_log_table to_table(std::span<const server_log_row> rows) {
+    server_log_table t;
+    t.asn.reserve(rows.size());
+    t.region.reserve(rows.size());
+    t.ring.reserve(rows.size());
+    t.front_end.reserve(rows.size());
+    t.median_rtt_ms.reserve(rows.size());
+    t.sample_count.reserve(rows.size());
+    t.users.reserve(rows.size());
+    t.front_end_km.reserve(rows.size());
+    for (const auto& row : rows) {
+        t.asn.push_back(row.asn);
+        t.region.push_back(row.region);
+        t.ring.push_back(row.ring);
+        t.front_end.push_back(row.front_end);
+        t.median_rtt_ms.push_back(row.median_rtt_ms);
+        t.sample_count.push_back(row.sample_count);
+        t.users.push_back(row.users);
+        t.front_end_km.push_back(row.front_end_km);
+    }
+    return t;
+}
+
 } // namespace ac::cdn
+

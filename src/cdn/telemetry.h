@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/cdn/cdn.h"
 #include "src/population/population.h"
+#include "src/table/column.h"
 
 namespace ac::cdn {
 
@@ -64,5 +66,23 @@ struct telemetry_options {
 [[nodiscard]] std::vector<client_measurement_row> generate_client_measurements(
     const cdn_network& cdn, const pop::user_base& base, const telemetry_options& options,
     std::uint64_t seed, engine::thread_pool* pool = nullptr);
+
+/// Columnar (struct-of-arrays) form of the server-side log: one contiguous
+/// column per field, preserving row order. Built once per analysis pass so
+/// the inflation/metrics kernels stream columns instead of striding rows.
+struct server_log_table {
+    table::column<topo::asn_t> asn;
+    table::column<topo::region_id> region;
+    table::column<std::int32_t> ring;
+    table::column<std::int32_t> front_end;
+    table::column<double> median_rtt_ms;
+    table::column<std::int64_t> sample_count;
+    table::column<double> users;
+    table::column<double> front_end_km;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return asn.size(); }
+};
+
+[[nodiscard]] server_log_table to_table(std::span<const server_log_row> rows);
 
 } // namespace ac::cdn

@@ -1,27 +1,25 @@
 #include "src/core/datasets.h"
 
-#include <unordered_set>
+#include "src/table/table.h"
 
 namespace ac::core {
 
 namespace {
 
 std::size_t distinct_ases_in_ditl(const world& w) {
-    std::unordered_set<topo::asn_t> ases;
+    table::column<topo::asn_t> ases;
     for (const auto& lc : w.ditl().letters) {
         for (const auto& r : lc.records) {
             if (const auto asn = w.as_mapper().lookup(net::slash24{r.source_ip})) {
-                ases.insert(*asn);
+                ases.push_back(*asn);
             }
         }
     }
-    return ases.size();
+    return table::distinct_count(ases.view());
 }
 
 std::size_t distinct_ases_in_logs(const world& w) {
-    std::unordered_set<topo::asn_t> ases;
-    for (const auto& row : w.server_logs()) ases.insert(row.asn);
-    return ases.size();
+    return table::distinct_count(w.server_log_table().asn.view());
 }
 
 } // namespace
@@ -34,7 +32,9 @@ std::vector<dataset_entry> dataset_registry(const world& w) {
         e.name = "Sampled CDN Server-Side Logs";
         e.sections = "§6";
         double samples = 0.0;
-        for (const auto& row : w.server_logs()) samples += static_cast<double>(row.sample_count);
+        for (const auto count : w.server_log_table().sample_count.view()) {
+            samples += static_cast<double>(count);
+        }
         e.measurements = samples;
         e.duration = "1 week";
         e.year = 2019;

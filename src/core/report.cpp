@@ -39,9 +39,10 @@ std::vector<std::string> write_figure_csvs(const world& w, const std::string& di
     std::vector<std::string> written;
     auto record = [&](const std::filesystem::path& p) { written.push_back(p.string()); };
 
-    const auto root_inflation = analysis::compute_root_inflation(
-        w.filtered(), w.roots(), w.geodb(), w.cdn_user_counts());
-    const auto cdn_inflation = analysis::compute_cdn_inflation(w.server_logs(), w.cdn_net());
+    const auto root_inflation =
+        analysis::compute_root_inflation(w.filtered_tables(), w.roots(), w.geodb(),
+                                         w.cdn_user_counts(), {}, w.pool());
+    const auto cdn_inflation = analysis::compute_cdn_inflation(w.server_log_table(), w.cdn_net());
 
     {
         const auto path = dir / "fig02a_root_geographic_inflation.csv";
@@ -63,7 +64,7 @@ std::vector<std::string> write_figure_csvs(const world& w, const std::string& di
     }
     {
         const auto amortized = analysis::compute_amortization(
-            w.filtered(), w.users(), w.cdn_user_counts(), w.apnic_user_counts(),
+            w.filtered_tables(), w.users(), w.cdn_user_counts(), w.apnic_user_counts(),
             w.as_mapper(), w.config().query_model);
         const auto path = dir / "fig03_queries_per_user.csv";
         auto out = open_csv(path, "series,queries_per_user_day,cdf");

@@ -93,6 +93,14 @@ world::world(world_config config)
             *cdn_, *users_, config_.telemetry, rand::mix_seed(config_.seed, 11), pool);
         return client_rows_.size();
     });
+    stages.add("tables", {"filter", "server_logs"}, [&] {
+        // Columnar views built once; every analysis pass reads these.
+        filtered_tables_ = capture::to_tables(filtered_);
+        server_log_table_ = cdn::to_table(server_logs_);
+        std::size_t rows = server_log_table_.rows();
+        for (const auto& t : filtered_tables_) rows += t.rows();
+        return rows;
+    });
     stages.add("fleet", {"client_rows"}, [&] {
         auto fleet_plan = config_.atlas;
         fleet_plan.seed = rand::mix_seed(config_.seed, 12);

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/atlas/atlas.h"
@@ -76,9 +77,18 @@ public:
     [[nodiscard]] const std::vector<capture::filtered_letter>& filtered() const noexcept {
         return filtered_;
     }
+    /// Columnar view of the filtered captures, built once at construction;
+    /// the analysis kernels consume these instead of re-converting rows.
+    [[nodiscard]] std::span<const capture::letter_table> filtered_tables() const noexcept {
+        return filtered_tables_;
+    }
     [[nodiscard]] const cdn::cdn_network& cdn_net() const noexcept { return *cdn_; }
     [[nodiscard]] const std::vector<cdn::server_log_row>& server_logs() const noexcept {
         return server_logs_;
+    }
+    /// Columnar view of the server-side logs, built once at construction.
+    [[nodiscard]] const cdn::server_log_table& server_log_table() const noexcept {
+        return server_log_table_;
     }
     [[nodiscard]] const std::vector<cdn::client_measurement_row>& client_measurements()
         const noexcept {
@@ -91,6 +101,10 @@ public:
     /// Per-stage construction instrumentation (wall time, item counts),
     /// rendered by `acctx world --timing` and bench_world_build.
     [[nodiscard]] const engine::stage_report& timing() const noexcept { return timing_; }
+
+    /// The construction pool, reusable by analyses (null-safe call sites:
+    /// serial configs still return a valid pool that runs inline).
+    [[nodiscard]] engine::thread_pool* pool() const noexcept { return pool_.get(); }
 
 private:
     world_config config_;
@@ -108,7 +122,9 @@ private:
     std::vector<dns::recursive_query_profile> profiles_;
     capture::ditl_dataset ditl_;
     std::vector<capture::filtered_letter> filtered_;
+    std::vector<capture::letter_table> filtered_tables_;
     std::vector<cdn::server_log_row> server_logs_;
+    cdn::server_log_table server_log_table_;
     std::vector<cdn::client_measurement_row> client_rows_;
     std::unique_ptr<atlas::probe_fleet> fleet_;
     std::unique_ptr<topo::ip_to_asn> ip_to_asn_;

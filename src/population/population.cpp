@@ -205,11 +205,14 @@ std::optional<double> cdn_user_counts::count(net::ipv4_addr ip) const {
 }
 
 std::vector<net::slash24> cdn_user_counts::observed_blocks() const {
+    // Ascending key order: hash order must not leak out of the accessor.
     std::vector<net::slash24> out;
     out.reserve(by_block_.size());
     for (const auto& [key, _] : by_block_) {
         out.push_back(net::slash24{net::ipv4_addr{key << 8}});
     }
+    std::sort(out.begin(), out.end(),
+              [](net::slash24 a, net::slash24 b) { return a.key() < b.key(); });
     return out;
 }
 
@@ -217,6 +220,8 @@ std::vector<net::ipv4_addr> cdn_user_counts::observed_ips() const {
     std::vector<net::ipv4_addr> out;
     out.reserve(by_ip_.size());
     for (const auto& [value, _] : by_ip_) out.push_back(net::ipv4_addr{value});
+    std::sort(out.begin(), out.end(),
+              [](net::ipv4_addr a, net::ipv4_addr b) { return a.value() < b.value(); });
     return out;
 }
 

@@ -1,0 +1,43 @@
+// Typed columnar storage: one contiguous array per attribute.
+//
+// The dataset-heavy layers (capture records, CDN telemetry, analysis
+// intermediates) store their rows as structs-of-arrays built from these
+// columns, so a pass that touches one attribute streams through memory
+// instead of striding over wide row structs. Columns are plain value
+// containers; all views are zero-copy `std::span`s.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ac::table {
+
+/// One typed column. T is any trivially copyable scalar: u32/u64/f64, an
+/// enum, or a small id type.
+template <typename T>
+class column {
+public:
+    using value_type = T;
+
+    column() = default;
+    explicit column(std::vector<T> values) : values_(std::move(values)) {}
+
+    void reserve(std::size_t n) { values_.reserve(n); }
+    void push_back(T v) { values_.push_back(v); }
+    void clear() { values_.clear(); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+    [[nodiscard]] T operator[](std::size_t i) const noexcept { return values_[i]; }
+
+    /// Zero-copy view over the column's values.
+    [[nodiscard]] std::span<const T> view() const noexcept { return values_; }
+    [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
+
+private:
+    std::vector<T> values_;
+};
+
+} // namespace ac::table

@@ -2,6 +2,8 @@
 // hand-built inputs, joins, overlap, and favorite-site fractions.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/analysis/deployment_metrics.h"
 #include "src/analysis/inflation.h"
 #include "src/analysis/join.h"
@@ -211,6 +213,114 @@ TEST_F(JoinFixture, OverlapImprovesWithSlash24) {
         EXPECT_LE(stats->ditl_recursives, 1.0);
         EXPECT_GE(stats->cdn_volume, 0.0);
         EXPECT_LE(stats->cdn_volume, 1.0);
+    }
+}
+
+// A brute-force row-scan reference for the Table 4 overlap statistics:
+// std::map accumulation in row order, totals in ascending key order — the
+// exact floating-point accumulation order the columnar merge-join contracts
+// to reproduce, so every stat must match bitwise.
+analysis::overlap_stats reference_overlap(std::span<const capture::filtered_letter> letters,
+                                          const pop::cdn_user_counts& cdn_users,
+                                          bool by_slash24) {
+    std::map<std::uint32_t, double> ditl;
+    for (const auto& letter : letters) {
+        for (const auto& r : letter.records) {
+            const std::uint32_t key =
+                by_slash24 ? net::slash24{r.source_ip}.key() : r.source_ip.value();
+            ditl[key] += r.queries_per_day;
+        }
+    }
+
+    const auto cdn_count = [&](std::uint32_t key) {
+        return by_slash24 ? cdn_users.count(net::slash24{net::ipv4_addr{key << 8}})
+                          : cdn_users.count(net::ipv4_addr{key});
+    };
+
+    double ditl_total = 0.0;
+    double ditl_matched = 0.0;
+    std::size_t ditl_matched_sources = 0;
+    for (const auto& [key, volume] : ditl) ditl_total += volume;
+    for (const auto& [key, volume] : ditl) {
+        if (cdn_count(key)) {
+            ditl_matched += volume;
+            ++ditl_matched_sources;
+        }
+    }
+
+    std::vector<std::uint32_t> observed;
+    if (by_slash24) {
+        for (const auto block : cdn_users.observed_blocks()) observed.push_back(block.key());
+    } else {
+        for (const auto ip : cdn_users.observed_ips()) observed.push_back(ip.value());
+    }
+    double cdn_total = 0.0;
+    double cdn_matched = 0.0;
+    std::size_t cdn_matched_sources = 0;
+    for (const auto key : observed) cdn_total += cdn_count(key).value_or(0.0);
+    for (const auto key : observed) {
+        if (ditl.contains(key)) {
+            cdn_matched += cdn_count(key).value_or(0.0);
+            ++cdn_matched_sources;
+        }
+    }
+
+    analysis::overlap_stats stats;
+    stats.ditl_recursives = ditl.empty() ? 0.0
+                                         : static_cast<double>(ditl_matched_sources) /
+                                               static_cast<double>(ditl.size());
+    stats.ditl_volume = ditl_total > 0.0 ? ditl_matched / ditl_total : 0.0;
+    stats.cdn_recursives = observed.empty() ? 0.0
+                                            : static_cast<double>(cdn_matched_sources) /
+                                                  static_cast<double>(observed.size());
+    stats.cdn_volume = cdn_total > 0.0 ? cdn_matched / cdn_total : 0.0;
+    return stats;
+}
+
+TEST_F(JoinFixture, OverlapMatchesBruteForceRowScan) {
+    const auto columnar = analysis::compute_overlap(w().filtered(), w().cdn_user_counts());
+    for (const bool by_slash24 : {false, true}) {
+        const auto reference = reference_overlap(w().filtered(), w().cdn_user_counts(),
+                                                 by_slash24);
+        const auto& stats = by_slash24 ? columnar.by_slash24 : columnar.by_ip;
+        EXPECT_DOUBLE_EQ(stats.ditl_recursives, reference.ditl_recursives) << by_slash24;
+        EXPECT_DOUBLE_EQ(stats.ditl_volume, reference.ditl_volume) << by_slash24;
+        EXPECT_DOUBLE_EQ(stats.cdn_recursives, reference.cdn_recursives) << by_slash24;
+        EXPECT_DOUBLE_EQ(stats.cdn_volume, reference.cdn_volume) << by_slash24;
+    }
+}
+
+TEST_F(JoinFixture, ExactIpJoinMatchesBruteForceRowScan) {
+    // The join_by_slash24=false sensitivity path (Fig. 9) against a std::map
+    // row-scan reference of the CDN line.
+    analysis::amortization_options by_ip_options;
+    by_ip_options.join_by_slash24 = false;
+    const auto columnar = analysis::compute_amortization(
+        w().filtered(), w().users(), w().cdn_user_counts(), w().apnic_user_counts(),
+        w().as_mapper(), w().config().query_model, by_ip_options);
+
+    std::map<std::uint32_t, double> volumes;  // by exact source IP
+    for (const auto& letter : w().filtered()) {
+        for (const auto& r : letter.records) volumes[r.source_ip.value()] += r.queries_per_day;
+    }
+    analysis::weighted_cdf cdn_reference;
+    double total_volume = 0.0;
+    double attributed = 0.0;
+    for (const auto& [ip, volume] : volumes) {
+        total_volume += volume;
+        const auto users = w().cdn_user_counts().count(net::ipv4_addr{ip});
+        if (users && *users > 0.0) {
+            cdn_reference.add(volume / *users, *users);
+            attributed += volume;
+        }
+    }
+
+    ASSERT_FALSE(columnar.cdn.empty());
+    EXPECT_EQ(columnar.cdn.size(), cdn_reference.size());
+    EXPECT_DOUBLE_EQ(columnar.attributed_volume_fraction, attributed / total_volume);
+    EXPECT_DOUBLE_EQ(columnar.cdn.total_weight(), cdn_reference.total_weight());
+    for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        EXPECT_DOUBLE_EQ(columnar.cdn.quantile(q), cdn_reference.quantile(q)) << q;
     }
 }
 

@@ -1,6 +1,7 @@
 // Figure CSV exports.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -33,6 +34,22 @@ protected:
         std::string line;
         while (std::getline(in, line)) lines.push_back(line);
         return lines;
+    }
+
+    static std::string read_bytes(const std::string& path) {
+        std::ifstream in{path, std::ios::binary};
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+    }
+
+    static std::uint64_t fnv1a(const std::string& bytes) {
+        std::uint64_t hash = 0xcbf29ce484222325ull;
+        for (const unsigned char c : bytes) {
+            hash ^= c;
+            hash *= 0x100000001b3ull;
+        }
+        return hash;
     }
 };
 
@@ -90,6 +107,49 @@ TEST_F(ReportFixture, CdfColumnsAreMonotone) {
             EXPECT_GE(q, it->second - 1e-12);
         }
         last_cdf[series] = q;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(ReportFixture, IdenticalWorldsRenderIdenticalReports) {
+    // No hash iteration order may leak into the figures: a second world built
+    // from the same config must render byte-identical CSVs.
+    const core::world other{core::world_config::small()};
+    const auto dir_a = temp_dir() += "_a";
+    const auto dir_b = temp_dir() += "_b";
+    const auto files_a = core::write_figure_csvs(w(), dir_a.string());
+    const auto files_b = core::write_figure_csvs(other, dir_b.string());
+    ASSERT_EQ(files_a.size(), files_b.size());
+    for (std::size_t i = 0; i < files_a.size(); ++i) {
+        EXPECT_EQ(read_bytes(files_a[i]), read_bytes(files_b[i]))
+            << files_a[i] << " vs " << files_b[i];
+    }
+    std::filesystem::remove_all(dir_a);
+    std::filesystem::remove_all(dir_b);
+}
+
+TEST_F(ReportFixture, GoldenChecksumsPinFigureBytes) {
+    // FNV-1a checksums captured from the row-oriented pipeline before the
+    // columnar refactor: the shared table kernels must keep every figure
+    // byte-identical. A deliberate analysis change must update these pins.
+    const std::map<std::string, std::uint64_t> golden{
+        {"fig02a_root_geographic_inflation.csv", 0xf89b2711a8752802ull},
+        {"fig02b_root_latency_inflation.csv", 0x6a9c3423ad802dbdull},
+        {"fig03_queries_per_user.csv", 0x3ece8f7160e524bcull},
+        {"fig05a_cdn_geographic_inflation.csv", 0x5d7265254d591962ull},
+        {"fig05b_cdn_latency_inflation.csv", 0xf9188357f8e7a56full},
+        {"fig06a_as_path_lengths.csv", 0xe720d1e81e60ee21ull},
+        {"fig07a_size_latency_efficiency.csv", 0xdc045b25c74e6a2bull},
+        {"fig07b_coverage.csv", 0x8131c0bca505e0dcull},
+    };
+    const auto dir = temp_dir();
+    const auto files = core::write_figure_csvs(w(), dir.string());
+    ASSERT_EQ(files.size(), golden.size());
+    for (const auto& f : files) {
+        const auto name = std::filesystem::path{f}.filename().string();
+        const auto it = golden.find(name);
+        ASSERT_NE(it, golden.end()) << "unexpected figure file " << name;
+        EXPECT_EQ(fnv1a(read_bytes(f)), it->second) << name;
     }
     std::filesystem::remove_all(dir);
 }

@@ -1,0 +1,179 @@
+// The columnar table kernels: stable sorting, grouping, reductions, and the
+// determinism contract the analyses build on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "src/engine/thread_pool.h"
+#include "src/netbase/rng.h"
+#include "src/table/table.h"
+
+namespace {
+
+using namespace ac;
+
+template <typename K>
+std::vector<K> random_keys(std::size_t n, K modulus, std::uint64_t seed) {
+    rand::rng gen{seed};
+    std::vector<K> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        keys.push_back(static_cast<K>(gen.next() % modulus));
+    }
+    return keys;
+}
+
+TEST(SortPermutation, MatchesStableSortOnRandomU32) {
+    const auto keys = random_keys<std::uint32_t>(5000, 1u << 20, 7);
+    const auto radix = table::sort_permutation(std::span<const std::uint32_t>{keys});
+
+    std::vector<table::row_index> reference(keys.size());
+    std::iota(reference.begin(), reference.end(), table::row_index{0});
+    std::stable_sort(reference.begin(), reference.end(),
+                     [&](table::row_index a, table::row_index b) { return keys[a] < keys[b]; });
+    EXPECT_EQ(radix, reference);
+}
+
+TEST(SortPermutation, MatchesStableSortOnRandomU64) {
+    // Keys spread over high bytes too, so no byte pass is skipped.
+    const auto keys = random_keys<std::uint64_t>(3000, ~0ull, 11);
+    const auto radix = table::sort_permutation(std::span<const std::uint64_t>{keys});
+
+    std::vector<table::row_index> reference(keys.size());
+    std::iota(reference.begin(), reference.end(), table::row_index{0});
+    std::stable_sort(reference.begin(), reference.end(),
+                     [&](table::row_index a, table::row_index b) { return keys[a] < keys[b]; });
+    EXPECT_EQ(radix, reference);
+}
+
+TEST(SortPermutation, StableOnHeavyDuplicates) {
+    // 8 distinct keys over 2000 rows: equal keys must keep input order.
+    const auto keys = random_keys<std::uint32_t>(2000, 8, 3);
+    const auto perm = table::sort_permutation(std::span<const std::uint32_t>{keys});
+    for (std::size_t i = 1; i < perm.size(); ++i) {
+        ASSERT_LE(keys[perm[i - 1]], keys[perm[i]]);
+        if (keys[perm[i - 1]] == keys[perm[i]]) {
+            ASSERT_LT(perm[i - 1], perm[i]) << "equal keys out of input order at " << i;
+        }
+    }
+}
+
+TEST(SortPermutation, EmptyAndSingle) {
+    const std::vector<std::uint32_t> empty;
+    EXPECT_TRUE(table::sort_permutation(std::span<const std::uint32_t>{empty}).empty());
+    const std::vector<std::uint32_t> one{42};
+    EXPECT_EQ(table::sort_permutation(std::span<const std::uint32_t>{one}),
+              std::vector<table::row_index>{0});
+}
+
+TEST(Gather, PermutesValues) {
+    const std::vector<double> values{10.0, 20.0, 30.0};
+    const std::vector<table::row_index> perm{2, 0, 1};
+    EXPECT_EQ(table::gather(std::span<const double>{values}, perm),
+              (std::vector<double>{30.0, 10.0, 20.0}));
+}
+
+TEST(Grouping, OffsetsCoverAllRowsInAscendingKeyOrder) {
+    const auto keys = random_keys<std::uint32_t>(1000, 50, 5);
+    const auto g = table::make_grouping(std::span<const std::uint32_t>{keys});
+
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < g.groups(); ++i) {
+        if (i > 0) {
+            EXPECT_LT(g.keys[i - 1], g.keys[i]);
+        }
+        const auto rows = g.rows(i);
+        EXPECT_FALSE(rows.empty());
+        for (const auto row : rows) EXPECT_EQ(keys[row], g.keys[i]);
+        covered += rows.size();
+    }
+    EXPECT_EQ(covered, keys.size());
+}
+
+TEST(Grouping, SumByMatchesMapReference) {
+    const auto keys = random_keys<std::uint32_t>(2000, 100, 13);
+    rand::rng gen{17};
+    std::vector<double> values;
+    values.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) values.push_back(gen.uniform(0.0, 10.0));
+
+    const auto g = table::make_grouping(std::span<const std::uint32_t>{keys});
+    const auto sums = table::sum_by(g, std::span<const double>{values});
+
+    // Row-order accumulation per key: bitwise, not just approximately.
+    std::map<std::uint32_t, double> reference;
+    for (std::size_t i = 0; i < keys.size(); ++i) reference[keys[i]] += values[i];
+    ASSERT_EQ(sums.size(), reference.size());
+    std::size_t i = 0;
+    for (const auto& [key, total] : reference) {
+        EXPECT_EQ(g.keys[i], key);
+        EXPECT_DOUBLE_EQ(sums[i], total);
+        ++i;
+    }
+}
+
+TEST(Grouping, GroupReduceParallelMatchesSerial) {
+    const auto keys = random_keys<std::uint32_t>(5000, 200, 23);
+    rand::rng gen{29};
+    std::vector<double> values;
+    values.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) values.push_back(gen.uniform(0.0, 1.0));
+
+    const auto g = table::make_grouping(std::span<const std::uint32_t>{keys});
+    const auto reduce = [&](std::uint32_t key, std::span<const table::row_index> rows) {
+        double total = static_cast<double>(key);
+        for (const auto row : rows) total += values[row];
+        return total;
+    };
+
+    const auto serial = table::group_reduce<double>(nullptr, g, reduce);
+    engine::thread_pool pool{4};
+    const auto parallel = table::group_reduce<double>(&pool, g, reduce);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i], parallel[i]) << "group " << i;  // bitwise
+    }
+}
+
+TEST(DistinctCount, MatchesSetSemantics) {
+    const auto keys = random_keys<std::uint32_t>(3000, 70, 31);
+    std::unordered_map<std::uint32_t, int> seen;
+    for (const auto k : keys) seen[k] = 1;
+    EXPECT_EQ(table::distinct_count(std::span<const std::uint32_t>{keys}), seen.size());
+
+    const std::vector<std::uint32_t> empty;
+    EXPECT_EQ(table::distinct_count(std::span<const std::uint32_t>{empty}), 0u);
+}
+
+TEST(SortedLookup, FindsPresentKeysAndKeepsLastDuplicate) {
+    const std::vector<std::uint64_t> keys{9, 3, 7, 3, 1};
+    const std::vector<double> values{90.0, 30.0, 70.0, 33.0, 10.0};
+    const table::sorted_lookup<std::uint64_t, double> lookup{
+        std::span<const std::uint64_t>{keys}, std::span<const double>{values}};
+
+    EXPECT_EQ(lookup.size(), 4u);
+    ASSERT_NE(lookup.find(1), nullptr);
+    EXPECT_DOUBLE_EQ(*lookup.find(1), 10.0);
+    ASSERT_NE(lookup.find(3), nullptr);
+    EXPECT_DOUBLE_EQ(*lookup.find(3), 33.0);  // last occurrence wins, as map[k] = v
+    ASSERT_NE(lookup.find(9), nullptr);
+    EXPECT_DOUBLE_EQ(*lookup.find(9), 90.0);
+    EXPECT_EQ(lookup.find(2), nullptr);
+    EXPECT_EQ(lookup.find(100), nullptr);
+}
+
+TEST(Column, PushAndView) {
+    table::column<std::uint32_t> col;
+    EXPECT_EQ(col.size(), 0u);
+    col.reserve(3);
+    col.push_back(5);
+    col.push_back(6);
+    EXPECT_EQ(col.size(), 2u);
+    EXPECT_EQ(col[1], 6u);
+    const auto view = col.view();
+    ASSERT_EQ(view.size(), 2u);
+    EXPECT_EQ(view[0], 5u);
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 // Every world-building command accepts --threads N (0 = hardware
 // concurrency, 1 = serial); thread count never changes output bytes.
 //
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -55,16 +56,55 @@ struct cli_options {
     std::exit(code);
 }
 
+/// Flags each command accepts. A flag that exists but does not apply to the
+/// chosen command is a hard error, not a silent no-op: a typo like
+/// `acctx analyze --out F` would otherwise run and discard the flag.
+bool flag_applies(const std::string& command, const std::string& flag) {
+    static const std::map<std::string, std::vector<std::string>> allowed{
+        {"world", {"--seed", "--scale", "--year", "--threads", "--timing"}},
+        {"inflation", {"--seed", "--scale", "--year", "--threads"}},
+        {"amortize", {"--seed", "--scale", "--year", "--threads"}},
+        {"cdn", {"--seed", "--scale", "--year", "--threads"}},
+        {"export", {"--seed", "--scale", "--year", "--threads", "--out"}},
+        {"report", {"--seed", "--scale", "--year", "--threads", "--out"}},
+        {"analyze", {"--in"}},
+    };
+    const auto it = allowed.find(command);
+    if (it == allowed.end()) return false;
+    return std::find(it->second.begin(), it->second.end(), flag) != it->second.end();
+}
+
+bool known_command(const std::string& command) {
+    return flag_applies(command, "--seed") || command == "analyze";
+}
+
 cli_options parse_args(int argc, char** argv) {
     if (argc < 2) usage(2);
     cli_options options;
     options.command = argv[1];
+    if (options.command == "--help" || options.command == "-h") usage(0);
+    if (!known_command(options.command)) {
+        std::cerr << "acctx: unknown command '" << options.command << "'\n";
+        usage(2);
+    }
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> std::string {
             if (i + 1 >= argc) usage(2);
             return argv[++i];
         };
+        auto check_applies = [&] {
+            if (!flag_applies(options.command, arg)) {
+                std::cerr << "acctx " << options.command << ": option " << arg
+                          << " does not apply\n";
+                usage(2);
+            }
+        };
+        if (arg == "--help" || arg == "-h") usage(0);
+        if (arg == "--seed" || arg == "--scale" || arg == "--year" || arg == "--threads" ||
+            arg == "--timing" || arg == "--in" || arg == "--out") {
+            check_applies();
+        }
         if (arg == "--seed") {
             options.seed = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--scale") {
@@ -93,8 +133,6 @@ cli_options parse_args(int argc, char** argv) {
             options.in_path = value();
         } else if (arg == "--out") {
             options.out_path = value();
-        } else if (arg == "--help" || arg == "-h") {
-            usage(0);
         } else {
             std::cerr << "acctx: unknown option " << arg << "\n";
             usage(2);
@@ -135,8 +173,8 @@ int cmd_world(const cli_options& options) {
 
 int cmd_inflation(const cli_options& options) {
     const auto w = build_world(options);
-    const auto result = analysis::compute_root_inflation(w.filtered(), w.roots(), w.geodb(),
-                                                         w.cdn_user_counts());
+    const auto result = analysis::compute_root_inflation(
+        w.filtered_tables(), w.roots(), w.geodb(), w.cdn_user_counts(), {}, w.pool());
     std::cout << "geographic inflation per root query (ms):\n";
     for (const auto& [letter, cdf] : result.geographic) {
         core::print_cdf_row(std::cout, std::string{letter}, cdf);
@@ -153,8 +191,8 @@ int cmd_inflation(const cli_options& options) {
 int cmd_amortize(const cli_options& options) {
     const auto w = build_world(options);
     const auto result = analysis::compute_amortization(
-        w.filtered(), w.users(), w.cdn_user_counts(), w.apnic_user_counts(), w.as_mapper(),
-        w.config().query_model);
+        w.filtered_tables(), w.users(), w.cdn_user_counts(), w.apnic_user_counts(),
+        w.as_mapper(), w.config().query_model);
     core::print_cdf_row(std::cout, "Ideal", result.ideal, "q/user/day");
     core::print_cdf_row(std::cout, "CDN", result.cdn, "q/user/day");
     core::print_cdf_row(std::cout, "APNIC", result.apnic, "q/user/day");
@@ -163,7 +201,7 @@ int cmd_amortize(const cli_options& options) {
 
 int cmd_cdn(const cli_options& options) {
     const auto w = build_world(options);
-    const auto result = analysis::compute_cdn_inflation(w.server_logs(), w.cdn_net());
+    const auto result = analysis::compute_cdn_inflation(w.server_log_table(), w.cdn_net());
     for (int ring = 0; ring < w.cdn_net().ring_count(); ++ring) {
         core::print_cdf_row(std::cout, w.cdn_net().ring_name(ring) + " geographic",
                             result.geographic_by_ring[static_cast<std::size_t>(ring)]);
@@ -252,6 +290,5 @@ int main(int argc, char** argv) {
         std::cerr << "acctx: " << e.what() << "\n";
         return 1;
     }
-    std::cerr << "acctx: unknown command '" << options.command << "'\n";
-    usage(2);
+    usage(2);  // unreachable: parse_args validated the command
 }
