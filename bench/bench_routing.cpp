@@ -1,0 +1,193 @@
+// Route-selection fast-path baseline: measures select_many throughput over
+// every user <region, AS> source against the CDN PoP RIB, comparing
+//
+//   * reference  — pre-index selection (per-call route-row rescan plus
+//     on-the-fly haversine hot-potato geometry),
+//   * uncached   — indexed selection (best-route index + geo tables), no
+//     memoization,
+//   * cold       — first select_many pass on a fresh RIB (cache fills),
+//   * warm       — repeated select_many on the filled cache,
+//
+// each at 1 thread and on the pool, and exports BENCH_routing.json. The
+// acceptance bar for the fast path is warm >= 5x over cold.
+//
+//   bench_routing [--threads N] [--repeat R] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/world.h"
+
+namespace {
+
+using namespace ac;
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+    return std::chrono::duration<double, std::milli>(clock_type::now() - start).count();
+}
+
+std::vector<route::source_key> dedup_sources(const pop::user_base& users) {
+    std::vector<route::source_key> sources;
+    sources.reserve(users.locations().size());
+    for (const auto& loc : users.locations()) {
+        sources.push_back(route::source_key{loc.asn, loc.region});
+    }
+    std::sort(sources.begin(), sources.end(), [](const auto& a, const auto& b) {
+        return a.asn != b.asn ? a.asn < b.asn : a.region < b.region;
+    });
+    sources.erase(std::unique(sources.begin(), sources.end(),
+                              [](const auto& a, const auto& b) {
+                                  return a.asn == b.asn && a.region == b.region;
+                              }),
+                  sources.end());
+    return sources;
+}
+
+route::anycast_rib fresh_rib(const core::world& w, engine::thread_pool* pool) {
+    return route::anycast_rib{w.graph(), w.regions(), w.cdn_net().pop_rib().announcements(),
+                             pool};
+}
+
+struct timings {
+    double reference_ms = 0.0;  // select_reference loop (pre-fast-path)
+    double uncached_ms = 0.0;   // select_uncached loop (indexed, no cache)
+    double cold_ms = 0.0;       // first select_many on a fresh rib
+    double warm_ms = 0.0;       // best repeated select_many on the filled cache
+    double hit_rate = 0.0;      // cache hit share after all passes
+};
+
+timings run(const core::world& w, std::span<const route::source_key> sources,
+            engine::thread_pool* pool, int repeat) {
+    timings t;
+
+    {
+        const auto rib = fresh_rib(w, pool);
+        auto start = clock_type::now();
+        for (const auto& s : sources) (void)rib.select_reference(s.asn, s.region);
+        t.reference_ms = ms_since(start);
+        for (int i = 1; i < repeat; ++i) {
+            start = clock_type::now();
+            for (const auto& s : sources) (void)rib.select_reference(s.asn, s.region);
+            t.reference_ms = std::min(t.reference_ms, ms_since(start));
+        }
+
+        start = clock_type::now();
+        for (const auto& s : sources) (void)rib.select_uncached(s.asn, s.region);
+        t.uncached_ms = ms_since(start);
+        for (int i = 1; i < repeat; ++i) {
+            start = clock_type::now();
+            for (const auto& s : sources) (void)rib.select_uncached(s.asn, s.region);
+            t.uncached_ms = std::min(t.uncached_ms, ms_since(start));
+        }
+    }
+
+    // Cold vs warm on one rib: the first pass fills the cache, later passes
+    // hit it. Cold is not best-of-R (a second "cold" pass would be warm).
+    const auto rib = fresh_rib(w, pool);
+    auto start = clock_type::now();
+    (void)rib.select_many(sources, pool);
+    t.cold_ms = ms_since(start);
+
+    start = clock_type::now();
+    (void)rib.select_many(sources, pool);
+    t.warm_ms = ms_since(start);
+    for (int i = 1; i < repeat; ++i) {
+        start = clock_type::now();
+        (void)rib.select_many(sources, pool);
+        t.warm_ms = std::min(t.warm_ms, ms_since(start));
+    }
+
+    const auto stats = rib.select_cache_stats();
+    const auto lookups = stats.hits + stats.misses;
+    t.hit_rate = lookups == 0 ? 0.0
+                              : static_cast<double>(stats.hits) / static_cast<double>(lookups);
+    return t;
+}
+
+void write_timings(std::ostream& out, const char* key, int threads, const timings& t) {
+    out << "  \"" << key << "\": {\"threads\": " << threads
+        << ", \"reference_ms\": " << t.reference_ms << ", \"uncached_ms\": " << t.uncached_ms
+        << ", \"cold_ms\": " << t.cold_ms << ", \"warm_ms\": " << t.warm_ms
+        << ", \"cache_hit_rate\": " << t.hit_rate << "}";
+}
+
+void write_report(std::ostream& out, std::size_t sources, const timings& serial,
+                  const timings& parallel, int threads) {
+    out << "{\n  \"bench\": \"routing\",\n  \"scale\": \"small\",\n";
+    out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"sources\": " << sources << ",\n";
+    write_timings(out, "serial", 1, serial);
+    out << ",\n";
+    write_timings(out, "parallel", threads, parallel);
+    out << ",\n";
+    out << "  \"index_speedup_serial\": " << (serial.reference_ms / serial.uncached_ms)
+        << ",\n";
+    out << "  \"warm_cache_speedup_serial\": " << (serial.cold_ms / serial.warm_ms) << ",\n";
+    out << "  \"warm_cache_speedup_parallel\": " << (parallel.cold_ms / parallel.warm_ms)
+        << "\n}\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    int threads = 0;
+    int repeat = 5;
+    std::string out_path = "BENCH_routing.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_routing: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads") {
+            threads = std::atoi(value());
+        } else if (arg == "--repeat") {
+            repeat = std::max(1, std::atoi(value()));
+        } else if (arg == "--out") {
+            out_path = value();
+        } else {
+            std::cerr << "usage: bench_routing [--threads N] [--repeat R] [--out FILE]\n";
+            return 2;
+        }
+    }
+    if (threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 1 ? static_cast<int>(hw) : 4;
+    }
+
+    std::cerr << "building small world...\n";
+    auto config = core::world_config::small();
+    config.threads = 1;
+    const core::world w{std::move(config)};
+    const auto sources = dedup_sources(w.users());
+    std::cerr << sources.size() << " distinct <AS, region> sources\n";
+
+    std::cerr << "measuring serial selection (threads=1)...\n";
+    const auto serial = run(w, sources, nullptr, repeat);
+    std::cerr << "measuring pooled selection (threads=" << threads << ")...\n";
+    engine::thread_pool pool{threads};
+    const auto parallel = run(w, sources, &pool, repeat);
+
+    write_report(std::cout, sources.size(), serial, parallel, threads);
+    std::ofstream out{out_path};
+    if (!out) {
+        std::cerr << "bench_routing: cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    write_report(out, sources.size(), serial, parallel, threads);
+    std::cerr << "wrote " << out_path << " (warm cache speedup "
+              << (serial.cold_ms / serial.warm_ms) << "x serial)\n";
+    return 0;
+}

@@ -3,7 +3,9 @@
 #
 #   ci/verify.sh           tier-1 (build + ctest)
 #   ci/verify.sh --tsan    additionally build with AC_SANITIZE=thread and run
-#                          the engine tests under TSan (build-tsan/)
+#                          the engine + routing tests under TSan (build-tsan/;
+#                          routing_test covers the concurrent select-cache
+#                          fill stress)
 #   ci/verify.sh --asan    additionally build with AC_SANITIZE=address
 #                          (ASan+UBSan) and run the tier-1 suite (build-asan/)
 set -euo pipefail
@@ -17,8 +19,9 @@ ctest --test-dir build --output-on-failure -j "${jobs}"
 
 if [[ "${1:-}" == "--tsan" ]]; then
     cmake -B build-tsan -S . -DAC_SANITIZE=thread
-    cmake --build build-tsan -j "${jobs}" --target engine_test
+    cmake --build build-tsan -j "${jobs}" --target engine_test --target routing_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
+    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/routing_test
 fi
 
 if [[ "${1:-}" == "--asan" ]]; then

@@ -74,6 +74,31 @@ cdn_network::cdn_network(const cdn_plan& plan, topo::as_graph& graph,
     }
     pop_rib_ = std::make_unique<route::anycast_rib>(graph, regions, std::move(announcements),
                                                     pool);
+
+    // Precompute every (ingress PoP, ring) WAN leg. Same argmin loop (strict
+    // less, members in ring order) over the same distance values the per-call
+    // scan used — the distance matrix is bit-identical to haversine — so the
+    // chosen front-end and RTT are unchanged.
+    const std::size_t rings = plan_.ring_sizes.size();
+    internal_legs_.resize(front_ends_.size() * rings);
+    for (std::size_t site = 0; site < front_ends_.size(); ++site) {
+        for (std::size_t ring = 0; ring < rings; ++ring) {
+            const int members = plan_.ring_sizes[ring];
+            int best_fe = 0;
+            double best_km = std::numeric_limits<double>::infinity();
+            for (int i = 0; i < members; ++i) {
+                const double d = regions.distance_km(
+                    front_ends_[site], front_ends_[static_cast<std::size_t>(i)]);
+                if (d < best_km) {
+                    best_km = d;
+                    best_fe = i;
+                }
+            }
+            internal_legs_[site * rings + ring] = internal_leg{
+                best_fe, geo::round_trip_fiber_ms(best_km * plan_.wan_circuitousness) +
+                             (best_km > 1.0 ? 0.3 : 0.0)};
+        }
+    }
 }
 
 std::string cdn_network::ring_name(int ring) const {
@@ -92,21 +117,12 @@ std::optional<cdn_network::cdn_path> cdn_network::evaluate(topo::asn_t asn,
     path.external_rtt_ms = external->rtt_ms;
     path.as_path = external->as_path;
 
-    // Internal leg: nearest ring front-end to the ingress PoP over the WAN.
-    const geo::point pop_loc = regions_->at(path.ingress_pop).location;
-    const int members = ring_size(ring);
-    int best_fe = 0;
-    double best_km = std::numeric_limits<double>::infinity();
-    for (int i = 0; i < members; ++i) {
-        const double d = geo::distance_km(pop_loc, regions_->at(front_ends_[static_cast<std::size_t>(i)]).location);
-        if (d < best_km) {
-            best_km = d;
-            best_fe = i;
-        }
-    }
-    path.front_end = best_fe;
-    path.internal_rtt_ms =
-        geo::round_trip_fiber_ms(best_km * plan_.wan_circuitousness) + (best_km > 1.0 ? 0.3 : 0.0);
+    // Internal leg: nearest ring front-end to the ingress PoP over the WAN
+    // (precomputed per (PoP, ring) at construction).
+    (void)ring_size(ring);  // bounds check, as the per-call scan had
+    const internal_leg& leg = leg_for(external->site, ring);
+    path.front_end = leg.front_end;
+    path.internal_rtt_ms = leg.rtt_ms;
 
     // Per-(source, ring) steady-state wobble: tiny, but lets a handful of
     // locations regress slightly on a bigger ring, as Fig. 4b observes.
@@ -115,9 +131,8 @@ std::optional<cdn_network::cdn_path> cdn_network::evaluate(topo::asn_t asn,
     path.rtt_ms = (path.external_rtt_ms + path.internal_rtt_ms) *
                   std::exp(jitter.normal(0.0, 0.025));
 
-    const geo::point user_loc = regions_->at(region).location;
     path.front_end_km =
-        geo::distance_km(user_loc, regions_->at(front_ends_[static_cast<std::size_t>(best_fe)]).location);
+        regions_->distance_km(region, front_ends_[static_cast<std::size_t>(leg.front_end)]);
     return path;
 }
 

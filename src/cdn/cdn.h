@@ -81,9 +81,21 @@ public:
     [[nodiscard]] const topo::region_table& regions() const noexcept { return *regions_; }
 
 private:
+    /// The WAN leg from one ingress PoP to one ring is fixed by geography, so
+    /// it is precomputed per (PoP, ring) at construction — `evaluate` then
+    /// does no haversine work and no ring scan.
+    struct internal_leg {
+        int front_end = 0;    // nearest ring member to the ingress PoP
+        double rtt_ms = 0.0;  // WAN round trip to it
+    };
+    [[nodiscard]] const internal_leg& leg_for(std::size_t site, int ring) const noexcept {
+        return internal_legs_[site * plan_.ring_sizes.size() + static_cast<std::size_t>(ring)];
+    }
+
     cdn_plan plan_;
     const topo::region_table* regions_;
     std::vector<topo::region_id> front_ends_;  // importance-ordered
+    std::vector<internal_leg> internal_legs_;  // PoP-major, stride = ring count
     std::unique_ptr<route::anycast_rib> pop_rib_;
 };
 

@@ -94,8 +94,14 @@ void thread_pool::parallel_for(std::size_t count, std::size_t grain,
         return;
     }
     if (grain == 0) {
-        // ~4 chunks per lane keeps load balanced without queue churn.
-        grain = std::max<std::size_t>(1, count / (static_cast<std::size_t>(lanes()) * 4));
+        // ~4 chunks per lane keeps load balanced without queue churn, floored
+        // so tiny ranges don't shatter into dispatch-dominated chunks.
+        grain = std::max(min_items_per_chunk,
+                         count / (static_cast<std::size_t>(lanes()) * 4));
+    }
+    if (count <= grain) {
+        body(0, count);  // single chunk: skip dispatch, exceptions propagate
+        return;
     }
     for (std::size_t begin = 0; begin < count; begin += grain) {
         const std::size_t end = std::min(count, begin + grain);

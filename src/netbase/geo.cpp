@@ -25,6 +25,15 @@ double distance_km(const point& a, const point& b) noexcept {
     return 2.0 * earth_radius_km * std::asin(root);
 }
 
+distance_table::distance_table(std::span<const point> points) : count_(points.size()) {
+    km_.resize(count_ * count_);
+    for (std::size_t a = 0; a < count_; ++a) {
+        for (std::size_t b = 0; b < count_; ++b) {
+            km_[a * count_ + b] = geo::distance_km(points[a], points[b]);
+        }
+    }
+}
+
 point destination(const point& origin, double bearing_deg, double distance_km) noexcept {
     const double lat1 = origin.lat_deg * deg_to_rad;
     const double lon1 = origin.lon_deg * deg_to_rad;

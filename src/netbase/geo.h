@@ -7,6 +7,9 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
 
 namespace ac::geo {
 
@@ -54,6 +57,27 @@ struct point {
 [[nodiscard]] inline double rtt_ms_to_km(double rtt_ms) noexcept {
     return rtt_ms * c_fiber_km_per_ms / 2.0;
 }
+
+/// Dense all-pairs great-circle distance table over a fixed point set.
+///
+/// Entry (a, b) holds exactly `distance_km(points[a], points[b])`, so
+/// consumers replacing on-the-fly haversine calls with lookups stay
+/// bit-identical (the routing fast path depends on this — DESIGN §8).
+class distance_table {
+public:
+    distance_table() = default;
+    explicit distance_table(std::span<const point> points);
+
+    [[nodiscard]] double between(std::size_t a, std::size_t b) const noexcept {
+        return km_[a * count_ + b];
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+private:
+    std::size_t count_ = 0;
+    std::vector<double> km_;  // row-major, count_ x count_
+};
 
 /// Destination point reached by travelling `distance_km` from `origin` on the
 /// initial bearing `bearing_deg` (great-circle forward problem). Used by the

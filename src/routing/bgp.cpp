@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <functional>
 #include <stdexcept>
-#include <unordered_set>
+#include <utility>
 
 #include "src/netbase/geo.h"
 #include "src/netbase/rng.h"
@@ -13,9 +13,36 @@ namespace ac::route {
 
 namespace {
 
-bool better(route_class cls, std::uint8_t len, const site_route& incumbent) {
-    if (cls != incumbent.cls) return cls < incumbent.cls;
-    return len < incumbent.path_len;
+bool better(route_class cls, std::uint8_t len, route_class incumbent_cls,
+            std::uint8_t incumbent_len) {
+    if (cls != incumbent_cls) return cls < incumbent_cls;
+    return len < incumbent_len;
+}
+
+/// Reusable propagation buffers. One instance per worker thread, reused
+/// across announcements and RIBs, so propagate() performs no per-call heap
+/// allocation once the buffers are warm.
+struct propagate_scratch {
+    std::vector<std::uint8_t> suppressed;  // flag per dense AS index
+    std::vector<std::uint32_t> marks;      // set flags, cleared after each call
+    std::vector<std::uint32_t> frontier;   // phase-1 BFS queue (head walks it)
+    struct pending_route {
+        std::uint32_t index = 0;
+        std::uint8_t len = 0;
+        std::uint32_t next = 0;
+        std::uint32_t link = 0;
+    };
+    std::vector<pending_route> pending;    // phase-2 staging
+    std::vector<std::pair<std::uint8_t, std::uint32_t>> heap;  // phase-3 (len, index)
+};
+
+propagate_scratch& local_scratch(std::size_t as_count) {
+    static thread_local propagate_scratch sc;
+    if (sc.suppressed.size() < as_count) sc.suppressed.resize(as_count, 0);
+    // Defensive: if a previous call unwound mid-propagation, clear its marks.
+    for (const std::uint32_t i : sc.marks) sc.suppressed[i] = 0;
+    sc.marks.clear();
+    return sc;
 }
 
 } // namespace
@@ -24,12 +51,18 @@ anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& 
                          std::vector<announcement> announcements, engine::thread_pool* pool)
     : graph_(&graph), regions_(&regions), announcements_(std::move(announcements)) {
     asns_.reserve(graph.as_count());
-    for (const auto& as : graph.all()) {
-        index_.emplace(as.asn, asns_.size());
-        asns_.push_back(as.asn);
-    }
-    routes_.resize(announcements_.size());
-    std::unordered_set<site_id> seen_sites;
+    for (const auto& as : graph.all()) asns_.push_back(as.asn);
+    as_count_ = asns_.size();
+    region_count_ = regions.size();
+
+    const std::size_t cells = announcements_.size() * as_count_;
+    cls_.assign(cells, static_cast<std::uint8_t>(route_class::none));
+    len_.assign(cells, 0);
+    next_idx_.assign(cells, no_next_hop);
+    link_.assign(cells, 0);
+
+    bool unique_sites = true;
+    std::vector<std::uint8_t> seen(announcements_.size(), 0);
     for (const auto& a : announcements_) {
         if (!graph.has_as(a.origin_asn)) {
             throw std::invalid_argument("anycast_rib: announcement from unknown ASN");
@@ -37,37 +70,60 @@ anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& 
         if (a.site >= announcements_.size()) {
             throw std::invalid_argument("anycast_rib: site ids must be dense [0, n)");
         }
-        routes_[a.site].assign(asns_.size(), site_route{});
-        seen_sites.insert(a.site);
+        if (seen[a.site]) unique_sites = false;
+        seen[a.site] = 1;
     }
-    // Each site's propagation writes only its own table, so sites are
+    // Each site's propagation writes only its own matrix row, so sites are
     // independent work items — unless two announcements share a site id, in
-    // which case only the serial order is well-defined.
-    if (seen_sites.size() == announcements_.size()) {
-        engine::parallel_over(pool, announcements_.size(),
-                              [this](std::size_t begin, std::size_t end) {
-                                  for (std::size_t i = begin; i < end; ++i) {
-                                      propagate(announcements_[i]);
-                                  }
-                              });
+    // which case only the serial order is well-defined. Per-site work is
+    // heavy (a full graph traversal), so grain 1 keeps full fan-out despite
+    // the pool's inline threshold for small auto-grain ranges.
+    if (unique_sites) {
+        engine::parallel_over(
+            pool, announcements_.size(),
+            [this](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) propagate(announcements_[i]);
+            },
+            /*grain=*/1);
     } else {
         for (const auto& a : announcements_) propagate(a);
     }
+
+    build_fast_path(pool);
 }
 
 void anycast_rib::propagate(const announcement& a) {
-    auto& table = routes_[a.site];
-    const std::size_t origin = as_index(a.origin_asn);
-    table[origin] = site_route{route_class::origin, 1, 0, 0};
+    propagate_scratch& sc = local_scratch(as_count_);
+    const std::size_t base = static_cast<std::size_t>(a.site) * as_count_;
+    const std::size_t origin = graph_->dense_index(a.origin_asn);
 
-    const std::unordered_set<topo::asn_t> suppressed(a.suppressed_neighbors.begin(),
-                                                     a.suppressed_neighbors.end());
+    const auto cls_at = [&](std::size_t i) { return static_cast<route_class>(cls_[base + i]); };
+    const auto is_better = [&](route_class c, std::uint8_t l, std::size_t i) {
+        return better(c, l, cls_at(i), len_[base + i]);
+    };
+    const auto set = [&](std::size_t i, route_class c, std::uint8_t l, std::uint32_t next,
+                         std::uint32_t link) {
+        cls_[base + i] = static_cast<std::uint8_t>(c);
+        len_[base + i] = l;
+        next_idx_[base + i] = next;
+        link_[base + i] = link;
+    };
+
+    set(origin, route_class::origin, 1, no_next_hop, 0);
+
+    for (const topo::asn_t s : a.suppressed_neighbors) {
+        const std::size_t i = graph_->find_index(s);
+        if (i == topo::as_graph::npos || i >= as_count_) continue;
+        if (!sc.suppressed[i]) {
+            sc.suppressed[i] = 1;
+            sc.marks.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
 
     if (a.scope == announcement_scope::local) {
         // Local sites: announced to direct neighbors with no re-export.
-        for (const auto& nb : graph_->neighbors(a.origin_asn)) {
-            if (suppressed.contains(nb.neighbor)) continue;
-            const std::size_t i = as_index(nb.neighbor);
+        for (const auto& nb : graph_->neighbors_at(origin)) {
+            if (sc.suppressed[nb.neighbor_index]) continue;
             // Relationship seen from the *neighbor*: it learned the route
             // from `origin`, which is its customer/peer/provider.
             const route_class cls = [&] {
@@ -79,30 +135,33 @@ void anycast_rib::propagate(const announcement& a) {
                 }
                 return route_class::none;
             }();
-            if (better(cls, 2, table[i])) {
-                table[i] = site_route{cls, 2, a.origin_asn, nb.link_index};
+            if (is_better(cls, 2, nb.neighbor_index)) {
+                set(nb.neighbor_index, cls, 2, static_cast<std::uint32_t>(origin),
+                    nb.link_index);
             }
         }
+        for (const std::uint32_t i : sc.marks) sc.suppressed[i] = 0;
+        sc.marks.clear();
         return;
     }
 
     // Phase 1: customer routes climb provider links (origin -> its providers
     // -> their providers ...). BFS by path length.
     {
-        std::queue<std::size_t> frontier;
-        frontier.push(origin);
-        while (!frontier.empty()) {
-            const std::size_t cur = frontier.front();
-            frontier.pop();
-            const auto cur_len = table[cur].path_len;
-            for (const auto& nb : graph_->neighbors(asns_[cur])) {
+        sc.frontier.clear();
+        sc.frontier.push_back(static_cast<std::uint32_t>(origin));
+        for (std::size_t head = 0; head < sc.frontier.size(); ++head) {
+            const std::size_t cur = sc.frontier[head];
+            const auto cur_len = len_[base + cur];
+            for (const auto& nb : graph_->neighbors_at(cur)) {
                 if (nb.relationship != topo::as_relationship::provider) continue;
-                if (cur == origin && suppressed.contains(nb.neighbor)) continue;
-                const std::size_t i = as_index(nb.neighbor);
+                if (cur == origin && sc.suppressed[nb.neighbor_index]) continue;
+                const std::size_t i = nb.neighbor_index;
                 const auto len = static_cast<std::uint8_t>(cur_len + 1);
-                if (better(route_class::customer, len, table[i])) {
-                    table[i] = site_route{route_class::customer, len, asns_[cur], nb.link_index};
-                    frontier.push(i);
+                if (is_better(route_class::customer, len, i)) {
+                    set(i, route_class::customer, len, static_cast<std::uint32_t>(cur),
+                        nb.link_index);
+                    sc.frontier.push_back(nb.neighbor_index);
                 }
             }
         }
@@ -111,125 +170,224 @@ void anycast_rib::propagate(const announcement& a) {
     // Phase 2: one peer hop from any AS holding an origin/customer route.
     // Peer routes are not re-exported to peers or providers.
     {
-        std::vector<std::pair<std::size_t, site_route>> pending;
-        for (std::size_t cur = 0; cur < asns_.size(); ++cur) {
-            if (table[cur].cls != route_class::origin && table[cur].cls != route_class::customer) {
+        sc.pending.clear();
+        for (std::size_t cur = 0; cur < as_count_; ++cur) {
+            if (cls_at(cur) != route_class::origin && cls_at(cur) != route_class::customer) {
                 continue;
             }
-            for (const auto& nb : graph_->neighbors(asns_[cur])) {
+            for (const auto& nb : graph_->neighbors_at(cur)) {
                 if (nb.relationship != topo::as_relationship::peer) continue;
-                if (cur == origin && suppressed.contains(nb.neighbor)) continue;
-                const std::size_t i = as_index(nb.neighbor);
-                const auto len = static_cast<std::uint8_t>(table[cur].path_len + 1);
-                pending.emplace_back(
-                    i, site_route{route_class::peer, len, asns_[cur], nb.link_index});
+                if (cur == origin && sc.suppressed[nb.neighbor_index]) continue;
+                const auto len = static_cast<std::uint8_t>(len_[base + cur] + 1);
+                sc.pending.push_back(propagate_scratch::pending_route{
+                    nb.neighbor_index, len, static_cast<std::uint32_t>(cur), nb.link_index});
             }
         }
-        for (const auto& [i, candidate] : pending) {
-            if (better(candidate.cls, candidate.path_len, table[i])) table[i] = candidate;
+        for (const auto& p : sc.pending) {
+            if (is_better(route_class::peer, p.len, p.index)) {
+                set(p.index, route_class::peer, p.len, p.next, p.link);
+            }
         }
     }
 
     // Phase 3: provider routes descend customer links from any AS holding a
     // route. Dijkstra-style because lengths must stay minimal per class.
+    // The scratch heap replays std::priority_queue's push/pop sequence
+    // exactly, so pop order (and thus tie resolution) is unchanged.
     {
-        using item = std::pair<std::uint8_t, std::size_t>;  // (len at customer, index)
-        std::priority_queue<item, std::vector<item>, std::greater<>> heap;
-        for (std::size_t cur = 0; cur < asns_.size(); ++cur) {
-            if (table[cur].cls == route_class::none) continue;
-            heap.emplace(static_cast<std::uint8_t>(table[cur].path_len + 1), cur);
+        sc.heap.clear();
+        const auto heap_push = [&](std::uint8_t len, std::uint32_t index) {
+            sc.heap.emplace_back(len, index);
+            std::push_heap(sc.heap.begin(), sc.heap.end(), std::greater<>{});
+        };
+        for (std::size_t cur = 0; cur < as_count_; ++cur) {
+            if (cls_at(cur) == route_class::none) continue;
+            heap_push(static_cast<std::uint8_t>(len_[base + cur] + 1),
+                      static_cast<std::uint32_t>(cur));
         }
-        while (!heap.empty()) {
-            const auto [len, cur] = heap.top();
-            heap.pop();
-            if (static_cast<std::uint8_t>(table[cur].path_len + 1) != len) continue;  // stale
-            for (const auto& nb : graph_->neighbors(asns_[cur])) {
+        while (!sc.heap.empty()) {
+            std::pop_heap(sc.heap.begin(), sc.heap.end(), std::greater<>{});
+            const auto [len, cur] = sc.heap.back();
+            sc.heap.pop_back();
+            if (static_cast<std::uint8_t>(len_[base + cur] + 1) != len) continue;  // stale
+            for (const auto& nb : graph_->neighbors_at(cur)) {
                 if (nb.relationship != topo::as_relationship::customer) continue;
-                if (cur == origin && suppressed.contains(nb.neighbor)) continue;
-                const std::size_t i = as_index(nb.neighbor);
-                if (better(route_class::provider, len, table[i])) {
-                    table[i] = site_route{route_class::provider, len, asns_[cur], nb.link_index};
-                    heap.emplace(static_cast<std::uint8_t>(len + 1), i);
+                if (cur == origin && sc.suppressed[nb.neighbor_index]) continue;
+                if (is_better(route_class::provider, len, nb.neighbor_index)) {
+                    set(nb.neighbor_index, route_class::provider, len, cur, nb.link_index);
+                    heap_push(static_cast<std::uint8_t>(len + 1), nb.neighbor_index);
                 }
             }
         }
     }
+
+    for (const std::uint32_t i : sc.marks) sc.suppressed[i] = 0;
+    sc.marks.clear();
+}
+
+void anycast_rib::build_fast_path(engine::thread_pool* pool) {
+    const std::size_t sites = announcements_.size();
+    best_cls_.assign(as_count_, static_cast<std::uint8_t>(route_class::none));
+    best_len_.assign(as_count_, std::numeric_limits<std::uint8_t>::max());
+    direct_.assign(as_count_, 0);
+    cand_begin_.assign(as_count_ + 1, 0);
+    std::vector<std::uint32_t> counts(as_count_, 0);
+
+    // Pass A: per-AS best (class, length), direct flag, candidate count.
+    engine::parallel_over(pool, as_count_, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            route_class best = route_class::none;
+            std::uint8_t best_len = std::numeric_limits<std::uint8_t>::max();
+            std::uint8_t direct = 0;
+            for (std::size_t s = 0; s < sites; ++s) {
+                const auto c = static_cast<route_class>(cls_[cell(static_cast<site_id>(s), i)]);
+                if (c == route_class::none) continue;
+                const std::uint8_t l = len_[cell(static_cast<site_id>(s), i)];
+                if (l <= 2) direct = 1;
+                if (c < best || (c == best && l < best_len)) {
+                    best = c;
+                    best_len = l;
+                }
+            }
+            std::uint32_t count = 0;
+            if (best != route_class::none) {
+                for (std::size_t s = 0; s < sites; ++s) {
+                    const std::size_t c = cell(static_cast<site_id>(s), i);
+                    if (static_cast<route_class>(cls_[c]) == best && len_[c] == best_len) {
+                        ++count;
+                    }
+                }
+            }
+            best_cls_[i] = static_cast<std::uint8_t>(best);
+            best_len_[i] = best_len;
+            direct_[i] = direct;
+            counts[i] = count;
+        }
+    });
+
+    for (std::size_t i = 0; i < as_count_; ++i) cand_begin_[i + 1] = cand_begin_[i] + counts[i];
+    cand_sites_.resize(cand_begin_[as_count_]);
+
+    // Pass B: fill CSR candidate lists (sites ascending, as the pre-index
+    // best_candidates scan produced them).
+    engine::parallel_over(pool, as_count_, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto best = static_cast<route_class>(best_cls_[i]);
+            if (best == route_class::none) continue;
+            std::uint32_t k = cand_begin_[i];
+            for (std::size_t s = 0; s < sites; ++s) {
+                const std::size_t c = cell(static_cast<site_id>(s), i);
+                if (static_cast<route_class>(cls_[c]) == best && len_[c] == best_len_[i]) {
+                    cand_sites_[k++] = static_cast<site_id>(s);
+                }
+            }
+        }
+    });
+
+    // Per-link nearest interconnect, resolving every early-exit min-distance
+    // scan in evaluate()/select() to a single lookup. Same iteration order
+    // and strict-less comparison as the scans it replaces, over the same
+    // distance-matrix values, so the chosen region is identical.
+    const std::size_t links = graph_->link_count();
+    nearest_interconnect_.resize(links * region_count_);
+    engine::parallel_over(pool, links, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t l = begin; l < end; ++l) {
+            const auto& link = graph_->link(static_cast<std::uint32_t>(l));
+            for (std::size_t r = 0; r < region_count_; ++r) {
+                topo::region_id best_p = link.interconnect_regions.front();
+                double best_km = std::numeric_limits<double>::infinity();
+                for (const topo::region_id p : link.interconnect_regions) {
+                    const double d = regions_->distance_km(static_cast<topo::region_id>(r), p);
+                    if (d < best_km) {
+                        best_km = d;
+                        best_p = p;
+                    }
+                }
+                nearest_interconnect_[l * region_count_ + r] = best_p;
+            }
+        }
+    });
 }
 
 std::vector<site_id> anycast_rib::best_candidates(topo::asn_t asn) const {
-    const std::size_t i = as_index(asn);
-    route_class best_cls = route_class::none;
-    std::uint8_t best_len = std::numeric_limits<std::uint8_t>::max();
-    for (const auto& table : routes_) {
-        const auto& r = table[i];
-        if (r.cls == route_class::none) continue;
-        if (r.cls < best_cls || (r.cls == best_cls && r.path_len < best_len)) {
-            best_cls = r.cls;
-            best_len = r.path_len;
-        }
-    }
-    std::vector<site_id> out;
-    if (best_cls == route_class::none) return out;
-    for (site_id s = 0; s < routes_.size(); ++s) {
-        const auto& r = routes_[s][i];
-        if (r.cls == best_cls && r.path_len == best_len) out.push_back(s);
-    }
-    return out;
+    const auto span = candidate_span(as_index(asn));
+    return std::vector<site_id>(span.begin(), span.end());
 }
 
 std::optional<site_route> anycast_rib::route_toward(topo::asn_t asn, site_id site) const {
-    const auto& r = routes_.at(site)[as_index(asn)];
-    if (r.cls == route_class::none) return std::nullopt;
+    if (site >= announcements_.size()) {
+        throw std::out_of_range("anycast_rib: unknown site");
+    }
+    const std::size_t c = cell(site, as_index(asn));
+    if (static_cast<route_class>(cls_[c]) == route_class::none) return std::nullopt;
+    site_route r;
+    r.cls = static_cast<route_class>(cls_[c]);
+    r.path_len = len_[c];
+    r.next_hop = next_idx_[c] == no_next_hop ? 0 : asns_[next_idx_[c]];
+    r.link_index = link_[c];
     return r;
+}
+
+anycast_rib::site_route_view anycast_rib::site_routes(site_id site) const {
+    if (site >= announcements_.size()) {
+        throw std::out_of_range("anycast_rib: unknown site");
+    }
+    const std::size_t base = cell(site, 0);
+    return site_route_view{
+        std::span<const std::uint8_t>{cls_}.subspan(base, as_count_),
+        std::span<const std::uint8_t>{len_}.subspan(base, as_count_),
+        std::span<const std::uint32_t>{next_idx_}.subspan(base, as_count_),
+        std::span<const std::uint32_t>{link_}.subspan(base, as_count_),
+    };
 }
 
 std::optional<path_result> anycast_rib::evaluate(topo::asn_t asn, topo::region_id region,
                                                  site_id site) const {
-    const auto& table = routes_.at(site);
-    std::size_t cur = as_index(asn);
-    if (table[cur].cls == route_class::none) return std::nullopt;
+    if (site >= announcements_.size()) {
+        throw std::out_of_range("anycast_rib: unknown site");
+    }
+    return evaluate_indexed(as_index(asn), asn, region, site);
+}
+
+std::optional<path_result> anycast_rib::evaluate_indexed(std::size_t as, topo::asn_t asn,
+                                                         topo::region_id region,
+                                                         site_id site) const {
+    std::size_t cur = as;
+    if (static_cast<route_class>(cls_[cell(site, cur)]) == route_class::none) {
+        return std::nullopt;
+    }
+    (void)regions_->at(region);  // bounds check, as the pre-table code had
 
     const auto& a = announcements_[site];
-    const geo::point site_loc = regions_->at(a.origin_region).location;
-    const geo::point source_loc = regions_->at(region).location;
-
     path_result result;
     result.site = site;
-    result.direct_km = geo::distance_km(source_loc, site_loc);
+    result.direct_km = regions_->distance_km(region, a.origin_region);
 
-    geo::point here = source_loc;
+    topo::region_id here = region;
     double weighted_km = 0.0;  // distance already scaled by circuitousness
     int hops = 0;
 
-    while (table[cur].cls != route_class::origin) {
+    while (static_cast<route_class>(cls_[cell(site, cur)]) != route_class::origin) {
         result.as_path.push_back(asns_[cur]);
-        const auto& link = graph_->link(table[cur].link_index);
+        const std::uint32_t l = link_[cell(site, cur)];
         // Early exit: cross to the next AS at the interconnection point
-        // nearest our current position.
-        const auto& points = link.interconnect_regions;
-        topo::region_id best_region = points.front();
-        double best_km = std::numeric_limits<double>::infinity();
-        for (topo::region_id p : points) {
-            const double d = geo::distance_km(here, regions_->at(p).location);
-            if (d < best_km) {
-                best_km = d;
-                best_region = p;
-            }
-        }
+        // nearest our current position (precomputed per link).
+        const topo::region_id best_region = nearest_interconnect_[l * region_count_ + here];
+        const double best_km = regions_->distance_km(here, best_region);
         result.path_km += best_km;
-        weighted_km += best_km * link.circuitousness;
-        here = regions_->at(best_region).location;
+        weighted_km += best_km * graph_->link(l).circuitousness;
+        here = best_region;
         ++hops;
-        cur = as_index(table[cur].next_hop);
+        cur = next_idx_[cell(site, cur)];
     }
     result.as_path.push_back(asns_[cur]);
 
     // Final intra-origin segment to the site itself.
-    const double tail_km = geo::distance_km(here, site_loc);
+    const double tail_km = regions_->distance_km(here, a.origin_region);
     result.path_km += tail_km;
     weighted_km += tail_km * 1.2;
 
-    const auto& source_as = graph_->at(asn);
+    const auto& source_as = graph_->at_index(as);
     double rtt = geo::round_trip_fiber_ms(weighted_km);
     rtt += source_as.last_mile_ms;
     rtt += per_hop_overhead_ms * static_cast<double>(hops + 1);
@@ -242,38 +400,31 @@ std::optional<path_result> anycast_rib::evaluate(topo::asn_t asn, topo::region_i
     return result;
 }
 
-std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id region) const {
-    const auto candidates = best_candidates(asn);
-    if (candidates.empty()) return std::nullopt;
-
+std::optional<path_result> anycast_rib::select_indexed(std::size_t as, topo::asn_t asn,
+                                                       topo::region_id region) const {
+    const auto candidates = candidate_span(as);
     // Hot potato: among BGP-equal candidates, pick the one whose first
     // egress/interconnect is nearest the source region (lowest IGP cost).
-    const geo::point source_loc = regions_->at(region).location;
-    const std::size_t i = as_index(asn);
+    (void)regions_->at(region);  // bounds check, as the pre-table code had
     site_id best_site = candidates.front();
     double best_first_km = std::numeric_limits<double>::infinity();
-    for (site_id s : candidates) {
-        const auto& r = routes_[s][i];
+    for (const site_id s : candidates) {
+        const std::size_t c = cell(s, as);
         double first_km = 0.0;
-        if (r.cls == route_class::origin) {
-            first_km = geo::distance_km(source_loc,
-                                        regions_->at(announcements_[s].origin_region).location);
+        if (static_cast<route_class>(cls_[c]) == route_class::origin) {
+            first_km = regions_->distance_km(region, announcements_[s].origin_region);
         } else {
-            const auto& link = graph_->link(r.link_index);
-            first_km = std::numeric_limits<double>::infinity();
-            for (topo::region_id p : link.interconnect_regions) {
-                first_km = std::min(first_km, geo::distance_km(source_loc, regions_->at(p).location));
-            }
+            const std::uint32_t l = link_[c];
+            first_km = regions_->distance_km(region,
+                                             nearest_interconnect_[l * region_count_ + region]);
             // Among several direct routes into the origin AS, BGP then falls
             // to nearest egress; collocated sites make the egress also the
             // nearest site (§7.1). Approximate by adding the origin-internal
             // distance from that egress to the site.
-            const auto& site_loc = regions_->at(announcements_[s].origin_region).location;
-            double egress_to_site = std::numeric_limits<double>::infinity();
-            for (topo::region_id p : link.interconnect_regions) {
-                egress_to_site = std::min(
-                    egress_to_site, geo::distance_km(regions_->at(p).location, site_loc));
-            }
+            const topo::region_id site_region = announcements_[s].origin_region;
+            const topo::region_id nearest_to_site =
+                nearest_interconnect_[l * region_count_ + site_region];
+            const double egress_to_site = regions_->distance_km(nearest_to_site, site_region);
             first_km += 0.25 * egress_to_site;  // IGP cost beyond the edge is discounted
         }
         if (first_km < best_first_km) {
@@ -281,7 +432,96 @@ std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id 
             best_site = s;
         }
     }
-    return evaluate(asn, region, best_site);
+    return evaluate_indexed(as, asn, region, best_site);
+}
+
+std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id region) const {
+    const std::size_t as = as_index(asn);
+    if (candidate_span(as).empty()) return std::nullopt;
+
+    const std::uint64_t key = (std::uint64_t{asn} << 32) | region;
+    cache_shard& shard = cache_shards_[(key * 0x9e3779b97f4a7c15ULL) >> 58];
+    {
+        std::lock_guard lock{shard.mutex};
+        if (const auto it = shard.entries.find(key); it != shard.entries.end()) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Compute outside the lock: a racing thread may duplicate the work, but
+    // selection is pure, so both compute identical bytes and the first
+    // emplace wins — the cache never changes an output.
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    auto result = select_indexed(as, asn, region);
+    {
+        std::lock_guard lock{shard.mutex};
+        shard.entries.emplace(key, result);
+    }
+    return result;
+}
+
+std::optional<path_result> anycast_rib::select_uncached(topo::asn_t asn,
+                                                        topo::region_id region) const {
+    const std::size_t as = as_index(asn);
+    if (candidate_span(as).empty()) return std::nullopt;
+    return select_indexed(as, asn, region);
+}
+
+std::optional<path_result> anycast_rib::select_reference(topo::asn_t asn,
+                                                         topo::region_id region) const {
+    // Pre-index candidate scan: walk every site's route row for this AS.
+    const std::size_t i = as_index(asn);
+    route_class best_cls = route_class::none;
+    std::uint8_t best_len = std::numeric_limits<std::uint8_t>::max();
+    for (std::size_t s = 0; s < announcements_.size(); ++s) {
+        const std::size_t c = cell(static_cast<site_id>(s), i);
+        const auto cls = static_cast<route_class>(cls_[c]);
+        if (cls == route_class::none) continue;
+        if (cls < best_cls || (cls == best_cls && len_[c] < best_len)) {
+            best_cls = cls;
+            best_len = len_[c];
+        }
+    }
+    if (best_cls == route_class::none) return std::nullopt;
+    std::vector<site_id> candidates;
+    for (std::size_t s = 0; s < announcements_.size(); ++s) {
+        const std::size_t c = cell(static_cast<site_id>(s), i);
+        if (static_cast<route_class>(cls_[c]) == best_cls && len_[c] == best_len) {
+            candidates.push_back(static_cast<site_id>(s));
+        }
+    }
+
+    // Pre-table hot potato: on-the-fly haversine over interconnect points.
+    const geo::point source_loc = regions_->at(region).location;
+    site_id best_site = candidates.front();
+    double best_first_km = std::numeric_limits<double>::infinity();
+    for (const site_id s : candidates) {
+        const std::size_t c = cell(s, i);
+        double first_km = 0.0;
+        if (static_cast<route_class>(cls_[c]) == route_class::origin) {
+            first_km = geo::distance_km(
+                source_loc, regions_->at(announcements_[s].origin_region).location);
+        } else {
+            const auto& link = graph_->link(link_[c]);
+            first_km = std::numeric_limits<double>::infinity();
+            for (const topo::region_id p : link.interconnect_regions) {
+                first_km =
+                    std::min(first_km, geo::distance_km(source_loc, regions_->at(p).location));
+            }
+            const auto& site_loc = regions_->at(announcements_[s].origin_region).location;
+            double egress_to_site = std::numeric_limits<double>::infinity();
+            for (const topo::region_id p : link.interconnect_regions) {
+                egress_to_site = std::min(
+                    egress_to_site, geo::distance_km(regions_->at(p).location, site_loc));
+            }
+            first_km += 0.25 * egress_to_site;
+        }
+        if (first_km < best_first_km) {
+            best_first_km = first_km;
+            best_site = s;
+        }
+    }
+    return evaluate_indexed(i, asn, region, best_site);
 }
 
 std::vector<std::optional<path_result>> anycast_rib::select_many(
@@ -296,18 +536,15 @@ std::vector<std::optional<path_result>> anycast_rib::select_many(
 }
 
 bool anycast_rib::has_direct_route(topo::asn_t asn) const {
-    const std::size_t i = as_index(asn);
-    for (const auto& table : routes_) {
-        const auto& r = table[i];
-        if (r.cls != route_class::none && r.path_len <= 2) return true;
-    }
-    return false;
+    return direct_[as_index(asn)] != 0;
 }
 
 std::size_t anycast_rib::as_index(topo::asn_t asn) const {
-    auto it = index_.find(asn);
-    if (it == index_.end()) throw std::out_of_range("anycast_rib: unknown ASN");
-    return it->second;
+    const std::size_t i = graph_->find_index(asn);
+    if (i == topo::as_graph::npos || i >= as_count_) {
+        throw std::out_of_range("anycast_rib: unknown ASN");
+    }
+    return i;
 }
 
 } // namespace ac::route

@@ -18,12 +18,34 @@
 // great-circle distance scaled by the link's circuitousness. Inflation is
 // therefore an emergent property of policy routing over the synthetic graph,
 // never an injected quantity.
+//
+// Route selection is the fast path of the whole system (every figure funnels
+// through `select`), so the RIB is built for O(1)-amortized queries
+// (DESIGN §8):
+//
+//   * the route matrix is a flat struct-of-arrays (site-major), not a
+//     vector-of-vectors;
+//   * a per-AS best-route index (best class, best length, CSR candidate
+//     lists, direct-route flag) is precomputed once after propagation, so
+//     `best_candidates` and `has_direct_route` never rescan site tables;
+//   * all geographic terms come from precomputed tables — the region-pair
+//     distance matrix (`topo::region_table::distance_km`) and a per-link
+//     nearest-interconnect table — no haversine trig at query time;
+//   * `select` results are memoized in a sharded, lazily-filled cache.
+//     Selection is a pure function of (asn, region), so cached and uncached
+//     results are bit-identical, and concurrent fills are race-safe: any
+//     thread that computes a key computes the same bytes, and the first
+//     insert wins.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/engine/thread_pool.h"
@@ -77,6 +99,8 @@ struct path_result {
     double rtt_ms = 0.0;                // steady-state (median) round-trip time
     double path_km = 0.0;               // one-way geographic distance travelled
     double direct_km = 0.0;             // great-circle source-to-site distance
+
+    friend bool operator==(const path_result&, const path_result&) = default;
 };
 
 /// One <AS, region> traffic source, for bulk route evaluation.
@@ -88,14 +112,16 @@ struct source_key {
 /// Routing state for one anycast prefix (one deployment or ring).
 class anycast_rib {
 public:
-    /// With a non-serial `pool`, per-site propagation runs in parallel (each
-    /// site owns a disjoint route table, so the result is schedule-free).
+    /// With a non-serial `pool`, per-site propagation and the fast-path index
+    /// build run in parallel (each site owns a disjoint matrix row and each
+    /// AS owns its index slot, so the result is schedule-free).
     anycast_rib(const topo::as_graph& graph, const topo::region_table& regions,
                 std::vector<announcement> announcements, engine::thread_pool* pool = nullptr);
 
     /// Sites for which `asn` holds any route, restricted to the best
     /// (class, path length) — BGP's deterministic criteria. Hot-potato
-    /// resolution among these happens per region in `select`.
+    /// resolution among these happens per region in `select`. O(1) lookup
+    /// into the precomputed best-route index.
     [[nodiscard]] std::vector<site_id> best_candidates(topo::asn_t asn) const;
 
     /// The route `asn` holds toward `site`, if any.
@@ -109,7 +135,22 @@ public:
     /// Full selection for a source <region, AS>: picks among best_candidates
     /// by lowest first-segment IGP distance (early exit), returning the
     /// evaluated path. Returns nullopt if the AS has no route at all.
+    /// Memoized: repeat queries for the same (asn, region) are cache hits.
+    /// Thread-safe, and byte-identical at any thread count (selection is
+    /// pure, so every fill of a key stores the same value).
     [[nodiscard]] std::optional<path_result> select(topo::asn_t asn, topo::region_id region) const;
+
+    /// `select` without the memoization layer: always recomputes, never reads
+    /// or writes the cache. Differential-testing and cold-benchmark surface.
+    [[nodiscard]] std::optional<path_result> select_uncached(topo::asn_t asn,
+                                                             topo::region_id region) const;
+
+    /// Pre-fast-path reference implementation: rescans every site's route
+    /// row per call and evaluates hot-potato geometry with on-the-fly
+    /// haversine instead of the precomputed tables. Kept so tests can assert
+    /// the fast path is bit-identical and benchmarks can measure the win.
+    [[nodiscard]] std::optional<path_result> select_reference(topo::asn_t asn,
+                                                              topo::region_id region) const;
 
     /// Bulk `select` over many sources, chunked across the pool (inline when
     /// `pool` is null or serial). Result i corresponds to sources[i];
@@ -120,6 +161,7 @@ public:
 
     /// True if this AS reaches the deployment through a route learned
     /// directly from the origin AS (a "2 AS" path in Fig. 6a terms).
+    /// O(1) lookup into the precomputed per-AS flag.
     [[nodiscard]] bool has_direct_route(topo::asn_t asn) const;
 
     [[nodiscard]] const std::vector<announcement>& announcements() const noexcept {
@@ -130,18 +172,85 @@ public:
     /// ASes attached to the graph later are unknown to this RIB).
     [[nodiscard]] std::span<const topo::asn_t> known_asns() const noexcept { return asns_; }
 
+    /// Read-only struct-of-arrays view over one site's route row
+    /// (src/table/column.h-style spans; position = dense AS index, aligned
+    /// with known_asns()). `next_index` is the dense index of the next hop,
+    /// or `no_next_hop` at the origin and for absent routes.
+    struct site_route_view {
+        std::span<const std::uint8_t> cls;        // route_class values
+        std::span<const std::uint8_t> path_len;
+        std::span<const std::uint32_t> next_index;
+        std::span<const std::uint32_t> link_index;
+    };
+    static constexpr std::uint32_t no_next_hop = std::numeric_limits<std::uint32_t>::max();
+    [[nodiscard]] site_route_view site_routes(site_id site) const;
+
+    /// Memoization counters (monotone; relaxed atomics). Under concurrent
+    /// fills `misses` counts computations, which can slightly exceed the
+    /// number of distinct keys when two threads race on the same key.
+    struct cache_stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+    [[nodiscard]] cache_stats select_cache_stats() const noexcept {
+        return {cache_hits_.load(std::memory_order_relaxed),
+                cache_misses_.load(std::memory_order_relaxed)};
+    }
+
 private:
     void propagate(const announcement& a);
+    void build_fast_path(engine::thread_pool* pool);
     [[nodiscard]] std::size_t as_index(topo::asn_t asn) const;
+    [[nodiscard]] std::size_t cell(site_id site, std::size_t as) const noexcept {
+        return static_cast<std::size_t>(site) * as_count_ + as;
+    }
+    [[nodiscard]] std::span<const site_id> candidate_span(std::size_t as) const noexcept {
+        return std::span<const site_id>{cand_sites_}.subspan(
+            cand_begin_[as], cand_begin_[as + 1] - cand_begin_[as]);
+    }
+    [[nodiscard]] std::optional<path_result> select_indexed(std::size_t as, topo::asn_t asn,
+                                                            topo::region_id region) const;
+    [[nodiscard]] std::optional<path_result> evaluate_indexed(std::size_t as, topo::asn_t asn,
+                                                              topo::region_id region,
+                                                              site_id site) const;
 
     const topo::as_graph* graph_;
     const topo::region_table* regions_;
     std::vector<announcement> announcements_;
-    // routes_[site][as_index] — dense per site because every AS usually
+    std::vector<topo::asn_t> asns_;  // dense index -> asn (graph snapshot)
+    std::size_t as_count_ = 0;
+
+    // Route matrix, struct-of-arrays, site-major: entry for (site, as) lives
+    // at site * as_count_ + as in each column. Dense because every AS usually
     // holds a route to every globally announced site.
-    std::vector<std::vector<site_route>> routes_;
-    std::vector<topo::asn_t> asns_;                 // index -> asn
-    std::unordered_map<topo::asn_t, std::size_t> index_;  // asn -> index
+    std::vector<std::uint8_t> cls_;        // route_class
+    std::vector<std::uint8_t> len_;        // AS-path length
+    std::vector<std::uint32_t> next_idx_;  // dense index of next hop (no_next_hop at origin)
+    std::vector<std::uint32_t> link_;      // link to next hop
+
+    // Per-AS best-route index, precomputed once after propagation.
+    std::vector<std::uint8_t> best_cls_;
+    std::vector<std::uint8_t> best_len_;
+    std::vector<std::uint32_t> cand_begin_;  // CSR offsets into cand_sites_, size as_count_+1
+    std::vector<site_id> cand_sites_;        // candidate sites, ascending per AS
+    std::vector<std::uint8_t> direct_;       // has_direct_route flags
+
+    // Per-link nearest-interconnect table: entry (link, region) is the id of
+    // the link's interconnect region nearest that source region, resolving
+    // early-exit geometry to one lookup + one distance-matrix read.
+    std::vector<topo::region_id> nearest_interconnect_;  // link-major, stride = region count
+    std::size_t region_count_ = 0;
+
+    // Sharded select memoization, keyed by (asn << 32) | region. Mutable:
+    // the cache is an observably-pure accelerator of const queries.
+    static constexpr std::size_t cache_shard_count = 64;  // power of two
+    struct cache_shard {
+        std::mutex mutex;
+        std::unordered_map<std::uint64_t, std::optional<path_result>> entries;
+    };
+    mutable std::array<cache_shard, cache_shard_count> cache_shards_;
+    mutable std::atomic<std::uint64_t> cache_hits_{0};
+    mutable std::atomic<std::uint64_t> cache_misses_{0};
 };
 
 /// Per-hop router processing added to the propagation delay, ms (round trip).

@@ -31,7 +31,7 @@ void as_graph::add_as(autonomous_system as) {
         throw std::invalid_argument("as_graph: duplicate ASN " + std::to_string(as.asn));
     }
     index_.emplace(as.asn, systems_.size());
-    adjacency_.emplace(as.asn, std::vector<neighbor_ref>{});
+    adjacency_.emplace_back();
     systems_.push_back(std::move(as));
 }
 
@@ -51,8 +51,12 @@ void as_graph::add_link(asn_t a, asn_t b, as_relationship kind_for_a,
     const auto link_index = static_cast<std::uint32_t>(links_.size());
     link_lookup_.emplace(key, link_index);
     links_.push_back(as_link{a, b, kind_for_a, std::move(interconnect_regions), circuitousness});
-    adjacency_[a].push_back(neighbor_ref{b, kind_for_a, link_index});
-    adjacency_[b].push_back(neighbor_ref{a, invert(kind_for_a), link_index});
+    const std::size_t ia = index_of(a);
+    const std::size_t ib = index_of(b);
+    adjacency_[ia].push_back(
+        neighbor_ref{b, kind_for_a, link_index, static_cast<std::uint32_t>(ib)});
+    adjacency_[ib].push_back(
+        neighbor_ref{a, invert(kind_for_a), link_index, static_cast<std::uint32_t>(ia)});
 }
 
 bool as_graph::has_link(asn_t a, asn_t b) const noexcept {
@@ -64,11 +68,12 @@ const autonomous_system& as_graph::at(asn_t asn) const {
 }
 
 std::span<const neighbor_ref> as_graph::neighbors(asn_t asn) const {
-    auto it = adjacency_.find(asn);
-    if (it == adjacency_.end()) {
-        throw std::out_of_range("as_graph: unknown ASN " + std::to_string(asn));
-    }
-    return it->second;
+    return adjacency_[index_of(asn)];
+}
+
+std::size_t as_graph::find_index(asn_t asn) const noexcept {
+    auto it = index_.find(asn);
+    return it == index_.end() ? npos : it->second;
 }
 
 std::vector<asn_t> as_graph::with_role(as_role role) const {

@@ -64,6 +64,9 @@ struct neighbor_ref {
     asn_t neighbor = 0;
     as_relationship relationship = as_relationship::peer;  // from this AS's view
     std::uint32_t link_index = 0;
+    /// Dense index of `neighbor` (registration order, stable: ASes are only
+    /// ever appended). Lets propagation inner loops skip the ASN hash lookup.
+    std::uint32_t neighbor_index = 0;
 };
 
 class as_graph {
@@ -84,8 +87,27 @@ public:
     [[nodiscard]] const std::vector<as_link>& links() const noexcept { return links_; }
     [[nodiscard]] const as_link& link(std::uint32_t index) const { return links_.at(index); }
 
+    /// Sentinel returned by find_index for unknown ASNs.
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /// Dense index of `asn` (registration order). Throws on unknown ASN.
+    [[nodiscard]] std::size_t dense_index(asn_t asn) const { return index_of(asn); }
+
+    /// Dense index of `asn`, or `npos` when unknown.
+    [[nodiscard]] std::size_t find_index(asn_t asn) const noexcept;
+
+    /// The AS at a dense index (inverse of dense_index).
+    [[nodiscard]] const autonomous_system& at_index(std::size_t index) const {
+        return systems_.at(index);
+    }
+
     /// Neighbors of `asn` with relationships from its perspective.
     [[nodiscard]] std::span<const neighbor_ref> neighbors(asn_t asn) const;
+
+    /// Neighbors of the AS at a dense index (no hash lookup).
+    [[nodiscard]] std::span<const neighbor_ref> neighbors_at(std::size_t index) const {
+        return adjacency_.at(index);
+    }
 
     [[nodiscard]] std::size_t as_count() const noexcept { return systems_.size(); }
     [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
@@ -99,7 +121,7 @@ private:
     std::vector<autonomous_system> systems_;
     std::vector<as_link> links_;
     std::unordered_map<asn_t, std::size_t> index_;
-    std::unordered_map<asn_t, std::vector<neighbor_ref>> adjacency_;
+    std::vector<std::vector<neighbor_ref>> adjacency_;  // parallel to systems_
     std::unordered_map<std::uint64_t, std::uint32_t> link_lookup_;  // (min,max) -> index
 };
 

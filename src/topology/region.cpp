@@ -23,10 +23,14 @@ std::string_view to_string(continent c) noexcept {
 
 region_table::region_table(std::vector<region> regions)
     : regions_(std::move(regions)), by_continent_(7) {
+    std::vector<geo::point> centres;
+    centres.reserve(regions_.size());
     for (const auto& r : regions_) {
         by_continent_[static_cast<std::size_t>(r.cont)].push_back(r.id);
         total_weight_ += r.population_weight;
+        centres.push_back(r.location);
     }
+    distances_ = geo::distance_table{centres};
 }
 
 const std::vector<region_id>& region_table::on_continent(continent c) const {

@@ -71,12 +71,22 @@ public:
     /// Id of the region whose centre is nearest to `p`.
     [[nodiscard]] region_id nearest(const geo::point& p) const;
 
+    /// Precomputed great-circle distance between two region centres, km.
+    /// Bit-identical to `geo::distance_km` over the same centre points, so
+    /// hot paths (route selection, CDN WAN legs) can use lookups instead of
+    /// haversine trig without changing a single output byte.
+    [[nodiscard]] double distance_km(region_id a, region_id b) const noexcept {
+        return distances_.between(a, b);
+    }
+    [[nodiscard]] const geo::distance_table& distances() const noexcept { return distances_; }
+
     /// Total population weight across all regions.
     [[nodiscard]] double total_population_weight() const noexcept { return total_weight_; }
 
 private:
     std::vector<region> regions_;
     std::vector<std::vector<region_id>> by_continent_;
+    geo::distance_table distances_;
     double total_weight_ = 0.0;
 };
 

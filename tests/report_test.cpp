@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "src/core/report.h"
 
@@ -50,6 +53,36 @@ protected:
             hash *= 0x100000001b3ull;
         }
         return hash;
+    }
+
+    // FNV-1a checksums captured from the row-oriented pipeline before the
+    // columnar refactor; every later refactor (shared table kernels, the
+    // routing fast path) must keep the figure bytes pinned to these. A
+    // deliberate analysis change must update them.
+    static const std::map<std::string, std::uint64_t>& golden_checksums() {
+        static const std::map<std::string, std::uint64_t> golden{
+            {"fig02a_root_geographic_inflation.csv", 0xf89b2711a8752802ull},
+            {"fig02b_root_latency_inflation.csv", 0x6a9c3423ad802dbdull},
+            {"fig03_queries_per_user.csv", 0x3ece8f7160e524bcull},
+            {"fig05a_cdn_geographic_inflation.csv", 0x5d7265254d591962ull},
+            {"fig05b_cdn_latency_inflation.csv", 0xf9188357f8e7a56full},
+            {"fig06a_as_path_lengths.csv", 0xe720d1e81e60ee21ull},
+            {"fig07a_size_latency_efficiency.csv", 0xdc045b25c74e6a2bull},
+            {"fig07b_coverage.csv", 0x8131c0bca505e0dcull},
+        };
+        return golden;
+    }
+
+    static void expect_golden_files(const std::vector<std::string>& files,
+                                    const std::string& context) {
+        ASSERT_EQ(files.size(), golden_checksums().size()) << context;
+        for (const auto& f : files) {
+            const auto name = std::filesystem::path{f}.filename().string();
+            const auto it = golden_checksums().find(name);
+            ASSERT_NE(it, golden_checksums().end())
+                << "unexpected figure file " << name << " (" << context << ")";
+            EXPECT_EQ(fnv1a(read_bytes(f)), it->second) << name << " (" << context << ")";
+        }
     }
 };
 
@@ -129,29 +162,25 @@ TEST_F(ReportFixture, IdenticalWorldsRenderIdenticalReports) {
 }
 
 TEST_F(ReportFixture, GoldenChecksumsPinFigureBytes) {
-    // FNV-1a checksums captured from the row-oriented pipeline before the
-    // columnar refactor: the shared table kernels must keep every figure
-    // byte-identical. A deliberate analysis change must update these pins.
-    const std::map<std::string, std::uint64_t> golden{
-        {"fig02a_root_geographic_inflation.csv", 0xf89b2711a8752802ull},
-        {"fig02b_root_latency_inflation.csv", 0x6a9c3423ad802dbdull},
-        {"fig03_queries_per_user.csv", 0x3ece8f7160e524bcull},
-        {"fig05a_cdn_geographic_inflation.csv", 0x5d7265254d591962ull},
-        {"fig05b_cdn_latency_inflation.csv", 0xf9188357f8e7a56full},
-        {"fig06a_as_path_lengths.csv", 0xe720d1e81e60ee21ull},
-        {"fig07a_size_latency_efficiency.csv", 0xdc045b25c74e6a2bull},
-        {"fig07b_coverage.csv", 0x8131c0bca505e0dcull},
-    };
     const auto dir = temp_dir();
     const auto files = core::write_figure_csvs(w(), dir.string());
-    ASSERT_EQ(files.size(), golden.size());
-    for (const auto& f : files) {
-        const auto name = std::filesystem::path{f}.filename().string();
-        const auto it = golden.find(name);
-        ASSERT_NE(it, golden.end()) << "unexpected figure file " << name;
-        EXPECT_EQ(fnv1a(read_bytes(f)), it->second) << name;
-    }
+    expect_golden_files(files, "default config");
     std::filesystem::remove_all(dir);
+}
+
+TEST_F(ReportFixture, ThreadCountNeverChangesFigureBytes) {
+    // The determinism contract: memoized route selection, parallel RIB
+    // construction, and pooled stages must leave every figure byte-identical
+    // at any thread count — the goldens above, unchanged.
+    for (const int threads : {1, 2, 8}) {
+        auto config = core::world_config::small();
+        config.threads = threads;
+        const core::world threaded{std::move(config)};
+        const auto dir = temp_dir() += "_t" + std::to_string(threads);
+        const auto files = core::write_figure_csvs(threaded, dir.string());
+        expect_golden_files(files, "threads=" + std::to_string(threads));
+        std::filesystem::remove_all(dir);
+    }
 }
 
 } // namespace

@@ -1,7 +1,14 @@
 // BGP policy-routing tests on hand-built mini topologies: Gao-Rexford
 // export rules, local-preference ordering, path-length tie-breaks, local
-// announcement scope, and hot-potato site selection.
+// announcement scope, hot-potato site selection, and the fast-path layer
+// (best-route index, geo tables, select memoization) — which must be
+// bit-identical to the reference implementation and race-safe.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "src/routing/bgp.h"
 
@@ -208,6 +215,143 @@ TEST_F(HotPotato, SelectsNearestEgressAmongEqualRoutes) {
     const auto chosen = rib.select(2, 1);
     ASSERT_TRUE(chosen.has_value());
     EXPECT_EQ(chosen->site, 0u);
+}
+
+// Fast-path differential tests: the memoized select, the uncached indexed
+// select, and the pre-index reference (per-call rescan + raw haversine) must
+// agree byte-for-byte on every (asn, region) pair.
+
+TEST_F(RoutingPolicy, CachedSelectionMatchesUncachedAndReferenceEverywhere) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}},
+                         {1, 1, 3, route::announcement_scope::global, {}}});
+    for (const topo::asn_t asn : rib.known_asns()) {
+        for (topo::region_id region = 0; region < regions_.size(); ++region) {
+            const auto cached = rib.select(asn, region);
+            const auto uncached = rib.select_uncached(asn, region);
+            const auto reference = rib.select_reference(asn, region);
+            EXPECT_EQ(cached, uncached) << "asn " << asn << " region " << region;
+            EXPECT_EQ(cached, reference) << "asn " << asn << " region " << region;
+            // Repeat query: now a guaranteed cache hit, still identical.
+            EXPECT_EQ(rib.select(asn, region), cached);
+        }
+    }
+}
+
+TEST_F(RoutingPolicy, BestCandidatesMatchRouteTowardScan) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}},
+                         {1, 1, 3, route::announcement_scope::global, {}}});
+    for (const topo::asn_t asn : rib.known_asns()) {
+        // Reference scan over route_toward, mirroring the pre-index logic.
+        route::route_class best = route::route_class::none;
+        std::uint8_t best_len = 255;
+        std::vector<route::site_id> expected;
+        for (route::site_id s = 0; s < 2; ++s) {
+            const auto r = rib.route_toward(asn, s);
+            if (!r) continue;
+            if (r->cls < best || (r->cls == best && r->path_len < best_len)) {
+                best = r->cls;
+                best_len = r->path_len;
+            }
+        }
+        for (route::site_id s = 0; s < 2; ++s) {
+            const auto r = rib.route_toward(asn, s);
+            if (r && r->cls == best && r->path_len == best_len) expected.push_back(s);
+        }
+        EXPECT_EQ(rib.best_candidates(asn), expected) << "asn " << asn;
+    }
+}
+
+TEST_F(RoutingPolicy, CacheStatsCountHitsAndMisses) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    EXPECT_EQ(rib.select_cache_stats().hits, 0u);
+    EXPECT_EQ(rib.select_cache_stats().misses, 0u);
+    (void)rib.select(8, 2);
+    EXPECT_EQ(rib.select_cache_stats().misses, 1u);
+    EXPECT_EQ(rib.select_cache_stats().hits, 0u);
+    (void)rib.select(8, 2);
+    EXPECT_EQ(rib.select_cache_stats().misses, 1u);
+    EXPECT_EQ(rib.select_cache_stats().hits, 1u);
+    (void)rib.select(8, 3);  // different region: a distinct key
+    EXPECT_EQ(rib.select_cache_stats().misses, 2u);
+}
+
+TEST_F(RoutingPolicy, SiteRoutesViewMatchesRouteToward) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto view = rib.site_routes(0);
+    const auto asns = rib.known_asns();
+    ASSERT_EQ(view.cls.size(), asns.size());
+    for (std::size_t i = 0; i < asns.size(); ++i) {
+        const auto r = rib.route_toward(asns[i], 0);
+        if (!r) {
+            EXPECT_EQ(static_cast<route::route_class>(view.cls[i]), route::route_class::none);
+            continue;
+        }
+        EXPECT_EQ(static_cast<route::route_class>(view.cls[i]), r->cls);
+        EXPECT_EQ(view.path_len[i], r->path_len);
+        EXPECT_EQ(view.link_index[i], r->link_index);
+        if (view.next_index[i] == route::anycast_rib::no_next_hop) {
+            EXPECT_EQ(r->next_hop, 0u);
+        } else {
+            EXPECT_EQ(asns[view.next_index[i]], r->next_hop);
+        }
+    }
+    EXPECT_THROW((void)rib.site_routes(1), std::out_of_range);
+}
+
+TEST_F(RoutingPolicy, UnknownAsnAndNoRouteOrdering) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    EXPECT_THROW((void)rib.select(99, 0), std::out_of_range);
+    EXPECT_THROW((void)rib.has_direct_route(99), std::out_of_range);
+    EXPECT_THROW((void)rib.evaluate(99, 0, 0), std::out_of_range);
+    // AS 5 holds no route at all: nullopt wins over region validation, as in
+    // the pre-index implementation (candidate check came first).
+    EXPECT_FALSE(rib.select(5, 999).has_value());
+    EXPECT_FALSE(rib.evaluate(5, 999, 0).has_value());
+    // An AS with a route and a bogus region must still throw.
+    EXPECT_THROW((void)rib.select(8, 999), std::out_of_range);
+    EXPECT_THROW((void)rib.evaluate(8, 999, 0), std::out_of_range);
+}
+
+TEST_F(RoutingPolicy, ConcurrentCacheFillMatchesSerialOracle) {
+    // TSan target: many threads hammer the same small key space while a pool
+    // runs select_many over it. Every answer must equal the uncached oracle.
+    engine::thread_pool pool{4};
+    route::anycast_rib rib{graph_,
+                           regions_,
+                           {{0, 1, 0, route::announcement_scope::global, {}},
+                            {1, 1, 3, route::announcement_scope::global, {}}},
+                           &pool};
+
+    std::vector<route::source_key> keys;
+    std::vector<std::optional<route::path_result>> oracle;
+    for (const topo::asn_t asn : rib.known_asns()) {
+        for (topo::region_id region = 0; region < regions_.size(); ++region) {
+            keys.push_back({asn, region});
+            oracle.push_back(rib.select_uncached(asn, region));
+        }
+    }
+
+    std::vector<std::thread> hammers;
+    for (int t = 0; t < 4; ++t) {
+        hammers.emplace_back([&, t] {
+            for (int round = 0; round < 50; ++round) {
+                for (std::size_t k = 0; k < keys.size(); ++k) {
+                    // Stagger start offsets so threads collide on fresh keys.
+                    const auto& key = keys[(k + static_cast<std::size_t>(t) * 7) % keys.size()];
+                    const auto got = rib.select(key.asn, key.region);
+                    ASSERT_EQ(got, oracle[(k + static_cast<std::size_t>(t) * 7) % keys.size()]);
+                }
+            }
+        });
+    }
+    const auto bulk = rib.select_many(keys, &pool);
+    for (auto& h : hammers) h.join();
+
+    ASSERT_EQ(bulk.size(), oracle.size());
+    for (std::size_t i = 0; i < oracle.size(); ++i) EXPECT_EQ(bulk[i], oracle[i]);
+    const auto stats = rib.select_cache_stats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GE(stats.misses, 1u);  // racing fills may exceed distinct keys
 }
 
 TEST_F(HotPotato, EvaluateReportsDirectDistance) {

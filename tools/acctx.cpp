@@ -167,7 +167,22 @@ int cmd_world(const cli_options& options) {
               << " front-ends, " << w.cdn_net().ring_count() << " rings\n";
     std::cout << "Atlas probes: " << w.fleet().probes().size() << " in "
               << w.fleet().as_coverage() << " ASes\n";
-    if (options.timing) w.timing().write_json(std::cout);
+    if (options.timing) {
+        w.timing().write_json(std::cout);
+        auto stats = w.cdn_net().pop_rib().select_cache_stats();
+        for (char letter : w.roots().all_letters()) {
+            const auto s = w.roots().deployment_of(letter).rib().select_cache_stats();
+            stats.hits += s.hits;
+            stats.misses += s.misses;
+        }
+        const auto lookups = stats.hits + stats.misses;
+        std::cout << "route cache:  " << stats.hits << "/" << lookups << " select hits ("
+                  << strfmt::fixed(lookups ? 100.0 * static_cast<double>(stats.hits) /
+                                                 static_cast<double>(lookups)
+                                           : 0.0,
+                                   1)
+                  << "% hit rate across all ribs)\n";
+    }
     return 0;
 }
 
