@@ -1,0 +1,125 @@
+// Snapshot load-path baseline: how much faster is re-analyzing an archived
+// world than regenerating it? Builds the small world, archives it, then
+// times rebuild vs owned-load vs mmap-load (bundle open = full checksum
+// verification) and full hydration (datasets from the archive, substrate
+// rebuilt from the config). Exports BENCH_snapshot.json.
+//
+//   bench_snapshot [--repeat R] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/core/world.h"
+#include "src/snapshot/world_io.h"
+
+namespace {
+
+using namespace ac;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - start;
+    return wall.count();
+}
+
+template <typename Fn>
+double best_of(int repeat, Fn&& fn) {
+    double best = 0.0;
+    for (int i = 0; i < repeat; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const double ms = ms_since(start);
+        if (i == 0 || ms < best) best = ms;
+    }
+    return best;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    int repeat = 3;
+    std::string out_path = "BENCH_snapshot.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_snapshot: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--repeat") {
+            repeat = std::max(1, std::atoi(value()));
+        } else if (arg == "--out") {
+            out_path = value();
+        } else {
+            std::cerr << "usage: bench_snapshot [--repeat R] [--out FILE]\n";
+            return 2;
+        }
+    }
+
+    const auto path =
+        (std::filesystem::temp_directory_path() / "ac_bench_snapshot.acx").string();
+
+    std::cerr << "building small world (serial)...\n";
+    const double rebuild_ms = best_of(repeat, [] {
+        auto config = core::world_config::small();
+        config.threads = 1;
+        const core::world w{std::move(config)};
+    });
+
+    auto config = core::world_config::small();
+    config.threads = 1;
+    const core::world w{std::move(config)};
+
+    std::cerr << "archiving...\n";
+    const double save_ms = best_of(repeat, [&] { snapshot::save_world(w, path); });
+    const auto file_bytes = std::filesystem::file_size(path);
+
+    std::cerr << "loading (owned)...\n";
+    const double owned_load_ms = best_of(repeat, [&] {
+        const auto b = snapshot::bundle::open(path, snapshot::load_mode::owned);
+    });
+
+    std::cerr << "loading (mmap)...\n";
+    const double mmap_load_ms = best_of(repeat, [&] {
+        const auto b = snapshot::bundle::open(path, snapshot::load_mode::mapped);
+    });
+
+    std::cerr << "hydrating (mmap load + substrate rebuild)...\n";
+    const double hydrate_ms = best_of(repeat, [&] {
+        const auto hydrated = snapshot::hydrate_world(
+            snapshot::bundle::open(path, snapshot::load_mode::mapped), 1);
+    });
+
+    std::ofstream out{out_path};
+    if (!out) {
+        std::cerr << "bench_snapshot: cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    auto write = [&](std::ostream& os) {
+        os << "{\n  \"bench\": \"snapshot\",\n  \"scale\": \"small\",\n";
+        os << "  \"file_bytes\": " << file_bytes << ",\n";
+        os << "  \"rebuild_ms\": " << rebuild_ms << ",\n";
+        os << "  \"save_ms\": " << save_ms << ",\n";
+        os << "  \"owned_load_ms\": " << owned_load_ms << ",\n";
+        os << "  \"mmap_load_ms\": " << mmap_load_ms << ",\n";
+        os << "  \"hydrate_ms\": " << hydrate_ms << ",\n";
+        os << "  \"owned_load_speedup\": " << (rebuild_ms / owned_load_ms) << ",\n";
+        os << "  \"mmap_load_speedup\": " << (rebuild_ms / mmap_load_ms) << ",\n";
+        os << "  \"note\": \"load = open + full checksum verification; hydrate adds "
+              "dataset restore and the deterministic substrate rebuild\"\n";
+        os << "}\n";
+    };
+    write(std::cout);
+    write(out);
+    std::remove(path.c_str());
+    std::cerr << "wrote " << out_path << " (mmap load " << (rebuild_ms / mmap_load_ms)
+              << "x faster than rebuild)\n";
+    return 0;
+}

@@ -17,6 +17,18 @@ cmake -B build -S .
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
+# Snapshot round trip: the figures recomputed from an archived world must be
+# byte-identical to the ones computed from a live build.
+rt=$(mktemp -d)
+trap 'rm -rf "${rt}"' EXIT
+./build/tools/acctx report --scale small --out "${rt}/live"
+./build/tools/acctx snapshot --scale small --out "${rt}/world.acx"
+./build/tools/acctx report --from-snapshot "${rt}/world.acx" --out "${rt}/snap"
+for f in "${rt}/live"/*.csv; do
+    cmp "${f}" "${rt}/snap/$(basename "${f}")"
+done
+echo "verify: snapshot round trip OK ($(ls "${rt}/live" | wc -l) figure files identical)"
+
 if [[ "${1:-}" == "--tsan" ]]; then
     cmake -B build-tsan -S . -DAC_SANITIZE=thread
     cmake --build build-tsan -j "${jobs}" --target engine_test --target routing_test

@@ -16,8 +16,14 @@ world_config world_config::small() {
     return config;
 }
 
-world::world(world_config config)
+world::world(world_config config) : world(std::move(config), nullptr) {}
+
+world::world(world_config config, world_datasets data)
+    : world(std::move(config), std::make_unique<world_datasets>(std::move(data))) {}
+
+world::world(world_config config, std::unique_ptr<world_datasets> data)
     : config_(std::move(config)),
+      dataset_retain_(data ? data->retain : nullptr),
       pool_(std::make_unique<engine::thread_pool>(config_.threads)) {
     // Construction runs as a stage graph: stages execute one at a time in
     // dependency order (several stages mutate the shared graph or address
@@ -25,6 +31,12 @@ world::world(world_config config)
     // while the hot stages parallelize internally over the pool. Dependency
     // edges also serialize the mutators: users allocates address space,
     // roots and cdn both attach host networks to the graph.
+    //
+    // With `data` (snapshot hydration) the substrate stages run unchanged —
+    // they are pure functions of (config, seed) — while the dataset stages
+    // restore their outputs instead of synthesizing them. The restored
+    // address space supersedes the live allocation history so the databases
+    // stage sees the junk /24s the skipped DITL generator would have added.
     engine::thread_pool* pool = pool_.get();
     engine::stage_graph stages;
 
@@ -55,6 +67,13 @@ world::world(world_config config)
         return cdn_->front_end_regions().size();
     });
     stages.add("user_counts", {"cdn"}, [&] {
+        if (data) {
+            cdn_counts_ = std::make_unique<pop::cdn_user_counts>(pop::cdn_user_counts::restore(
+                data->cdn_count_blocks, data->cdn_count_ips, data->cdn_count_total));
+            apnic_counts_ = std::make_unique<pop::apnic_user_counts>(
+                pop::apnic_user_counts::restore(data->apnic_counts));
+            return data->cdn_count_blocks.size() + data->apnic_counts.size();
+        }
         cdn_counts_ = std::make_unique<pop::cdn_user_counts>(
             *users_, pop::cdn_user_counts::options{}, rand::mix_seed(config_.seed, 5));
         apnic_counts_ = std::make_unique<pop::apnic_user_counts>(
@@ -67,14 +86,22 @@ world::world(world_config config)
         return static_cast<std::size_t>(config_.root_zone_tlds);
     });
     stages.add("profiles", {"zone"}, [&] {
+        if (data) return std::size_t{0};  // profiles only feed DITL synthesis
         const auto rtts = dns::compute_letter_rtts(*users_, *roots_, pool);
         profiles_ = dns::build_query_profiles(*users_, rtts, config_.query_model,
                                               rand::mix_seed(config_.seed, 8));
         return profiles_.size();
     });
     stages.add("ditl", {"profiles"}, [&] {
-        ditl_ = capture::generate_ditl(*roots_, *users_, profiles_, space_, config_.ditl,
-                                       rand::mix_seed(config_.seed, 9), pool);
+        if (data) {
+            ditl_ = std::move(data->ditl);
+            // The restored allocation history includes both the live users
+            // stage's ranges (identical — same seed) and the junk /24s.
+            space_ = topo::address_space::restore(data->space_ranges, data->space_next_key);
+        } else {
+            ditl_ = capture::generate_ditl(*roots_, *users_, profiles_, space_, config_.ditl,
+                                           rand::mix_seed(config_.seed, 9), pool);
+        }
         std::size_t records = 0;
         for (const auto& lc : ditl_.letters) records += lc.records.size();
         return records;
@@ -84,19 +111,33 @@ world::world(world_config config)
         return filtered_.size();
     });
     stages.add("server_logs", {"filter"}, [&] {
-        server_logs_ = cdn::generate_server_logs(*cdn_, *users_, config_.telemetry,
-                                                 rand::mix_seed(config_.seed, 10), pool);
+        if (data) {
+            server_logs_ = std::move(data->server_logs);
+        } else {
+            server_logs_ = cdn::generate_server_logs(*cdn_, *users_, config_.telemetry,
+                                                     rand::mix_seed(config_.seed, 10), pool);
+        }
         return server_logs_.size();
     });
     stages.add("client_rows", {"server_logs"}, [&] {
-        client_rows_ = cdn::generate_client_measurements(
-            *cdn_, *users_, config_.telemetry, rand::mix_seed(config_.seed, 11), pool);
+        if (data) {
+            client_rows_ = std::move(data->client_rows);
+        } else {
+            client_rows_ = cdn::generate_client_measurements(
+                *cdn_, *users_, config_.telemetry, rand::mix_seed(config_.seed, 11), pool);
+        }
         return client_rows_.size();
     });
     stages.add("tables", {"filter", "server_logs"}, [&] {
-        // Columnar views built once; every analysis pass reads these.
-        filtered_tables_ = capture::to_tables(filtered_);
-        server_log_table_ = cdn::to_table(server_logs_);
+        // Columnar views built once; every analysis pass reads these. A
+        // hydrated world adopts the snapshot's (possibly borrowed) columns.
+        if (data) {
+            filtered_tables_ = std::move(data->filtered_tables);
+            server_log_table_ = std::move(data->server_log_table);
+        } else {
+            filtered_tables_ = capture::to_tables(filtered_);
+            server_log_table_ = cdn::to_table(server_logs_);
+        }
         std::size_t rows = server_log_table_.rows();
         for (const auto& t : filtered_tables_) rows += t.rows();
         return rows;

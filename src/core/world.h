@@ -53,9 +53,41 @@ struct world_config {
     [[nodiscard]] static world_config small();
 };
 
+/// Pre-generated datasets injected into a world instead of being synthesized
+/// — the hydration path for `src/snapshot/` (snapshot::hydrate_world builds
+/// one of these from a loaded bundle). The substrate (regions, graph, roots,
+/// CDN, fleet, databases) is still rebuilt deterministically from the
+/// config/seed; only the expensive dataset stages are replaced. Columnar
+/// tables may hold borrowed columns pointing into `retain` (e.g. an mmap'd
+/// snapshot), which the world keeps alive.
+struct world_datasets {
+    capture::ditl_dataset ditl;
+    std::vector<capture::letter_table> filtered_tables;
+    std::vector<cdn::server_log_row> server_logs;
+    cdn::server_log_table server_log_table;
+    std::vector<cdn::client_measurement_row> client_rows;
+    std::vector<pop::cdn_user_counts::entry> cdn_count_blocks;
+    std::vector<pop::cdn_user_counts::entry> cdn_count_ips;
+    double cdn_count_total = 0.0;
+    std::vector<pop::apnic_user_counts::entry> apnic_counts;
+    /// Final address-space allocation history (includes the junk /24s the
+    /// skipped DITL generator would have allocated).
+    std::vector<topo::address_space::raw_range> space_ranges;
+    std::uint32_t space_next_key = 0;
+    /// Keeps external backing storage (snapshot mapping) alive.
+    std::shared_ptr<const void> retain;
+};
+
 class world {
 public:
     explicit world(world_config config);
+
+    /// Hydrates a world from pre-generated datasets: substrate stages run
+    /// exactly as in a live build, dataset stages are restored from `data`.
+    /// Figures from a hydrated world are byte-identical to the live world
+    /// that exported the datasets. `profiles()` is left empty — per-recursive
+    /// query profiles only feed DITL synthesis, which hydration skips.
+    world(world_config config, world_datasets data);
 
     [[nodiscard]] const world_config& config() const noexcept { return config_; }
     [[nodiscard]] const topo::region_table& regions() const noexcept { return regions_; }
@@ -107,7 +139,10 @@ public:
     [[nodiscard]] engine::thread_pool* pool() const noexcept { return pool_.get(); }
 
 private:
+    world(world_config config, std::unique_ptr<world_datasets> data);
+
     world_config config_;
+    std::shared_ptr<const void> dataset_retain_;  // backing bytes for borrowed columns
     std::unique_ptr<engine::thread_pool> pool_;
     engine::stage_report timing_;
     topo::region_table regions_;

@@ -51,13 +51,18 @@ public:
     /// `grain` is the chunk length (0 = auto). Blocks until all chunks are
     /// done; rethrows the first exception. Serial mode runs one inline chunk.
     ///
-    /// Auto grain targets ~4 chunks per lane but never drops below
+    /// Auto grain targets ~4 chunks per effective lane but never drops below
     /// `min_items_per_chunk`, and a range that fits in a single chunk runs
     /// inline on the calling thread — tiny stages would otherwise pay more in
     /// dispatch latency than the work itself costs (the pre-fix bench showed
     /// sub-millisecond stages slowing 5x on the pool). Call sites whose items
     /// are individually heavy (e.g. per-site BGP propagation) should pass an
     /// explicit small grain to keep full fan-out.
+    ///
+    /// "Effective" lanes = min(workers, hardware cores): workers the machine
+    /// cannot run concurrently are not worth dispatching to. On a single-core
+    /// machine chunks keep their boundaries but run inline on the calling
+    /// thread — same per-chunk call pattern, none of the queue round-trips.
     void parallel_for(std::size_t count, std::size_t grain,
                       const std::function<void(std::size_t, std::size_t)>& body);
 

@@ -192,6 +192,35 @@ cdn_user_counts::cdn_user_counts(const user_base& base, options opts, std::uint6
     }
 }
 
+std::vector<cdn_user_counts::entry> cdn_user_counts::block_entries() const {
+    std::vector<entry> out;
+    out.reserve(by_block_.size());
+    for (const auto& [key, users] : by_block_) out.push_back(entry{key, users});
+    std::sort(out.begin(), out.end(),
+              [](const entry& a, const entry& b) { return a.key < b.key; });
+    return out;
+}
+
+std::vector<cdn_user_counts::entry> cdn_user_counts::ip_entries() const {
+    std::vector<entry> out;
+    out.reserve(by_ip_.size());
+    for (const auto& [key, users] : by_ip_) out.push_back(entry{key, users});
+    std::sort(out.begin(), out.end(),
+              [](const entry& a, const entry& b) { return a.key < b.key; });
+    return out;
+}
+
+cdn_user_counts cdn_user_counts::restore(const std::vector<entry>& blocks,
+                                         const std::vector<entry>& ips, double total) {
+    cdn_user_counts counts;
+    counts.by_block_.reserve(blocks.size());
+    for (const auto& e : blocks) counts.by_block_.emplace(e.key, e.users);
+    counts.by_ip_.reserve(ips.size());
+    for (const auto& e : ips) counts.by_ip_.emplace(e.key, e.users);
+    counts.total_ = total;
+    return counts;
+}
+
 std::optional<double> cdn_user_counts::count(net::slash24 block) const {
     auto it = by_block_.find(block.key());
     if (it == by_block_.end()) return std::nullopt;
@@ -234,6 +263,22 @@ apnic_user_counts::apnic_user_counts(const user_base& base, options opts, std::u
         if (g.chance(opts.as_missing_p)) continue;
         by_as_.emplace(asn, users * g.lognormal(0.0, opts.noise_sigma));
     }
+}
+
+std::vector<apnic_user_counts::entry> apnic_user_counts::entries() const {
+    std::vector<entry> out;
+    out.reserve(by_as_.size());
+    for (const auto& [asn, users] : by_as_) out.push_back(entry{asn, users});
+    std::sort(out.begin(), out.end(),
+              [](const entry& a, const entry& b) { return a.asn < b.asn; });
+    return out;
+}
+
+apnic_user_counts apnic_user_counts::restore(const std::vector<entry>& entries) {
+    apnic_user_counts counts;
+    counts.by_as_.reserve(entries.size());
+    for (const auto& e : entries) counts.by_as_.emplace(e.asn, e.users);
+    return counts;
 }
 
 std::optional<double> apnic_user_counts::count(topo::asn_t asn) const {

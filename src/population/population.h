@@ -127,6 +127,24 @@ public:
 
     cdn_user_counts(const user_base& base, options opts, std::uint64_t seed);
 
+    /// One serialized observation: a /24 key (or exact IP value) with its
+    /// observed user count. The snapshot layer stores and restores these.
+    struct entry {
+        std::uint32_t key = 0;  // slash24::key() or ipv4_addr::value()
+        double users = 0.0;
+    };
+
+    /// Per-/24 and per-IP observations in ascending key order (deterministic:
+    /// hash order never escapes).
+    [[nodiscard]] std::vector<entry> block_entries() const;
+    [[nodiscard]] std::vector<entry> ip_entries() const;
+
+    /// Rebuilds counts from serialized entries. The restored object is
+    /// observably identical to the exported one — `total` is carried
+    /// verbatim, not re-summed, so accumulation order cannot shift a bit.
+    [[nodiscard]] static cdn_user_counts restore(const std::vector<entry>& blocks,
+                                                 const std::vector<entry>& ips, double total);
+
     /// Observed user count for a recursive /24 (sums observed resolver IPs);
     /// nullopt if Microsoft saw no resolver IP in that /24.
     [[nodiscard]] std::optional<double> count(net::slash24 block) const;
@@ -142,6 +160,8 @@ public:
     [[nodiscard]] double total_observed_users() const noexcept { return total_; }
 
 private:
+    cdn_user_counts() = default;
+
     std::unordered_map<std::uint32_t, double> by_block_;
     std::unordered_map<std::uint32_t, double> by_ip_;  // keyed by address value
     double total_ = 0.0;
@@ -158,10 +178,25 @@ public:
 
     apnic_user_counts(const user_base& base, options opts, std::uint64_t seed);
 
+    /// One serialized estimate. The snapshot layer stores and restores these.
+    struct entry {
+        topo::asn_t asn = 0;
+        double users = 0.0;
+    };
+
+    /// Per-AS estimates in ascending ASN order (deterministic accessor).
+    [[nodiscard]] std::vector<entry> entries() const;
+
+    /// Rebuilds estimates from serialized entries; observably identical to
+    /// the exported object.
+    [[nodiscard]] static apnic_user_counts restore(const std::vector<entry>& entries);
+
     [[nodiscard]] std::optional<double> count(topo::asn_t asn) const;
     [[nodiscard]] std::size_t as_count() const noexcept { return by_as_.size(); }
 
 private:
+    apnic_user_counts() = default;
+
     std::unordered_map<topo::asn_t, double> by_as_;
 };
 

@@ -1,0 +1,162 @@
+// Snapshot container I/O: a deterministic writer and a validating reader.
+//
+// The writer collects named, typed sections and assembles the container
+// described in format.h. Assembly is serial and a pure function of the
+// section contents, so two worlds with byte-identical datasets produce
+// byte-identical snapshot files regardless of how many threads built them.
+//
+// The reader (`bundle`) has two modes:
+//   - owned:  reads the whole file into an aligned heap buffer — portable,
+//             and the buffer's lifetime is the bundle's.
+//   - mapped: mmaps the file read-only; column accessors return spans into
+//             the mapping, so nothing is deserialized (falls back to owned
+//             on platforms without mmap).
+// Both modes verify the file checksum and every section checksum on open;
+// all structural failures throw snapshot_error (format.h) — never UB.
+//
+// Bundles are immutable once opened and are created behind shared_ptr so
+// borrowed columns (and worlds hydrated from them) can keep the backing
+// bytes alive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/snapshot/format.h"
+
+namespace ac::snapshot {
+
+/// Collects sections and assembles a snapshot file image.
+class writer {
+public:
+    /// Adds one section. Names must be unique; insertion order is the
+    /// on-disk order (and therefore part of byte-identity).
+    void add_raw(std::string name, const void* data, std::size_t bytes,
+                 std::uint32_t elem_size = 1);
+
+    template <typename T>
+    void add_column(std::string name, std::span<const T> values) {
+        add_typed(std::move(name), elem_tag<T>::value, values.data(), values.size_bytes(),
+                  sizeof(T));
+    }
+
+    /// Convenience for one-value sections (totals, counts).
+    template <typename T>
+    void add_scalar(std::string name, T value) {
+        add_typed(std::move(name), elem_tag<T>::value, &value, sizeof value, sizeof value);
+    }
+
+    [[nodiscard]] std::size_t section_count() const noexcept { return sections_.size(); }
+
+    /// Assembles the container: header, table, names, aligned payloads,
+    /// checksums. Deterministic for identical section sequences.
+    [[nodiscard]] std::vector<std::byte> finish() const;
+
+    /// finish() + atomic-ish write to `path` (throws snapshot_error{errc::io}
+    /// on failure).
+    void write_file(const std::string& path) const;
+
+private:
+    struct pending_section {
+        std::string name;
+        elem_type type = elem_type::raw;
+        std::uint32_t elem_size = 1;
+        std::vector<std::byte> payload;
+    };
+
+    void add_typed(std::string name, elem_type type, const void* data, std::size_t bytes,
+                   std::uint32_t elem_size);
+
+    std::vector<pending_section> sections_;
+};
+
+enum class load_mode : std::uint8_t {
+    owned,   // read into an aligned heap buffer
+    mapped,  // mmap read-only; spans point into the mapping
+};
+
+/// One opened snapshot. See file comment for modes and lifetime rules.
+class bundle {
+public:
+    struct section_info {
+        std::string_view name;  // points into the bundle's name blob
+        elem_type type = elem_type::raw;
+        std::uint32_t elem_size = 1;
+        std::uint64_t payload_offset = 0;  // absolute file offset
+        std::uint64_t payload_bytes = 0;
+        std::uint64_t checksum = 0;
+    };
+
+    /// Opens and fully verifies a snapshot file. Throws snapshot_error on
+    /// any structural or checksum failure.
+    [[nodiscard]] static std::shared_ptr<const bundle> open(const std::string& path,
+                                                            load_mode mode = load_mode::owned);
+
+    /// Parses and verifies an in-memory image (the writer's finish() bytes);
+    /// used by round-trip tests. The bundle copies the image.
+    [[nodiscard]] static std::shared_ptr<const bundle> from_bytes(
+        std::span<const std::byte> image);
+
+    bundle(const bundle&) = delete;
+    bundle& operator=(const bundle&) = delete;
+    ~bundle();
+
+    [[nodiscard]] load_mode mode() const noexcept { return mode_; }
+    [[nodiscard]] std::size_t file_bytes() const noexcept { return size_; }
+    [[nodiscard]] const std::vector<section_info>& sections() const noexcept {
+        return sections_;
+    }
+
+    [[nodiscard]] bool has(std::string_view name) const noexcept;
+
+    /// The section's metadata; throws errc::section_missing if absent.
+    [[nodiscard]] const section_info& section(std::string_view name) const;
+
+    /// Typed zero-copy view of one section. Throws errc::section_missing or
+    /// errc::type_mismatch.
+    template <typename T>
+    [[nodiscard]] std::span<const T> column(std::string_view name) const {
+        const auto& s = section(name);
+        if (s.type != elem_tag<T>::value) {
+            throw snapshot_error(errc::type_mismatch,
+                                 "section '" + std::string{name} + "' holds " +
+                                     std::to_string(static_cast<int>(s.type)) +
+                                     ", not the requested element type");
+        }
+        return {reinterpret_cast<const T*>(data_ + s.payload_offset),
+                s.payload_bytes / sizeof(T)};
+    }
+
+    /// Raw bytes of one section (for packed record sections).
+    [[nodiscard]] std::span<const std::byte> raw(std::string_view name) const;
+
+    /// One value from a single-element section.
+    template <typename T>
+    [[nodiscard]] T scalar(std::string_view name) const {
+        const auto values = column<T>(name);
+        if (values.size() != 1) {
+            throw snapshot_error(errc::malformed, "section '" + std::string{name} +
+                                                      "' is not a single-value section");
+        }
+        return values[0];
+    }
+
+private:
+    bundle() = default;
+    void adopt(std::byte* data, std::size_t size, load_mode mode, bool mapped_region);
+    void parse_and_verify();
+
+    const std::byte* data_ = nullptr;
+    std::size_t size_ = 0;
+    load_mode mode_ = load_mode::owned;
+    bool mapped_region_ = false;  // data_ came from mmap (munmap on destroy)
+    std::vector<section_info> sections_;
+};
+
+} // namespace ac::snapshot

@@ -1,0 +1,756 @@
+#include "src/snapshot/world_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ac::snapshot {
+
+namespace {
+
+// ------------------------------------------------------- packed encoding --
+// Little-endian packed streams for the small metadata sections (config,
+// per-letter headers). Fixed field order on both sides; the reader throws
+// errc::malformed on any size mismatch, so a future field addition must bump
+// the format version rather than silently misparse.
+
+struct byte_sink {
+    std::vector<std::byte> bytes;
+
+    void put(const void* data, std::size_t n) {
+        const auto* p = static_cast<const std::byte*>(data);
+        bytes.insert(bytes.end(), p, p + n);
+    }
+    void u8(std::uint8_t v) { put(&v, 1); }
+    void u32(std::uint32_t v) { put(&v, 4); }
+    void u64(std::uint64_t v) { put(&v, 8); }
+    void i32(std::int32_t v) { put(&v, 4); }
+    void i64(std::int64_t v) { put(&v, 8); }
+    void f64(double v) { put(&v, 8); }
+    void str(const std::string& s) {
+        u32(static_cast<std::uint32_t>(s.size()));
+        put(s.data(), s.size());
+    }
+};
+
+struct byte_source {
+    std::span<const std::byte> bytes;
+    std::size_t pos = 0;
+    const char* what;  // section name for error messages
+
+    explicit byte_source(std::span<const std::byte> b, const char* section)
+        : bytes(b), what(section) {}
+
+    void get(void* out, std::size_t n) {
+        if (pos + n > bytes.size()) {
+            throw snapshot_error(errc::malformed,
+                                 std::string{what} + " section is shorter than its schema");
+        }
+        std::memcpy(out, bytes.data() + pos, n);
+        pos += n;
+    }
+    std::uint8_t u8() { std::uint8_t v; get(&v, 1); return v; }
+    std::uint32_t u32() { std::uint32_t v; get(&v, 4); return v; }
+    std::uint64_t u64() { std::uint64_t v; get(&v, 8); return v; }
+    std::int32_t i32() { std::int32_t v; get(&v, 4); return v; }
+    std::int64_t i64() { std::int64_t v; get(&v, 8); return v; }
+    double f64() { double v; get(&v, 8); return v; }
+    std::string str() {
+        const auto n = u32();
+        std::string s(n, '\0');
+        get(s.data(), n);
+        return s;
+    }
+    void finish() const {
+        if (pos != bytes.size()) {
+            throw snapshot_error(errc::malformed,
+                                 std::string{what} + " section is longer than its schema");
+        }
+    }
+};
+
+// ----------------------------------------------------------- world config --
+
+void encode_config(byte_sink& s, const core::world_config& c) {
+    // `threads` is deliberately NOT serialized: it is an execution knob that
+    // never changes an output byte, and worlds built at different thread
+    // counts must produce byte-identical snapshots.
+    s.u64(c.seed);
+    s.u8(c.year == core::ditl_year::y2018 ? 0 : 1);
+    s.f64(c.ip_to_asn_unmapped);
+    s.i32(c.root_zone_tlds);
+
+    s.i32(c.regions.north_america);
+    s.i32(c.regions.south_america);
+    s.i32(c.regions.europe);
+    s.i32(c.regions.africa);
+    s.i32(c.regions.asia);
+    s.i32(c.regions.oceania);
+    s.i32(c.regions.antarctica);
+
+    s.i32(c.graph.tier1_count);
+    s.i32(c.graph.transits_per_continent);
+    s.i32(c.graph.eyeball_count);
+    s.i32(c.graph.enterprise_count);
+    s.i32(c.graph.public_dns_count);
+    s.f64(c.graph.transit_extra_provider_p);
+    s.f64(c.graph.transit_peering_p);
+    s.f64(c.graph.eyeball_multihome_p);
+    s.f64(c.graph.eyeball_ixp_peering_p);
+    s.f64(c.graph.eyeball_last_mile_ms_min);
+    s.f64(c.graph.eyeball_last_mile_ms_max);
+
+    s.f64(c.users.users_per_weight);
+    s.f64(c.users.public_dns_share);
+    s.f64(c.users.bind_redundant_share);
+    s.f64(c.users.bind_fixed_share);
+    s.f64(c.users.forwarder_share);
+    s.f64(c.users.egress_only_ip_p);
+    s.i32(c.users.min_resolver_ips);
+    s.i32(c.users.max_resolver_ips);
+
+    s.f64(c.query_model.tld_base);
+    s.f64(c.query_model.tld_exponent);
+    s.f64(c.query_model.max_tlds);
+    s.f64(c.query_model.ttl_days);
+    s.f64(c.query_model.refresh_median_bind_redundant);
+    s.f64(c.query_model.refresh_median_bind_fixed);
+    s.f64(c.query_model.refresh_median_other);
+    s.f64(c.query_model.refresh_sigma);
+    s.f64(c.query_model.chromium_probes_per_user);
+    s.f64(c.query_model.junk_per_user_median);
+    s.f64(c.query_model.junk_user_exponent);
+    s.f64(c.query_model.junk_reference_users);
+    s.f64(c.query_model.junk_sigma);
+    s.f64(c.query_model.ptr_per_user);
+    s.f64(c.query_model.preference_gamma_lo);
+    s.f64(c.query_model.preference_gamma_hi);
+    s.f64(c.query_model.preference_uniform_mix);
+    s.f64(c.query_model.tcp_share_zero_p);
+    s.f64(c.query_model.tcp_share_median);
+    s.f64(c.query_model.tcp_share_sigma);
+
+    s.f64(c.ditl.ipv6_fraction);
+    s.f64(c.ditl.private_fraction);
+    s.f64(c.ditl.spoofed_fraction);
+    s.i32(c.ditl.junk_source_count);
+    s.i32(c.ditl.junk_ips_per_source);
+    s.f64(c.ditl.junk_source_median_qpd);
+    s.f64(c.ditl.junk_source_sigma);
+    s.i32(c.ditl.min_tcp_samples);
+    s.f64(c.ditl.capture_days);
+    s.f64(c.ditl.per_ip_split_share);
+
+    s.u32(static_cast<std::uint32_t>(c.cdn.ring_sizes.size()));
+    for (const int size : c.cdn.ring_sizes) s.i32(size);
+    s.u32(c.cdn.asn);
+    s.str(c.cdn.name);
+    s.f64(c.cdn.eyeball_peering_fraction);
+    s.f64(c.cdn.transit_peering_fraction);
+    s.f64(c.cdn.wan_circuitousness);
+    s.u64(c.cdn.seed);
+
+    s.f64(c.telemetry.connections_per_user);
+    s.f64(c.telemetry.capture_days);
+    s.i64(c.telemetry.min_samples);
+    s.f64(c.telemetry.ring_share_sigma);
+    s.f64(c.telemetry.fetch_rtt_multiple);
+
+    s.i32(c.atlas.probe_count);
+    s.f64(c.atlas.europe_bias);
+    s.f64(c.atlas.connectivity_bias);
+    s.u64(c.atlas.seed);
+
+    s.f64(c.geodb.wrong_region_p);
+    s.f64(c.geodb.jitter_km);
+}
+
+core::world_config decode_config(byte_source& s) {
+    core::world_config c;
+    c.seed = s.u64();
+    const auto year = s.u8();
+    if (year > 1) throw snapshot_error(errc::malformed, "config year is out of range");
+    c.year = year == 0 ? core::ditl_year::y2018 : core::ditl_year::y2020;
+    c.ip_to_asn_unmapped = s.f64();
+    c.root_zone_tlds = s.i32();
+
+    c.regions.north_america = s.i32();
+    c.regions.south_america = s.i32();
+    c.regions.europe = s.i32();
+    c.regions.africa = s.i32();
+    c.regions.asia = s.i32();
+    c.regions.oceania = s.i32();
+    c.regions.antarctica = s.i32();
+
+    c.graph.tier1_count = s.i32();
+    c.graph.transits_per_continent = s.i32();
+    c.graph.eyeball_count = s.i32();
+    c.graph.enterprise_count = s.i32();
+    c.graph.public_dns_count = s.i32();
+    c.graph.transit_extra_provider_p = s.f64();
+    c.graph.transit_peering_p = s.f64();
+    c.graph.eyeball_multihome_p = s.f64();
+    c.graph.eyeball_ixp_peering_p = s.f64();
+    c.graph.eyeball_last_mile_ms_min = s.f64();
+    c.graph.eyeball_last_mile_ms_max = s.f64();
+
+    c.users.users_per_weight = s.f64();
+    c.users.public_dns_share = s.f64();
+    c.users.bind_redundant_share = s.f64();
+    c.users.bind_fixed_share = s.f64();
+    c.users.forwarder_share = s.f64();
+    c.users.egress_only_ip_p = s.f64();
+    c.users.min_resolver_ips = s.i32();
+    c.users.max_resolver_ips = s.i32();
+
+    c.query_model.tld_base = s.f64();
+    c.query_model.tld_exponent = s.f64();
+    c.query_model.max_tlds = s.f64();
+    c.query_model.ttl_days = s.f64();
+    c.query_model.refresh_median_bind_redundant = s.f64();
+    c.query_model.refresh_median_bind_fixed = s.f64();
+    c.query_model.refresh_median_other = s.f64();
+    c.query_model.refresh_sigma = s.f64();
+    c.query_model.chromium_probes_per_user = s.f64();
+    c.query_model.junk_per_user_median = s.f64();
+    c.query_model.junk_user_exponent = s.f64();
+    c.query_model.junk_reference_users = s.f64();
+    c.query_model.junk_sigma = s.f64();
+    c.query_model.ptr_per_user = s.f64();
+    c.query_model.preference_gamma_lo = s.f64();
+    c.query_model.preference_gamma_hi = s.f64();
+    c.query_model.preference_uniform_mix = s.f64();
+    c.query_model.tcp_share_zero_p = s.f64();
+    c.query_model.tcp_share_median = s.f64();
+    c.query_model.tcp_share_sigma = s.f64();
+
+    c.ditl.ipv6_fraction = s.f64();
+    c.ditl.private_fraction = s.f64();
+    c.ditl.spoofed_fraction = s.f64();
+    c.ditl.junk_source_count = s.i32();
+    c.ditl.junk_ips_per_source = s.i32();
+    c.ditl.junk_source_median_qpd = s.f64();
+    c.ditl.junk_source_sigma = s.f64();
+    c.ditl.min_tcp_samples = s.i32();
+    c.ditl.capture_days = s.f64();
+    c.ditl.per_ip_split_share = s.f64();
+
+    c.cdn.ring_sizes.clear();
+    const auto ring_count = s.u32();
+    if (ring_count > 1024) {
+        throw snapshot_error(errc::malformed, "config ring count is implausible");
+    }
+    c.cdn.ring_sizes.reserve(ring_count);
+    for (std::uint32_t i = 0; i < ring_count; ++i) c.cdn.ring_sizes.push_back(s.i32());
+    c.cdn.asn = s.u32();
+    c.cdn.name = s.str();
+    c.cdn.eyeball_peering_fraction = s.f64();
+    c.cdn.transit_peering_fraction = s.f64();
+    c.cdn.wan_circuitousness = s.f64();
+    c.cdn.seed = s.u64();
+
+    c.telemetry.connections_per_user = s.f64();
+    c.telemetry.capture_days = s.f64();
+    c.telemetry.min_samples = static_cast<long>(s.i64());
+    c.telemetry.ring_share_sigma = s.f64();
+    c.telemetry.fetch_rtt_multiple = s.f64();
+
+    c.atlas.probe_count = s.i32();
+    c.atlas.europe_bias = s.f64();
+    c.atlas.connectivity_bias = s.f64();
+    c.atlas.seed = s.u64();
+
+    c.geodb.wrong_region_p = s.f64();
+    c.geodb.jitter_km = s.f64();
+    return c;
+}
+
+// ------------------------------------------------------------- ditl sections
+
+std::string sec(const char* group, std::size_t index, const char* field) {
+    return std::string{group} + "/" + std::to_string(index) + "/" + field;
+}
+
+void encode_letter_spec_flags(byte_sink& s, const dns::letter_spec& spec) {
+    s.u8(static_cast<std::uint8_t>(spec.anon));
+    s.u8(spec.in_ditl ? 1 : 0);
+    s.u8(spec.tcp_usable ? 1 : 0);
+    s.u8(spec.complete ? 1 : 0);
+}
+
+void decode_letter_spec_flags(byte_source& s, dns::letter_spec& spec) {
+    const auto anon = s.u8();
+    if (anon > 2) throw snapshot_error(errc::malformed, "letter anonymization out of range");
+    spec.anon = static_cast<dns::anonymization>(anon);
+    spec.in_ditl = s.u8() != 0;
+    spec.tcp_usable = s.u8() != 0;
+    spec.complete = s.u8() != 0;
+}
+
+template <typename T>
+std::span<const std::uint8_t> as_u8_span(std::span<const T> values) {
+    static_assert(sizeof(T) == 1);
+    return {reinterpret_cast<const std::uint8_t*>(values.data()), values.size()};
+}
+
+void add_letter_capture_sections(writer& w, std::size_t i, const capture::letter_capture& lc) {
+    // Per-letter metadata: exactly the fields the text serializer carries
+    // (capture/serialize.h), so a text round-trip re-snapshots
+    // byte-identically. `strategy` is deliberately absent from both.
+    byte_sink meta;
+    meta.u8(static_cast<std::uint8_t>(lc.letter));
+    encode_letter_spec_flags(meta, lc.spec);
+    meta.i32(lc.spec.global_sites);
+    meta.i32(lc.spec.local_sites);
+    meta.f64(lc.ipv6_queries_per_day);
+    w.add_raw(sec("ditl", i, "meta"), meta.bytes.data(), meta.bytes.size(),
+              static_cast<std::uint32_t>(meta.bytes.size()));
+
+    std::vector<std::uint32_t> source_ip;
+    std::vector<std::uint32_t> site;
+    std::vector<std::uint8_t> category;
+    std::vector<double> qpd;
+    source_ip.reserve(lc.records.size());
+    site.reserve(lc.records.size());
+    category.reserve(lc.records.size());
+    qpd.reserve(lc.records.size());
+    for (const auto& r : lc.records) {
+        source_ip.push_back(r.source_ip.value());
+        site.push_back(r.site);
+        category.push_back(static_cast<std::uint8_t>(r.category));
+        qpd.push_back(r.queries_per_day);
+    }
+    w.add_column<std::uint32_t>(sec("ditl", i, "rec/source_ip"), source_ip);
+    w.add_column<std::uint32_t>(sec("ditl", i, "rec/site"), site);
+    w.add_column<std::uint8_t>(sec("ditl", i, "rec/category"), category);
+    w.add_column<double>(sec("ditl", i, "rec/qpd"), qpd);
+
+    std::vector<std::uint32_t> tcp_source;
+    std::vector<std::uint32_t> tcp_site;
+    std::vector<std::int32_t> tcp_samples;
+    std::vector<double> tcp_median;
+    std::vector<double> tcp_qpd;
+    tcp_source.reserve(lc.tcp_rtts.size());
+    tcp_site.reserve(lc.tcp_rtts.size());
+    tcp_samples.reserve(lc.tcp_rtts.size());
+    tcp_median.reserve(lc.tcp_rtts.size());
+    tcp_qpd.reserve(lc.tcp_rtts.size());
+    for (const auto& t : lc.tcp_rtts) {
+        tcp_source.push_back(t.source.key());
+        tcp_site.push_back(t.site);
+        tcp_samples.push_back(t.sample_count);
+        tcp_median.push_back(t.median_rtt_ms);
+        tcp_qpd.push_back(t.queries_per_day);
+    }
+    w.add_column<std::uint32_t>(sec("ditl", i, "tcp/source"), tcp_source);
+    w.add_column<std::uint32_t>(sec("ditl", i, "tcp/site"), tcp_site);
+    w.add_column<std::int32_t>(sec("ditl", i, "tcp/samples"), tcp_samples);
+    w.add_column<double>(sec("ditl", i, "tcp/median"), tcp_median);
+    w.add_column<double>(sec("ditl", i, "tcp/qpd"), tcp_qpd);
+}
+
+capture::letter_capture read_letter_capture(const bundle& b, std::size_t i) {
+    capture::letter_capture lc;
+    byte_source meta{b.raw(sec("ditl", i, "meta")), "ditl meta"};
+    lc.letter = static_cast<char>(meta.u8());
+    lc.spec.letter = lc.letter;
+    decode_letter_spec_flags(meta, lc.spec);
+    lc.spec.global_sites = meta.i32();
+    lc.spec.local_sites = meta.i32();
+    lc.ipv6_queries_per_day = meta.f64();
+    meta.finish();
+
+    const auto source_ip = b.column<std::uint32_t>(sec("ditl", i, "rec/source_ip"));
+    const auto site = b.column<std::uint32_t>(sec("ditl", i, "rec/site"));
+    const auto category = b.column<std::uint8_t>(sec("ditl", i, "rec/category"));
+    const auto qpd = b.column<double>(sec("ditl", i, "rec/qpd"));
+    if (site.size() != source_ip.size() || category.size() != source_ip.size() ||
+        qpd.size() != source_ip.size()) {
+        throw snapshot_error(errc::malformed, "ditl record columns disagree on row count");
+    }
+    lc.records.resize(source_ip.size());
+    for (std::size_t r = 0; r < source_ip.size(); ++r) {
+        if (category[r] > 2) {
+            throw snapshot_error(errc::malformed, "ditl record category out of range");
+        }
+        lc.records[r] = capture::capture_record{net::ipv4_addr{source_ip[r]}, site[r],
+                                                static_cast<capture::query_category>(
+                                                    category[r]),
+                                                qpd[r]};
+    }
+
+    const auto tcp_source = b.column<std::uint32_t>(sec("ditl", i, "tcp/source"));
+    const auto tcp_site = b.column<std::uint32_t>(sec("ditl", i, "tcp/site"));
+    const auto tcp_samples = b.column<std::int32_t>(sec("ditl", i, "tcp/samples"));
+    const auto tcp_median = b.column<double>(sec("ditl", i, "tcp/median"));
+    const auto tcp_qpd = b.column<double>(sec("ditl", i, "tcp/qpd"));
+    if (tcp_site.size() != tcp_source.size() || tcp_samples.size() != tcp_source.size() ||
+        tcp_median.size() != tcp_source.size() || tcp_qpd.size() != tcp_source.size()) {
+        throw snapshot_error(errc::malformed, "ditl tcp columns disagree on row count");
+    }
+    lc.tcp_rtts.resize(tcp_source.size());
+    for (std::size_t r = 0; r < tcp_source.size(); ++r) {
+        lc.tcp_rtts[r] = capture::tcp_latency_row{
+            net::slash24{net::ipv4_addr{tcp_source[r] << 8}}, tcp_site[r], tcp_samples[r],
+            tcp_median[r], tcp_qpd[r]};
+    }
+    return lc;
+}
+
+// ----------------------------------------------------- letter table sections
+
+void add_letter_table_sections(writer& w, std::size_t i, const capture::letter_table& t) {
+    byte_sink meta;
+    meta.u8(static_cast<std::uint8_t>(t.letter));
+    meta.u8(static_cast<std::uint8_t>(t.spec.strategy));
+    encode_letter_spec_flags(meta, t.spec);
+    meta.i32(t.spec.global_sites);
+    meta.i32(t.spec.local_sites);
+    w.add_raw(sec("tables", i, "meta"), meta.bytes.data(), meta.bytes.size(),
+              static_cast<std::uint32_t>(meta.bytes.size()));
+    w.add_column<std::uint32_t>(sec("tables", i, "source_ip"), t.source_ip.view());
+    w.add_column<std::uint32_t>(sec("tables", i, "site"), t.site.view());
+    w.add_column<std::uint8_t>(sec("tables", i, "category"),
+                               as_u8_span(t.category.view()));
+    w.add_column<double>(sec("tables", i, "qpd"), t.queries_per_day.view());
+    w.add_column<std::uint64_t>(sec("tables", i, "tcp_key"), t.tcp_key.view());
+    w.add_column<double>(sec("tables", i, "tcp_median"), t.tcp_median_rtt_ms.view());
+}
+
+capture::letter_table read_letter_table(const bundle& b, std::size_t i) {
+    capture::letter_table t;
+    byte_source meta{b.raw(sec("tables", i, "meta")), "letter table meta"};
+    t.letter = static_cast<char>(meta.u8());
+    t.spec.letter = t.letter;
+    const auto strategy = meta.u8();
+    if (strategy > 2) {
+        throw snapshot_error(errc::malformed, "letter hosting strategy out of range");
+    }
+    t.spec.strategy = static_cast<anycast::hosting_strategy>(strategy);
+    decode_letter_spec_flags(meta, t.spec);
+    t.spec.global_sites = meta.i32();
+    t.spec.local_sites = meta.i32();
+    meta.finish();
+
+    t.source_ip = table::column<std::uint32_t>::borrowed(
+        b.column<std::uint32_t>(sec("tables", i, "source_ip")));
+    t.site = table::column<std::uint32_t>::borrowed(
+        b.column<std::uint32_t>(sec("tables", i, "site")));
+    const auto category = b.column<std::uint8_t>(sec("tables", i, "category"));
+    t.category = table::column<capture::query_category>::borrowed(
+        {reinterpret_cast<const capture::query_category*>(category.data()),
+         category.size()});
+    t.queries_per_day =
+        table::column<double>::borrowed(b.column<double>(sec("tables", i, "qpd")));
+    t.tcp_key = table::column<std::uint64_t>::borrowed(
+        b.column<std::uint64_t>(sec("tables", i, "tcp_key")));
+    t.tcp_median_rtt_ms =
+        table::column<double>::borrowed(b.column<double>(sec("tables", i, "tcp_median")));
+    if (t.site.size() != t.source_ip.size() || t.category.size() != t.source_ip.size() ||
+        t.queries_per_day.size() != t.source_ip.size() ||
+        t.tcp_median_rtt_ms.size() != t.tcp_key.size()) {
+        throw snapshot_error(errc::malformed, "letter table columns disagree on row count");
+    }
+    return t;
+}
+
+// ------------------------------------------------------- telemetry sections
+
+void add_server_log_sections(writer& w, const cdn::server_log_table& t) {
+    w.add_column<std::uint32_t>("server/asn", t.asn.view());
+    w.add_column<std::uint32_t>("server/region", t.region.view());
+    w.add_column<std::int32_t>("server/ring", t.ring.view());
+    w.add_column<std::int32_t>("server/front_end", t.front_end.view());
+    w.add_column<double>("server/median_rtt_ms", t.median_rtt_ms.view());
+    w.add_column<std::int64_t>("server/samples", t.sample_count.view());
+    w.add_column<double>("server/users", t.users.view());
+    w.add_column<double>("server/front_end_km", t.front_end_km.view());
+}
+
+void add_client_sections(writer& w, std::span<const cdn::client_measurement_row> rows) {
+    std::vector<std::uint32_t> asn;
+    std::vector<std::uint32_t> region;
+    std::vector<std::int32_t> ring;
+    std::vector<double> fetch;
+    std::vector<std::int64_t> samples;
+    std::vector<double> users;
+    asn.reserve(rows.size());
+    region.reserve(rows.size());
+    ring.reserve(rows.size());
+    fetch.reserve(rows.size());
+    samples.reserve(rows.size());
+    users.reserve(rows.size());
+    for (const auto& r : rows) {
+        asn.push_back(r.asn);
+        region.push_back(r.region);
+        ring.push_back(r.ring);
+        fetch.push_back(r.median_fetch_ms);
+        samples.push_back(r.sample_count);
+        users.push_back(r.users);
+    }
+    w.add_column<std::uint32_t>("client/asn", asn);
+    w.add_column<std::uint32_t>("client/region", region);
+    w.add_column<std::int32_t>("client/ring", ring);
+    w.add_column<double>("client/median_fetch_ms", fetch);
+    w.add_column<std::int64_t>("client/samples", samples);
+    w.add_column<double>("client/users", users);
+}
+
+// ------------------------------------------------------ population sections
+
+void add_population_sections(writer& w, const pop::cdn_user_counts& cdn_counts,
+                             const pop::apnic_user_counts& apnic_counts) {
+    const auto blocks = cdn_counts.block_entries();
+    const auto ips = cdn_counts.ip_entries();
+    std::vector<std::uint32_t> keys;
+    std::vector<double> users;
+    keys.reserve(blocks.size());
+    users.reserve(blocks.size());
+    for (const auto& e : blocks) {
+        keys.push_back(e.key);
+        users.push_back(e.users);
+    }
+    w.add_column<std::uint32_t>("pop/cdn/block_key", keys);
+    w.add_column<double>("pop/cdn/block_users", users);
+    keys.clear();
+    users.clear();
+    for (const auto& e : ips) {
+        keys.push_back(e.key);
+        users.push_back(e.users);
+    }
+    w.add_column<std::uint32_t>("pop/cdn/ip_key", keys);
+    w.add_column<double>("pop/cdn/ip_users", users);
+    w.add_scalar<double>("pop/cdn/total", cdn_counts.total_observed_users());
+
+    const auto apnic = apnic_counts.entries();
+    std::vector<std::uint32_t> asns;
+    users.clear();
+    asns.reserve(apnic.size());
+    for (const auto& e : apnic) {
+        asns.push_back(e.asn);
+        users.push_back(e.users);
+    }
+    w.add_column<std::uint32_t>("pop/apnic/asn", asns);
+    w.add_column<double>("pop/apnic/users", users);
+}
+
+std::vector<pop::cdn_user_counts::entry> read_entry_pairs(const bundle& b,
+                                                          std::string_view key_section,
+                                                          std::string_view user_section) {
+    const auto keys = b.column<std::uint32_t>(key_section);
+    const auto users = b.column<double>(user_section);
+    if (keys.size() != users.size()) {
+        throw snapshot_error(errc::malformed, "population key/user columns disagree");
+    }
+    std::vector<pop::cdn_user_counts::entry> out(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        out[i] = pop::cdn_user_counts::entry{keys[i], users[i]};
+    }
+    return out;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- public API --
+
+void add_ditl_sections(writer& w, const capture::ditl_dataset& dataset) {
+    w.add_scalar<std::uint32_t>("ditl/letter_count",
+                                static_cast<std::uint32_t>(dataset.letters.size()));
+    for (std::size_t i = 0; i < dataset.letters.size(); ++i) {
+        add_letter_capture_sections(w, i, dataset.letters[i]);
+    }
+}
+
+std::vector<std::byte> encode_ditl(const capture::ditl_dataset& dataset) {
+    writer w;
+    add_ditl_sections(w, dataset);
+    return w.finish();
+}
+
+void save_ditl(const capture::ditl_dataset& dataset, const std::string& path) {
+    writer w;
+    add_ditl_sections(w, dataset);
+    w.write_file(path);
+}
+
+std::vector<std::byte> encode_world(const core::world& world) {
+    writer w;
+    byte_sink config;
+    encode_config(config, world.config());
+    w.add_raw("world/config", config.bytes.data(), config.bytes.size());
+
+    w.add_scalar<std::uint32_t>("space/next_key", world.space().allocated_slash24s());
+    const auto ranges = world.space().export_ranges();
+    std::vector<std::uint32_t> packed;
+    packed.reserve(ranges.size() * 4);
+    for (const auto& r : ranges) {
+        packed.push_back(r.first_key);
+        packed.push_back(r.last_key);
+        packed.push_back(r.asn);
+        packed.push_back(r.region);
+    }
+    w.add_raw("space/ranges", packed.data(), packed.size() * sizeof(std::uint32_t),
+              4 * sizeof(std::uint32_t));
+
+    add_ditl_sections(w, world.ditl());
+
+    const auto tables = world.filtered_tables();
+    w.add_scalar<std::uint32_t>("tables/letter_count",
+                                static_cast<std::uint32_t>(tables.size()));
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+        add_letter_table_sections(w, i, tables[i]);
+    }
+
+    add_server_log_sections(w, world.server_log_table());
+    add_client_sections(w, world.client_measurements());
+    add_population_sections(w, world.cdn_user_counts(), world.apnic_user_counts());
+    return w.finish();
+}
+
+void save_world(const core::world& world, const std::string& path) {
+    // finish() is already deterministic; writing via the writer keeps the
+    // file byte-identical to encode_world()'s image.
+    writer w;
+    const auto image = encode_world(world);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        throw snapshot_error(errc::io, "cannot open '" + path + "' for writing");
+    }
+    const std::size_t written = std::fwrite(image.data(), 1, image.size(), f);
+    const int close_rc = std::fclose(f);
+    if (written != image.size() || close_rc != 0) {
+        std::remove(path.c_str());
+        throw snapshot_error(errc::io, "short write to '" + path + "'");
+    }
+}
+
+bool has_world(const bundle& b) { return b.has("world/config"); }
+
+core::world_config read_config(const bundle& b) {
+    byte_source s{b.raw("world/config"), "world config"};
+    auto config = decode_config(s);
+    s.finish();
+    return config;
+}
+
+capture::ditl_dataset read_ditl(const bundle& b) {
+    capture::ditl_dataset dataset;
+    const auto count = b.scalar<std::uint32_t>("ditl/letter_count");
+    dataset.letters.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        dataset.letters.push_back(read_letter_capture(b, i));
+    }
+    return dataset;
+}
+
+std::vector<capture::letter_table> read_letter_tables(const bundle& b) {
+    const auto count = b.scalar<std::uint32_t>("tables/letter_count");
+    std::vector<capture::letter_table> tables;
+    tables.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) tables.push_back(read_letter_table(b, i));
+    return tables;
+}
+
+cdn::server_log_table read_server_log_table(const bundle& b) {
+    cdn::server_log_table t;
+    t.asn = table::column<topo::asn_t>::borrowed(b.column<std::uint32_t>("server/asn"));
+    t.region =
+        table::column<topo::region_id>::borrowed(b.column<std::uint32_t>("server/region"));
+    t.ring = table::column<std::int32_t>::borrowed(b.column<std::int32_t>("server/ring"));
+    t.front_end =
+        table::column<std::int32_t>::borrowed(b.column<std::int32_t>("server/front_end"));
+    t.median_rtt_ms =
+        table::column<double>::borrowed(b.column<double>("server/median_rtt_ms"));
+    t.sample_count =
+        table::column<std::int64_t>::borrowed(b.column<std::int64_t>("server/samples"));
+    t.users = table::column<double>::borrowed(b.column<double>("server/users"));
+    t.front_end_km =
+        table::column<double>::borrowed(b.column<double>("server/front_end_km"));
+    const auto rows = t.asn.size();
+    if (t.region.size() != rows || t.ring.size() != rows || t.front_end.size() != rows ||
+        t.median_rtt_ms.size() != rows || t.sample_count.size() != rows ||
+        t.users.size() != rows || t.front_end_km.size() != rows) {
+        throw snapshot_error(errc::malformed, "server log columns disagree on row count");
+    }
+    return t;
+}
+
+std::vector<cdn::server_log_row> read_server_log_rows(const bundle& b) {
+    const auto t = read_server_log_table(b);
+    std::vector<cdn::server_log_row> rows(t.rows());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        rows[i] = cdn::server_log_row{t.asn[i],
+                                      t.region[i],
+                                      t.ring[i],
+                                      t.front_end[i],
+                                      t.median_rtt_ms[i],
+                                      t.sample_count[i],
+                                      t.users[i],
+                                      t.front_end_km[i]};
+    }
+    return rows;
+}
+
+std::vector<cdn::client_measurement_row> read_client_rows(const bundle& b) {
+    const auto asn = b.column<std::uint32_t>("client/asn");
+    const auto region = b.column<std::uint32_t>("client/region");
+    const auto ring = b.column<std::int32_t>("client/ring");
+    const auto fetch = b.column<double>("client/median_fetch_ms");
+    const auto samples = b.column<std::int64_t>("client/samples");
+    const auto users = b.column<double>("client/users");
+    if (region.size() != asn.size() || ring.size() != asn.size() ||
+        fetch.size() != asn.size() || samples.size() != asn.size() ||
+        users.size() != asn.size()) {
+        throw snapshot_error(errc::malformed, "client columns disagree on row count");
+    }
+    std::vector<cdn::client_measurement_row> rows(asn.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        rows[i] = cdn::client_measurement_row{asn[i], region[i], ring[i],
+                                              fetch[i], samples[i], users[i]};
+    }
+    return rows;
+}
+
+core::world hydrate_world(std::shared_ptr<const bundle> b, int threads_override) {
+    if (!has_world(*b)) {
+        throw snapshot_error(errc::section_missing,
+                             "not a world snapshot (no world/config section) — a DITL-only "
+                             "snapshot cannot hydrate a world");
+    }
+    auto config = read_config(*b);
+    if (threads_override >= 0) config.threads = threads_override;
+
+    core::world_datasets data;
+    data.ditl = read_ditl(*b);
+    data.filtered_tables = read_letter_tables(*b);
+    data.server_log_table = read_server_log_table(*b);
+    data.server_logs = read_server_log_rows(*b);
+    data.client_rows = read_client_rows(*b);
+    data.cdn_count_blocks = read_entry_pairs(*b, "pop/cdn/block_key", "pop/cdn/block_users");
+    data.cdn_count_ips = read_entry_pairs(*b, "pop/cdn/ip_key", "pop/cdn/ip_users");
+    data.cdn_count_total = b->scalar<double>("pop/cdn/total");
+    const auto apnic = read_entry_pairs(*b, "pop/apnic/asn", "pop/apnic/users");
+    data.apnic_counts.reserve(apnic.size());
+    for (const auto& e : apnic) {
+        data.apnic_counts.push_back(pop::apnic_user_counts::entry{e.key, e.users});
+    }
+
+    const auto ranges_raw = b->raw("space/ranges");
+    const auto& ranges_info = b->section("space/ranges");
+    if (ranges_info.elem_size != 16 || ranges_raw.size() % 16 != 0) {
+        throw snapshot_error(errc::malformed, "space/ranges has an unexpected stride");
+    }
+    const std::size_t range_count = ranges_raw.size() / 16;
+    data.space_ranges.resize(range_count);
+    for (std::size_t i = 0; i < range_count; ++i) {
+        std::uint32_t fields[4];
+        std::memcpy(fields, ranges_raw.data() + i * 16, sizeof fields);
+        data.space_ranges[i] =
+            topo::address_space::raw_range{fields[0], fields[1], fields[2], fields[3]};
+    }
+    data.space_next_key = b->scalar<std::uint32_t>("space/next_key");
+    data.retain = std::shared_ptr<const void>{b, b.get()};
+
+    return core::world{std::move(config), std::move(data)};
+}
+
+} // namespace ac::snapshot

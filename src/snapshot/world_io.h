@@ -1,0 +1,70 @@
+// Snapshot contents: what gets stored, and how a world comes back.
+//
+// A *world snapshot* holds everything the paper's analyses consume — the raw
+// DITL captures, the filtered per-letter columnar tables, the CDN server-side
+// log table, the client-side fetch rows, both population user-count views,
+// the final address-space allocation history, and the world config/seed that
+// produced them. Loading one and hydrating a world replaces the expensive
+// dataset-generation stages ("generate once, archive, re-analyze many
+// times"); the substrate (graph, roots, CDN, fleet, databases) is rebuilt
+// deterministically from the stored config, so figures computed from a
+// hydrated world are byte-identical to the live world that was saved.
+//
+// A *DITL snapshot* (save_ditl) is the binary counterpart of the
+// capture::serialize text format: just the capture sections. `acctx export
+// --format snapshot` writes one; `acctx analyze --format snapshot` reads one.
+// Its per-letter metadata carries exactly the fields the text format carries
+// (strategy excluded), so a text round-trip re-snapshots byte-identically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/world.h"
+#include "src/snapshot/snapshot.h"
+
+namespace ac::snapshot {
+
+/// Appends the DITL capture sections ("ditl/...") for `dataset` to `w`.
+void add_ditl_sections(writer& w, const capture::ditl_dataset& dataset);
+
+/// Full world snapshot as an in-memory image / on disk.
+[[nodiscard]] std::vector<std::byte> encode_world(const core::world& w);
+void save_world(const core::world& w, const std::string& path);
+
+/// DITL-only snapshot (no config — cannot hydrate a world).
+[[nodiscard]] std::vector<std::byte> encode_ditl(const capture::ditl_dataset& dataset);
+void save_ditl(const capture::ditl_dataset& dataset, const std::string& path);
+
+/// True when `b` holds a full world snapshot (config section present).
+[[nodiscard]] bool has_world(const bundle& b);
+
+/// The stored world config (seed, scale, year, all plan knobs). Throws
+/// errc::section_missing on a DITL-only snapshot, errc::malformed if the
+/// section does not decode exactly.
+[[nodiscard]] core::world_config read_config(const bundle& b);
+
+/// Materializes the raw DITL dataset (row structs rebuilt from columns).
+[[nodiscard]] capture::ditl_dataset read_ditl(const bundle& b);
+
+/// Columnar views with *borrowed* columns pointing into the bundle's bytes:
+/// zero deserialization, but the bundle must outlive the result (hydrate
+/// keeps it alive via world_datasets::retain; direct callers keep their
+/// shared_ptr).
+[[nodiscard]] std::vector<capture::letter_table> read_letter_tables(const bundle& b);
+[[nodiscard]] cdn::server_log_table read_server_log_table(const bundle& b);
+
+/// Materialized row forms (owned).
+[[nodiscard]] std::vector<cdn::server_log_row> read_server_log_rows(const bundle& b);
+[[nodiscard]] std::vector<cdn::client_measurement_row> read_client_rows(const bundle& b);
+
+/// Builds a world from a loaded snapshot: substrate from the stored config,
+/// datasets from the stored sections (tables borrowed zero-copy from the
+/// bundle). `threads_override >= 0` replaces the stored thread count (thread
+/// count never changes output bytes). Throws snapshot_error on a DITL-only
+/// or otherwise incomplete snapshot.
+[[nodiscard]] core::world hydrate_world(std::shared_ptr<const bundle> b,
+                                        int threads_override = -1);
+
+} // namespace ac::snapshot

@@ -1,0 +1,104 @@
+// XXH64 — the 64-bit xxHash checksum (Yann Collet's public-domain
+// algorithm), implemented from the specification.
+//
+// Snapshot sections are checksummed on write and re-verified on every open,
+// so the hash sits on the load fast path: FNV-1a's byte-serial multiply
+// chain costs ~1 ns/byte, which for a multi-megabyte snapshot would eat the
+// entire mmap-load budget. XXH64 consumes 32 bytes per round through four
+// independent lanes and runs an order of magnitude faster while detecting
+// the same single-bit flips the corruption tests exercise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ac::snapshot {
+
+namespace xx_detail {
+
+inline constexpr std::uint64_t prime1 = 0x9E3779B185EBCA87ull;
+inline constexpr std::uint64_t prime2 = 0xC2B2AE3D27D4EB4Full;
+inline constexpr std::uint64_t prime3 = 0x165667B19E3779F9ull;
+inline constexpr std::uint64_t prime4 = 0x85EBCA77C2B2AE63ull;
+inline constexpr std::uint64_t prime5 = 0x27D4EB2F165667C5ull;
+
+inline std::uint64_t rotl(std::uint64_t v, int bits) noexcept {
+    return (v << bits) | (v >> (64 - bits));
+}
+
+inline std::uint64_t read64(const unsigned char* p) noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;  // snapshot files are little-endian by contract (format.h)
+}
+
+inline std::uint32_t read32(const unsigned char* p) noexcept {
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+inline std::uint64_t round(std::uint64_t acc, std::uint64_t input) noexcept {
+    return rotl(acc + input * prime2, 31) * prime1;
+}
+
+inline std::uint64_t merge_round(std::uint64_t acc, std::uint64_t val) noexcept {
+    return (acc ^ round(0, val)) * prime1 + prime4;
+}
+
+} // namespace xx_detail
+
+/// One-shot XXH64 over a byte range.
+inline std::uint64_t xxhash64(const void* data, std::size_t len,
+                              std::uint64_t seed = 0) noexcept {
+    using namespace xx_detail;
+    const auto* p = static_cast<const unsigned char*>(data);
+    const unsigned char* const end = p + len;
+    std::uint64_t h;
+
+    if (len >= 32) {
+        std::uint64_t v1 = seed + prime1 + prime2;
+        std::uint64_t v2 = seed + prime2;
+        std::uint64_t v3 = seed;
+        std::uint64_t v4 = seed - prime1;
+        const unsigned char* const limit = end - 32;
+        do {
+            v1 = round(v1, read64(p));
+            v2 = round(v2, read64(p + 8));
+            v3 = round(v3, read64(p + 16));
+            v4 = round(v4, read64(p + 24));
+            p += 32;
+        } while (p <= limit);
+        h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed + prime5;
+    }
+
+    h += static_cast<std::uint64_t>(len);
+    while (p + 8 <= end) {
+        h = rotl(h ^ round(0, read64(p)), 27) * prime1 + prime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h = rotl(h ^ (std::uint64_t{read32(p)} * prime1), 23) * prime2 + prime3;
+        p += 4;
+    }
+    while (p < end) {
+        h = rotl(h ^ (std::uint64_t{*p} * prime5), 11) * prime1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= prime2;
+    h ^= h >> 29;
+    h *= prime3;
+    h ^= h >> 32;
+    return h;
+}
+
+} // namespace ac::snapshot

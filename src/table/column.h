@@ -5,8 +5,17 @@
 // columns, so a pass that touches one attribute streams through memory
 // instead of striding over wide row structs. Columns are plain value
 // containers; all views are zero-copy `std::span`s.
+//
+// A column either *owns* its values (a vector, the default) or *borrows*
+// them from storage someone else keeps alive — the snapshot reader hands out
+// borrowed columns whose spans point straight into a memory-mapped file, so
+// an analysis pass over a loaded snapshot starts with zero deserialization.
+// Borrowed columns are read-only; the borrower is responsible for the
+// backing storage outliving the column (snapshot::bundle retains its
+// mapping, and worlds hydrated from a bundle retain the bundle).
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <span>
 #include <utility>
@@ -24,20 +33,47 @@ public:
     column() = default;
     explicit column(std::vector<T> values) : values_(std::move(values)) {}
 
-    void reserve(std::size_t n) { values_.reserve(n); }
-    void push_back(T v) { values_.push_back(v); }
-    void clear() { values_.clear(); }
+    /// A non-owning column over externally kept storage (e.g. an mmap'd
+    /// snapshot section). Mutation is a contract violation (asserted).
+    [[nodiscard]] static column borrowed(std::span<const T> view) {
+        column c;
+        c.borrow_ = view;
+        return c;
+    }
 
-    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
-    [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
-    [[nodiscard]] T operator[](std::size_t i) const noexcept { return values_[i]; }
+    /// False when the column views external storage.
+    [[nodiscard]] bool owns() const noexcept { return borrow_.data() == nullptr; }
+
+    void reserve(std::size_t n) {
+        assert(owns());
+        values_.reserve(n);
+    }
+    void push_back(T v) {
+        assert(owns());
+        values_.push_back(v);
+    }
+    void clear() {
+        values_.clear();
+        borrow_ = {};
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return view().size(); }
+    [[nodiscard]] bool empty() const noexcept { return view().empty(); }
+    [[nodiscard]] T operator[](std::size_t i) const noexcept { return view()[i]; }
 
     /// Zero-copy view over the column's values.
-    [[nodiscard]] std::span<const T> view() const noexcept { return values_; }
-    [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
+    [[nodiscard]] std::span<const T> view() const noexcept {
+        return owns() ? std::span<const T>{values_} : borrow_;
+    }
+    /// The owned backing vector; only valid for owning columns.
+    [[nodiscard]] const std::vector<T>& values() const noexcept {
+        assert(owns());
+        return values_;
+    }
 
 private:
     std::vector<T> values_;
+    std::span<const T> borrow_{};
 };
 
 } // namespace ac::table

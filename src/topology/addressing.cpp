@@ -22,6 +22,32 @@ net::slash24 address_space::allocate_ixp(std::uint32_t count) {
     return net::slash24{net::ipv4_addr{first << 8}};
 }
 
+std::vector<address_space::raw_range> address_space::export_ranges() const {
+    std::vector<raw_range> out;
+    out.reserve(ranges_.size());
+    for (const auto& r : ranges_) {
+        out.push_back(raw_range{r.first_key, r.last_key, r.asn, r.region});
+    }
+    return out;
+}
+
+address_space address_space::restore(const std::vector<raw_range>& ranges,
+                                     std::uint32_t next_key) {
+    address_space space;
+    space.ranges_.reserve(ranges.size());
+    std::uint32_t watermark = space.next_key_;  // allocation base (1.0.0.0)
+    for (const auto& r : ranges) {
+        if (r.first_key < watermark || r.last_key < r.first_key || r.last_key >= next_key) {
+            throw std::invalid_argument("address_space: restored ranges are not a valid "
+                                        "monotone allocation history");
+        }
+        watermark = r.last_key + 1;
+        space.ranges_.push_back(range{r.first_key, r.last_key, r.asn, r.region});
+    }
+    space.next_key_ = next_key;
+    return space;
+}
+
 namespace {
 
 template <typename Range>

@@ -46,6 +46,24 @@ public:
     [[nodiscard]] std::size_t range_count() const noexcept { return ranges_.size(); }
     [[nodiscard]] std::uint32_t allocated_slash24s() const noexcept { return next_key_; }
 
+    /// One allocation range in serialization form (snapshot container).
+    struct raw_range {
+        std::uint32_t first_key = 0;  // inclusive /24 key
+        std::uint32_t last_key = 0;   // inclusive
+        asn_t asn = 0;                // 0 => IXP space
+        region_id region = 0;
+    };
+
+    /// The full allocation state, in allocation order.
+    [[nodiscard]] std::vector<raw_range> export_ranges() const;
+
+    /// Rebuilds an address space from exported state. The restored object is
+    /// observably identical to the one exported (lookup, is_ixp, blocks_of,
+    /// future allocations). Throws std::invalid_argument on unsorted or
+    /// overlapping ranges.
+    [[nodiscard]] static address_space restore(const std::vector<raw_range>& ranges,
+                                               std::uint32_t next_key);
+
 private:
     struct range {
         std::uint32_t first_key = 0;  // inclusive /24 key

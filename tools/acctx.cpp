@@ -8,12 +8,19 @@
 //   acctx inflation [...]           Fig. 2-style root inflation summary
 //   acctx amortize  [...]           Fig. 3-style queries/user/day summary
 //   acctx cdn       [...]           Fig. 5-style CDN inflation summary
-//   acctx export    [...] --out F   write the DITL dataset to a capture file
+//   acctx export    [...] --out F   write the DITL dataset (--format text|snapshot)
 //   acctx analyze   --in F          filter + summarize a capture file
+//   acctx snapshot  [...] --out F   build a world and archive it as a snapshot
 //   acctx report    [...] --out DIR write plot-ready CSVs for every figure
 //
 // Every world-building command accepts --threads N (0 = hardware
 // concurrency, 1 = serial); thread count never changes output bytes.
+//
+// The analysis commands (inflation/amortize/cdn/report) also accept
+// --from-snapshot FILE: datasets load from the archive instead of being
+// synthesized, and figures are byte-identical to a live build with the
+// archived config. --from-snapshot conflicts with --seed/--scale/--year
+// (the archive pins them); --threads still applies (it never changes bytes).
 //
 #include <algorithm>
 #include <fstream>
@@ -30,6 +37,7 @@
 #include "src/core/report.h"
 #include "src/core/world.h"
 #include "src/netbase/strfmt.h"
+#include "src/snapshot/world_io.h"
 
 namespace {
 
@@ -44,15 +52,23 @@ struct cli_options {
     bool timing = false;
     std::optional<std::string> in_path;
     std::optional<std::string> out_path;
+    std::optional<std::string> from_snapshot;
+    std::string format = "text";
+    bool threads_set = false;
+    bool world_knob_set = false;  // --seed/--scale/--year seen explicitly
 };
 
 [[noreturn]] void usage(int code) {
-    std::cerr << "usage: acctx <world|inflation|amortize|cdn|export|analyze|report>\n"
+    std::cerr << "usage: acctx <world|inflation|amortize|cdn|export|analyze|snapshot|report>\n"
               << "             [--seed N] [--scale small|full] [--year 2018|2020]\n"
               << "             [--threads N] [--timing] [--in FILE] [--out FILE]\n"
-              << "  --threads N   construction threads (0 = hardware concurrency,\n"
-              << "                1 = serial); output is identical at any N\n"
-              << "  --timing      with 'world': print the per-stage build report as JSON\n";
+              << "             [--from-snapshot FILE] [--format text|snapshot]\n"
+              << "  --threads N       construction threads (0 = hardware concurrency,\n"
+              << "                    1 = serial); output is identical at any N\n"
+              << "  --timing          with 'world': print the per-stage build report as JSON\n"
+              << "  --from-snapshot F analysis commands: load datasets from a snapshot\n"
+              << "                    (conflicts with --seed/--scale/--year)\n"
+              << "  --format FMT      export/analyze: capture file format (text|snapshot)\n";
     std::exit(code);
 }
 
@@ -62,12 +78,13 @@ struct cli_options {
 bool flag_applies(const std::string& command, const std::string& flag) {
     static const std::map<std::string, std::vector<std::string>> allowed{
         {"world", {"--seed", "--scale", "--year", "--threads", "--timing"}},
-        {"inflation", {"--seed", "--scale", "--year", "--threads"}},
-        {"amortize", {"--seed", "--scale", "--year", "--threads"}},
-        {"cdn", {"--seed", "--scale", "--year", "--threads"}},
-        {"export", {"--seed", "--scale", "--year", "--threads", "--out"}},
-        {"report", {"--seed", "--scale", "--year", "--threads", "--out"}},
-        {"analyze", {"--in"}},
+        {"inflation", {"--seed", "--scale", "--year", "--threads", "--from-snapshot"}},
+        {"amortize", {"--seed", "--scale", "--year", "--threads", "--from-snapshot"}},
+        {"cdn", {"--seed", "--scale", "--year", "--threads", "--from-snapshot"}},
+        {"export", {"--seed", "--scale", "--year", "--threads", "--out", "--format"}},
+        {"snapshot", {"--seed", "--scale", "--year", "--threads", "--out"}},
+        {"report", {"--seed", "--scale", "--year", "--threads", "--out", "--from-snapshot"}},
+        {"analyze", {"--in", "--format"}},
     };
     const auto it = allowed.find(command);
     if (it == allowed.end()) return false;
@@ -102,11 +119,13 @@ cli_options parse_args(int argc, char** argv) {
         };
         if (arg == "--help" || arg == "-h") usage(0);
         if (arg == "--seed" || arg == "--scale" || arg == "--year" || arg == "--threads" ||
-            arg == "--timing" || arg == "--in" || arg == "--out") {
+            arg == "--timing" || arg == "--in" || arg == "--out" ||
+            arg == "--from-snapshot" || arg == "--format") {
             check_applies();
         }
         if (arg == "--seed") {
             options.seed = std::strtoull(value().c_str(), nullptr, 10);
+            options.world_knob_set = true;
         } else if (arg == "--scale") {
             const auto v = value();
             if (v == "small") {
@@ -116,6 +135,7 @@ cli_options parse_args(int argc, char** argv) {
             } else {
                 usage(2);
             }
+            options.world_knob_set = true;
         } else if (arg == "--year") {
             const auto v = value();
             if (v == "2018") {
@@ -125,23 +145,47 @@ cli_options parse_args(int argc, char** argv) {
             } else {
                 usage(2);
             }
+            options.world_knob_set = true;
         } else if (arg == "--threads") {
             options.threads = static_cast<int>(std::strtol(value().c_str(), nullptr, 10));
+            options.threads_set = true;
         } else if (arg == "--timing") {
             options.timing = true;
         } else if (arg == "--in") {
             options.in_path = value();
         } else if (arg == "--out") {
             options.out_path = value();
+        } else if (arg == "--from-snapshot") {
+            options.from_snapshot = value();
+        } else if (arg == "--format") {
+            options.format = value();
+            if (options.format != "text" && options.format != "snapshot") {
+                std::cerr << "acctx " << options.command << ": unknown format '"
+                          << options.format << "' (expected text or snapshot)\n";
+                usage(2);
+            }
         } else {
             std::cerr << "acctx: unknown option " << arg << "\n";
             usage(2);
         }
     }
+    if (options.from_snapshot && options.world_knob_set) {
+        std::cerr << "acctx " << options.command
+                  << ": --from-snapshot conflicts with --seed/--scale/--year (the "
+                     "snapshot pins the world config)\n";
+        usage(2);
+    }
     return options;
 }
 
 core::world build_world(const cli_options& options) {
+    if (options.from_snapshot) {
+        std::cerr << "loading snapshot " << *options.from_snapshot << "...\n";
+        auto bundle = snapshot::bundle::open(*options.from_snapshot,
+                                             snapshot::load_mode::mapped);
+        return snapshot::hydrate_world(std::move(bundle),
+                                       options.threads_set ? options.threads : -1);
+    }
     auto config = options.small ? core::world_config::small() : core::world_config{};
     config.seed = options.seed;
     config.year = options.year;
@@ -232,14 +276,31 @@ int cmd_export(const cli_options& options) {
         return 2;
     }
     const auto w = build_world(options);
-    std::ofstream out{*options.out_path};
-    if (!out) {
-        std::cerr << "acctx: cannot open " << *options.out_path << " for writing\n";
-        return 1;
+    if (options.format == "snapshot") {
+        snapshot::save_ditl(w.ditl(), *options.out_path);
+    } else {
+        std::ofstream out{*options.out_path};
+        if (!out) {
+            std::cerr << "acctx: cannot open " << *options.out_path << " for writing\n";
+            return 1;
+        }
+        capture::write_dataset(out, w.ditl());
     }
-    capture::write_dataset(out, w.ditl());
     std::cout << "wrote " << w.ditl().letters.size() << " letter captures to "
-              << *options.out_path << "\n";
+              << *options.out_path << " (" << options.format << ")\n";
+    return 0;
+}
+
+int cmd_snapshot(const cli_options& options) {
+    if (!options.out_path) {
+        std::cerr << "acctx snapshot: --out FILE required\n";
+        return 2;
+    }
+    const auto w = build_world(options);
+    snapshot::save_world(w, *options.out_path);
+    const auto bundle = snapshot::bundle::open(*options.out_path);
+    std::cout << "wrote " << bundle->sections().size() << " sections ("
+              << bundle->file_bytes() << " bytes) to " << *options.out_path << "\n";
     return 0;
 }
 
@@ -259,12 +320,17 @@ int cmd_analyze(const cli_options& options) {
         std::cerr << "acctx analyze: --in FILE required\n";
         return 2;
     }
-    std::ifstream in{*options.in_path};
-    if (!in) {
-        std::cerr << "acctx: cannot open " << *options.in_path << "\n";
-        return 1;
+    capture::ditl_dataset dataset;
+    if (options.format == "snapshot") {
+        dataset = snapshot::read_ditl(*snapshot::bundle::open(*options.in_path));
+    } else {
+        std::ifstream in{*options.in_path};
+        if (!in) {
+            std::cerr << "acctx: cannot open " << *options.in_path << "\n";
+            return 1;
+        }
+        dataset = capture::read_dataset(in);
     }
-    const auto dataset = capture::read_dataset(in);
     std::cout << "letters: " << dataset.letters.size() << ", total "
               << strfmt::fixed(dataset.total_queries_per_day() / 1e9, 3)
               << "B queries/day\n";
@@ -300,6 +366,7 @@ int main(int argc, char** argv) {
         if (options.command == "cdn") return cmd_cdn(options);
         if (options.command == "export") return cmd_export(options);
         if (options.command == "analyze") return cmd_analyze(options);
+        if (options.command == "snapshot") return cmd_snapshot(options);
         if (options.command == "report") return cmd_report(options);
     } catch (const std::exception& e) {
         std::cerr << "acctx: " << e.what() << "\n";
