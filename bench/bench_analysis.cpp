@@ -1,13 +1,13 @@
 // Row-vs-columnar analysis throughput: times the hash-map aggregation the
 // analyses used before src/table/ existed against the sort-based columnar
 // kernels that replaced it, over the small world's DITL rows, and exports
-// the comparison as BENCH_analysis.json.
+// the comparison as an ac-bench-v1 BENCH_analysis.json.
 //
 //   bench_analysis [--threads N] [--repeat R] [--out FILE]
 //
 // N sizes the pool for the parallel inflation pass (defaults to hardware
-// concurrency, or 4 when unknown/1); R repeats each pass and keeps the best
-// wall time (default 5); FILE defaults to BENCH_analysis.json.
+// concurrency, or 4 when unknown/1); R repeats each pass and records every
+// sample (default 5); FILE defaults to BENCH_analysis.json.
 //
 // Each aggregation pass includes producing sorted (key, sum) output, since
 // ascending key order is the determinism contract the analyses rely on: the
@@ -15,14 +15,14 @@
 // front.
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <string>
-#include <thread>
+#include <sstream>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#define AC_BENCH_NO_HARNESS
+#include "bench/bench_common.h"
 #include "src/analysis/inflation.h"
 #include "src/core/world.h"
 #include "src/table/table.h"
@@ -31,20 +31,16 @@ namespace {
 
 using namespace ac;
 
-double time_best_ms(int repeat, const auto& fn) {
-    double best = 0.0;
+/// Keeps results observable so the compiler cannot drop a timed pass.
+volatile double g_sink = 0.0;
+
+void time_into(bench::metric& samples, int repeat, const auto& fn) {
     for (int i = 0; i < repeat; ++i) {
         const auto start = std::chrono::steady_clock::now();
         fn();
-        const std::chrono::duration<double, std::milli> wall =
-            std::chrono::steady_clock::now() - start;
-        if (i == 0 || wall.count() < best) best = wall.count();
+        samples.add(bench::ms_since(start));
     }
-    return best;
 }
-
-/// Keeps results observable so the compiler cannot drop a timed pass.
-volatile double g_sink = 0.0;
 
 template <typename K>
 double hash_group_sum(std::span<const K> keys, std::span<const double> values) {
@@ -68,78 +64,25 @@ double columnar_group_sum(std::span<const K> keys, std::span<const double> value
     return check;
 }
 
-struct pass_result {
-    std::string name;
-    std::size_t rows = 0;
-    std::size_t groups = 0;
-    double hash_map_ms = 0.0;
-    double columnar_ms = 0.0;
-};
-
 template <typename K>
-pass_result run_group_pass(std::string name, int repeat, std::span<const K> keys,
-                           std::span<const double> values) {
-    pass_result pass;
-    pass.name = std::move(name);
-    pass.rows = keys.size();
-    pass.groups = table::distinct_count(keys);
-    pass.hash_map_ms =
-        time_best_ms(repeat, [&] { g_sink = hash_group_sum(keys, values); });
-    pass.columnar_ms =
-        time_best_ms(repeat, [&] { g_sink = columnar_group_sum(keys, values); });
-    return pass;
-}
-
-void write_report(std::ostream& out, const std::vector<pass_result>& passes,
-                  double inflation_serial_ms, double inflation_parallel_ms, int threads) {
-    out << "{\n  \"bench\": \"analysis\",\n  \"scale\": \"small\",\n";
-    out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
-    out << "  \"group_by_passes\": [\n";
-    for (std::size_t i = 0; i < passes.size(); ++i) {
-        const auto& p = passes[i];
-        out << "    {\"name\": \"" << p.name << "\", \"rows\": " << p.rows
-            << ", \"groups\": " << p.groups << ", \"hash_map_ms\": " << p.hash_map_ms
-            << ", \"columnar_ms\": " << p.columnar_ms
-            << ", \"speedup\": " << (p.hash_map_ms / p.columnar_ms) << "}"
-            << (i + 1 < passes.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n";
-    out << "  \"root_inflation\": {\"serial_ms\": " << inflation_serial_ms
-        << ", \"parallel_ms\": " << inflation_parallel_ms << ", \"threads\": " << threads
-        << ", \"speedup\": " << (inflation_serial_ms / inflation_parallel_ms) << "}\n";
-    out << "}\n";
+void run_group_pass(bench::report& report, const std::string& name, int repeat,
+                    std::span<const K> keys, std::span<const double> values) {
+    using bench::direction;
+    auto& hash_ms =
+        report.add_metric(name + ".hash_map_ms", "ms", direction::lower_is_better, 2.0);
+    auto& columnar_ms =
+        report.add_metric(name + ".columnar_ms", "ms", direction::lower_is_better, 2.0);
+    time_into(hash_ms, repeat, [&] { g_sink = hash_group_sum(keys, values); });
+    time_into(columnar_ms, repeat, [&] { g_sink = columnar_group_sum(keys, values); });
+    report.add_scalar(name + ".speedup", "x", direction::higher_is_better, 0.6,
+                      hash_ms.median() / columnar_ms.median());
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-    int threads = 0;
-    int repeat = 5;
-    std::string out_path = "BENCH_analysis.json";
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << "bench_analysis: " << arg << " needs a value\n";
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--threads") {
-            threads = std::atoi(value());
-        } else if (arg == "--repeat") {
-            repeat = std::max(1, std::atoi(value()));
-        } else if (arg == "--out") {
-            out_path = value();
-        } else {
-            std::cerr << "usage: bench_analysis [--threads N] [--repeat R] [--out FILE]\n";
-            return 2;
-        }
-    }
-    if (threads <= 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads = hw > 1 ? static_cast<int>(hw) : 4;
-    }
+    const auto args =
+        bench::bench_args::parse(argc, argv, "bench_analysis", 5, "BENCH_analysis.json");
 
     std::cerr << "building small world...\n";
     auto config = core::world_config::small();
@@ -161,37 +104,42 @@ int main(int argc, char** argv) {
             qpd.push_back(t.queries_per_day[i]);
         }
     }
-    std::cerr << "timing group-by over " << qpd.size() << " rows (repeat " << repeat
+    std::cerr << "timing group-by over " << qpd.size() << " rows (repeat " << args.repeat
               << ")...\n";
 
-    std::vector<pass_result> passes;
-    passes.push_back(
-        run_group_pass<std::uint32_t>("volume_by_slash24", repeat, s24_keys.view(), qpd.view()));
-    passes.push_back(
-        run_group_pass<std::uint32_t>("volume_by_ip", repeat, ip_keys.view(), qpd.view()));
-    passes.push_back(run_group_pass<std::uint64_t>("volume_by_slash24_site", repeat,
-                                                   site_keys.view(), qpd.view()));
+    bench::report report{"analysis", "small", args.repeat};
+    report.set_note("hash_map = unordered_map accumulation plus extraction sort (the "
+                    "pre-src/table/ idiom); columnar = make_grouping + sum_by; both "
+                    "produce ascending (key, sum) output");
+    run_group_pass<std::uint32_t>(report, "volume_by_slash24", args.repeat, s24_keys.view(),
+                                  qpd.view());
+    run_group_pass<std::uint32_t>(report, "volume_by_ip", args.repeat, ip_keys.view(),
+                                  qpd.view());
+    run_group_pass<std::uint64_t>(report, "volume_by_slash24_site", args.repeat,
+                                  site_keys.view(), qpd.view());
 
-    std::cerr << "timing root inflation (serial vs " << threads << " threads)...\n";
-    const double inflation_serial_ms = time_best_ms(repeat, [&] {
+    std::cerr << "timing root inflation (serial vs " << args.threads << " threads)...\n";
+    using bench::direction;
+    auto& inflation_serial = report.add_metric("root_inflation.serial_ms", "ms",
+                                               direction::lower_is_better, 2.0);
+    auto& inflation_parallel = report.add_metric("root_inflation.parallel_ms", "ms",
+                                                 direction::lower_is_better, 2.0);
+    time_into(inflation_serial, args.repeat, [&] {
         const auto r = analysis::compute_root_inflation(w.filtered_tables(), w.roots(),
                                                         w.geodb(), w.cdn_user_counts());
         g_sink = r.geographic_all_roots.empty() ? 0.0 : r.geographic_all_roots.quantile(0.5);
     });
-    engine::thread_pool pool{threads};
-    const double inflation_parallel_ms = time_best_ms(repeat, [&] {
+    engine::thread_pool pool{args.threads};
+    time_into(inflation_parallel, args.repeat, [&] {
         const auto r = analysis::compute_root_inflation(
             w.filtered_tables(), w.roots(), w.geodb(), w.cdn_user_counts(), {}, &pool);
         g_sink = r.geographic_all_roots.empty() ? 0.0 : r.geographic_all_roots.quantile(0.5);
     });
+    report.add_scalar("root_inflation.speedup", "x", direction::higher_is_better, 0.6,
+                      inflation_serial.median() / inflation_parallel.median());
 
-    write_report(std::cout, passes, inflation_serial_ms, inflation_parallel_ms, threads);
-    std::ofstream out{out_path};
-    if (!out) {
-        std::cerr << "bench_analysis: cannot open " << out_path << " for writing\n";
-        return 1;
-    }
-    write_report(out, passes, inflation_serial_ms, inflation_parallel_ms, threads);
-    std::cerr << "wrote " << out_path << "\n";
-    return 0;
+    std::ostringstream info;
+    info << "{\"rows\": " << qpd.size() << ", \"threads\": " << args.threads << "}";
+    report.add_details("workload", info.str());
+    return report.write_file_and_stdout(args.out_path);
 }

@@ -8,21 +8,21 @@
 //   * cold       — first select_many pass on a fresh RIB (cache fills),
 //   * warm       — repeated select_many on the filled cache,
 //
-// each at 1 thread and on the pool, and exports BENCH_routing.json. The
-// acceptance bar for the fast path is warm >= 5x over cold.
+// each at 1 thread and on the pool, and exports an ac-bench-v1
+// BENCH_routing.json. The acceptance bar for the fast path is warm >= 5x
+// over cold.
 //
 //   bench_routing [--threads N] [--repeat R] [--out FILE]
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <memory>
 #include <span>
+#include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
+#define AC_BENCH_NO_HARNESS
+#include "bench/bench_common.h"
 #include "src/core/world.h"
 
 namespace {
@@ -30,10 +30,6 @@ namespace {
 using namespace ac;
 
 using clock_type = std::chrono::steady_clock;
-
-double ms_since(clock_type::time_point start) {
-    return std::chrono::duration<double, std::milli>(clock_type::now() - start).count();
-}
 
 std::vector<route::source_key> dedup_sources(const pop::user_base& users) {
     std::vector<route::source_key> sources;
@@ -57,115 +53,68 @@ route::anycast_rib fresh_rib(const core::world& w, engine::thread_pool* pool) {
                              pool};
 }
 
-struct timings {
-    double reference_ms = 0.0;  // select_reference loop (pre-fast-path)
-    double uncached_ms = 0.0;   // select_uncached loop (indexed, no cache)
-    double cold_ms = 0.0;       // first select_many on a fresh rib
-    double warm_ms = 0.0;       // best repeated select_many on the filled cache
-    double hit_rate = 0.0;      // cache hit share after all passes
+struct leg_metrics {
+    bench::metric* reference_ms = nullptr;
+    bench::metric* uncached_ms = nullptr;
+    bench::metric* cold_ms = nullptr;
+    bench::metric* warm_ms = nullptr;
+    double hit_rate = 0.0;
 };
 
-timings run(const core::world& w, std::span<const route::source_key> sources,
-            engine::thread_pool* pool, int repeat) {
-    timings t;
-
+void run(const core::world& w, std::span<const route::source_key> sources,
+         engine::thread_pool* pool, int repeat, leg_metrics& leg) {
     {
         const auto rib = fresh_rib(w, pool);
-        auto start = clock_type::now();
-        for (const auto& s : sources) (void)rib.select_reference(s.asn, s.region);
-        t.reference_ms = ms_since(start);
-        for (int i = 1; i < repeat; ++i) {
-            start = clock_type::now();
+        for (int i = 0; i < repeat; ++i) {
+            auto start = clock_type::now();
             for (const auto& s : sources) (void)rib.select_reference(s.asn, s.region);
-            t.reference_ms = std::min(t.reference_ms, ms_since(start));
-        }
+            leg.reference_ms->add(bench::ms_since(start));
 
-        start = clock_type::now();
-        for (const auto& s : sources) (void)rib.select_uncached(s.asn, s.region);
-        t.uncached_ms = ms_since(start);
-        for (int i = 1; i < repeat; ++i) {
             start = clock_type::now();
             for (const auto& s : sources) (void)rib.select_uncached(s.asn, s.region);
-            t.uncached_ms = std::min(t.uncached_ms, ms_since(start));
+            leg.uncached_ms->add(bench::ms_since(start));
         }
     }
 
     // Cold vs warm on one rib: the first pass fills the cache, later passes
-    // hit it. Cold is not best-of-R (a second "cold" pass would be warm).
+    // hit it. Cold is a single sample per leg (a second "cold" pass would be
+    // warm, and rebuilding the rib per repeat would dominate the run).
     const auto rib = fresh_rib(w, pool);
     auto start = clock_type::now();
     (void)rib.select_many(sources, pool);
-    t.cold_ms = ms_since(start);
+    leg.cold_ms->add(bench::ms_since(start));
 
-    start = clock_type::now();
-    (void)rib.select_many(sources, pool);
-    t.warm_ms = ms_since(start);
-    for (int i = 1; i < repeat; ++i) {
+    for (int i = 0; i < repeat; ++i) {
         start = clock_type::now();
         (void)rib.select_many(sources, pool);
-        t.warm_ms = std::min(t.warm_ms, ms_since(start));
+        leg.warm_ms->add(bench::ms_since(start));
     }
 
     const auto stats = rib.select_cache_stats();
     const auto lookups = stats.hits + stats.misses;
-    t.hit_rate = lookups == 0 ? 0.0
-                              : static_cast<double>(stats.hits) / static_cast<double>(lookups);
-    return t;
+    leg.hit_rate = lookups == 0
+                       ? 0.0
+                       : static_cast<double>(stats.hits) / static_cast<double>(lookups);
 }
 
-void write_timings(std::ostream& out, const char* key, int threads, const timings& t) {
-    out << "  \"" << key << "\": {\"threads\": " << threads
-        << ", \"reference_ms\": " << t.reference_ms << ", \"uncached_ms\": " << t.uncached_ms
-        << ", \"cold_ms\": " << t.cold_ms << ", \"warm_ms\": " << t.warm_ms
-        << ", \"cache_hit_rate\": " << t.hit_rate << "}";
-}
-
-void write_report(std::ostream& out, std::size_t sources, const timings& serial,
-                  const timings& parallel, int threads) {
-    out << "{\n  \"bench\": \"routing\",\n  \"scale\": \"small\",\n";
-    out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
-    out << "  \"sources\": " << sources << ",\n";
-    write_timings(out, "serial", 1, serial);
-    out << ",\n";
-    write_timings(out, "parallel", threads, parallel);
-    out << ",\n";
-    out << "  \"index_speedup_serial\": " << (serial.reference_ms / serial.uncached_ms)
-        << ",\n";
-    out << "  \"warm_cache_speedup_serial\": " << (serial.cold_ms / serial.warm_ms) << ",\n";
-    out << "  \"warm_cache_speedup_parallel\": " << (parallel.cold_ms / parallel.warm_ms)
-        << "\n}\n";
+leg_metrics add_leg(bench::report& report, const char* prefix) {
+    using bench::direction;
+    leg_metrics leg;
+    const std::string p{prefix};
+    leg.reference_ms =
+        &report.add_metric(p + ".reference_ms", "ms", direction::lower_is_better, 2.0);
+    leg.uncached_ms =
+        &report.add_metric(p + ".uncached_ms", "ms", direction::lower_is_better, 2.0);
+    leg.cold_ms = &report.add_metric(p + ".cold_ms", "ms", direction::lower_is_better, 2.0);
+    leg.warm_ms = &report.add_metric(p + ".warm_ms", "ms", direction::lower_is_better, 2.0);
+    return leg;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-    int threads = 0;
-    int repeat = 5;
-    std::string out_path = "BENCH_routing.json";
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << "bench_routing: " << arg << " needs a value\n";
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--threads") {
-            threads = std::atoi(value());
-        } else if (arg == "--repeat") {
-            repeat = std::max(1, std::atoi(value()));
-        } else if (arg == "--out") {
-            out_path = value();
-        } else {
-            std::cerr << "usage: bench_routing [--threads N] [--repeat R] [--out FILE]\n";
-            return 2;
-        }
-    }
-    if (threads <= 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads = hw > 1 ? static_cast<int>(hw) : 4;
-    }
+    const auto args =
+        bench::bench_args::parse(argc, argv, "bench_routing", 5, "BENCH_routing.json");
 
     std::cerr << "building small world...\n";
     auto config = core::world_config::small();
@@ -174,20 +123,31 @@ int main(int argc, char** argv) {
     const auto sources = dedup_sources(w.users());
     std::cerr << sources.size() << " distinct <AS, region> sources\n";
 
-    std::cerr << "measuring serial selection (threads=1)...\n";
-    const auto serial = run(w, sources, nullptr, repeat);
-    std::cerr << "measuring pooled selection (threads=" << threads << ")...\n";
-    engine::thread_pool pool{threads};
-    const auto parallel = run(w, sources, &pool, repeat);
+    bench::report report{"routing", "small", args.repeat};
+    report.set_note("reference = pre-index rescan selection; uncached = best-route index "
+                    "+ geo tables without memoization; cold/warm = select_many before and "
+                    "after the select cache fills");
+    auto serial = add_leg(report, "serial");
+    auto parallel = add_leg(report, "parallel");
 
-    write_report(std::cout, sources.size(), serial, parallel, threads);
-    std::ofstream out{out_path};
-    if (!out) {
-        std::cerr << "bench_routing: cannot open " << out_path << " for writing\n";
-        return 1;
-    }
-    write_report(out, sources.size(), serial, parallel, threads);
-    std::cerr << "wrote " << out_path << " (warm cache speedup "
-              << (serial.cold_ms / serial.warm_ms) << "x serial)\n";
-    return 0;
+    std::cerr << "measuring serial selection (threads=1)...\n";
+    run(w, sources, nullptr, args.repeat, serial);
+    std::cerr << "measuring pooled selection (threads=" << args.threads << ")...\n";
+    engine::thread_pool pool{args.threads};
+    run(w, sources, &pool, args.repeat, parallel);
+
+    using bench::direction;
+    report.add_scalar("index_speedup_serial", "x", direction::higher_is_better, 0.6,
+                      serial.reference_ms->median() / serial.uncached_ms->median());
+    report.add_scalar("warm_cache_speedup_serial", "x", direction::higher_is_better, 0.6,
+                      serial.cold_ms->median() / serial.warm_ms->median());
+    report.add_scalar("warm_cache_speedup_parallel", "x", direction::higher_is_better, 0.6,
+                      parallel.cold_ms->median() / parallel.warm_ms->median());
+    report.add_scalar("cache_hit_rate", "ratio", direction::higher_is_better, 0.1,
+                      serial.hit_rate);
+
+    std::ostringstream info;
+    info << "{\"sources\": " << sources.size() << ", \"threads\": " << args.threads << "}";
+    report.add_details("workload", info.str());
+    return report.write_file_and_stdout(args.out_path);
 }

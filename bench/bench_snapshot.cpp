@@ -2,18 +2,17 @@
 // world than regenerating it? Builds the small world, archives it, then
 // times rebuild vs owned-load vs mmap-load (bundle open = full checksum
 // verification) and full hydration (datasets from the archive, substrate
-// rebuilt from the config). Exports BENCH_snapshot.json.
+// rebuilt from the config). Exports an ac-bench-v1 BENCH_snapshot.json.
 //
 //   bench_snapshot [--repeat R] [--out FILE]
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <string>
+#include <utility>
 
+#define AC_BENCH_NO_HARNESS
+#include "bench/bench_common.h"
 #include "src/core/world.h"
 #include "src/snapshot/world_io.h"
 
@@ -21,53 +20,39 @@ namespace {
 
 using namespace ac;
 
-double ms_since(std::chrono::steady_clock::time_point start) {
-    const std::chrono::duration<double, std::milli> wall =
-        std::chrono::steady_clock::now() - start;
-    return wall.count();
-}
-
-template <typename Fn>
-double best_of(int repeat, Fn&& fn) {
-    double best = 0.0;
+void time_into(bench::metric& samples, int repeat, const auto& fn) {
     for (int i = 0; i < repeat; ++i) {
         const auto start = std::chrono::steady_clock::now();
         fn();
-        const double ms = ms_since(start);
-        if (i == 0 || ms < best) best = ms;
+        samples.add(bench::ms_since(start));
     }
-    return best;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-    int repeat = 3;
-    std::string out_path = "BENCH_snapshot.json";
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << "bench_snapshot: " << arg << " needs a value\n";
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--repeat") {
-            repeat = std::max(1, std::atoi(value()));
-        } else if (arg == "--out") {
-            out_path = value();
-        } else {
-            std::cerr << "usage: bench_snapshot [--repeat R] [--out FILE]\n";
-            return 2;
-        }
-    }
+    const auto args =
+        bench::bench_args::parse(argc, argv, "bench_snapshot", 3, "BENCH_snapshot.json");
 
     const auto path =
         (std::filesystem::temp_directory_path() / "ac_bench_snapshot.acx").string();
 
+    bench::report report{"snapshot", "small", args.repeat};
+    report.set_note("load = open + full checksum verification; hydrate adds dataset "
+                    "restore and the deterministic substrate rebuild");
+    using bench::direction;
+    auto& rebuild_ms =
+        report.add_metric("rebuild_ms", "ms", direction::lower_is_better, 2.0);
+    auto& save_ms = report.add_metric("save_ms", "ms", direction::lower_is_better, 2.0);
+    auto& owned_load_ms =
+        report.add_metric("owned_load_ms", "ms", direction::lower_is_better, 2.0);
+    auto& mmap_load_ms =
+        report.add_metric("mmap_load_ms", "ms", direction::lower_is_better, 2.0);
+    auto& hydrate_ms =
+        report.add_metric("hydrate_ms", "ms", direction::lower_is_better, 2.0);
+
     std::cerr << "building small world (serial)...\n";
-    const double rebuild_ms = best_of(repeat, [] {
+    time_into(rebuild_ms, args.repeat, [] {
         auto config = core::world_config::small();
         config.threads = 1;
         const core::world w{std::move(config)};
@@ -78,48 +63,32 @@ int main(int argc, char** argv) {
     const core::world w{std::move(config)};
 
     std::cerr << "archiving...\n";
-    const double save_ms = best_of(repeat, [&] { snapshot::save_world(w, path); });
+    time_into(save_ms, args.repeat, [&] { snapshot::save_world(w, path); });
     const auto file_bytes = std::filesystem::file_size(path);
 
     std::cerr << "loading (owned)...\n";
-    const double owned_load_ms = best_of(repeat, [&] {
+    time_into(owned_load_ms, args.repeat, [&] {
         const auto b = snapshot::bundle::open(path, snapshot::load_mode::owned);
     });
 
     std::cerr << "loading (mmap)...\n";
-    const double mmap_load_ms = best_of(repeat, [&] {
+    time_into(mmap_load_ms, args.repeat, [&] {
         const auto b = snapshot::bundle::open(path, snapshot::load_mode::mapped);
     });
 
     std::cerr << "hydrating (mmap load + substrate rebuild)...\n";
-    const double hydrate_ms = best_of(repeat, [&] {
+    time_into(hydrate_ms, args.repeat, [&] {
         const auto hydrated = snapshot::hydrate_world(
             snapshot::bundle::open(path, snapshot::load_mode::mapped), 1);
     });
 
-    std::ofstream out{out_path};
-    if (!out) {
-        std::cerr << "bench_snapshot: cannot open " << out_path << " for writing\n";
-        return 1;
-    }
-    auto write = [&](std::ostream& os) {
-        os << "{\n  \"bench\": \"snapshot\",\n  \"scale\": \"small\",\n";
-        os << "  \"file_bytes\": " << file_bytes << ",\n";
-        os << "  \"rebuild_ms\": " << rebuild_ms << ",\n";
-        os << "  \"save_ms\": " << save_ms << ",\n";
-        os << "  \"owned_load_ms\": " << owned_load_ms << ",\n";
-        os << "  \"mmap_load_ms\": " << mmap_load_ms << ",\n";
-        os << "  \"hydrate_ms\": " << hydrate_ms << ",\n";
-        os << "  \"owned_load_speedup\": " << (rebuild_ms / owned_load_ms) << ",\n";
-        os << "  \"mmap_load_speedup\": " << (rebuild_ms / mmap_load_ms) << ",\n";
-        os << "  \"note\": \"load = open + full checksum verification; hydrate adds "
-              "dataset restore and the deterministic substrate rebuild\"\n";
-        os << "}\n";
-    };
-    write(std::cout);
-    write(out);
+    report.add_scalar("file_bytes", "bytes", direction::lower_is_better, 0.25,
+                      static_cast<double>(file_bytes));
+    report.add_scalar("owned_load_speedup", "x", direction::higher_is_better, 0.6,
+                      rebuild_ms.median() / owned_load_ms.median());
+    report.add_scalar("mmap_load_speedup", "x", direction::higher_is_better, 0.6,
+                      rebuild_ms.median() / mmap_load_ms.median());
+
     std::remove(path.c_str());
-    std::cerr << "wrote " << out_path << " (mmap load " << (rebuild_ms / mmap_load_ms)
-              << "x faster than rebuild)\n";
-    return 0;
+    return report.write_file_and_stdout(args.out_path);
 }

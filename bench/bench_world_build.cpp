@@ -1,20 +1,21 @@
 // World-construction throughput baseline: builds the small world serially
 // and on the pool, prints per-stage timings, and exports the comparison as
-// BENCH_world_build.json so later scaling PRs have a recorded reference.
+// an ac-bench-v1 BENCH_world_build.json so ci/check_bench.py can gate later
+// PRs against it.
 //
 //   bench_world_build [--threads N] [--repeat R] [--out FILE]
 //
 // N defaults to hardware concurrency (or 4 when it is unknown/1, so the
-// schedule still exercises the pool); R repeats each build and keeps the
-// best wall time; FILE defaults to BENCH_world_build.json.
-#include <algorithm>
+// schedule still exercises the pool); R repeats each build and records every
+// sample (the emitter reports median and min); FILE defaults to
+// BENCH_world_build.json.
 #include <chrono>
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <string>
-#include <thread>
+#include <sstream>
+#include <utility>
 
+#define AC_BENCH_NO_HARNESS
+#include "bench/bench_common.h"
 #include "src/core/world.h"
 
 namespace {
@@ -31,86 +32,59 @@ build_result build_once(int threads) {
     config.threads = threads;
     const auto start = std::chrono::steady_clock::now();
     const core::world w{std::move(config)};
-    const std::chrono::duration<double, std::milli> wall =
-        std::chrono::steady_clock::now() - start;
-    return build_result{wall.count(), w.timing()};
+    return build_result{bench::ms_since(start), w.timing()};
 }
 
-void keep_best(build_result& best, build_result r) {
-    if (best.report.stages.empty() || r.wall_ms < best.wall_ms) best = std::move(r);
-}
-
-void write_report(std::ostream& out, const build_result& serial, const build_result& parallel,
-                  int threads) {
-    out << "{\n  \"bench\": \"world_build\",\n  \"scale\": \"small\",\n";
-    out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
-    out << "  \"serial\": {\"threads\": 1, \"wall_ms\": " << serial.wall_ms << "},\n";
-    out << "  \"parallel\": {\"threads\": " << threads << ", \"wall_ms\": " << parallel.wall_ms
-        << "},\n";
-    out << "  \"speedup\": " << (serial.wall_ms / parallel.wall_ms) << ",\n";
-    out << "  \"note\": \"parallel_for dispatches chunks only to min(workers, hardware "
-           "cores) lanes and runs inline when that is 1, eliminating queue overhead on "
-           "single-core hosts; any residual gap there is the C runtime leaving its "
-           "single-threaded fast paths (malloc locking, atomic refcounts) once worker "
-           "threads exist, so a pooled build can approach but not beat serial\",\n";
-    out << "  \"serial_stages\": ";
-    serial.report.write_json(out);
-    out << ",\n  \"parallel_stages\": ";
-    parallel.report.write_json(out);
-    out << "}\n";
+std::string stages_json(const engine::stage_report& report) {
+    std::ostringstream out;
+    report.write_json(out);
+    return out.str();
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-    int threads = 0;
-    int repeat = 1;
-    std::string out_path = "BENCH_world_build.json";
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << "bench_world_build: " << arg << " needs a value\n";
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--threads") {
-            threads = std::atoi(value());
-        } else if (arg == "--repeat") {
-            repeat = std::max(1, std::atoi(value()));
-        } else if (arg == "--out") {
-            out_path = value();
-        } else {
-            std::cerr << "usage: bench_world_build [--threads N] [--repeat R] [--out FILE]\n";
-            return 2;
-        }
-    }
-    if (threads <= 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads = hw > 1 ? static_cast<int>(hw) : 4;
-    }
+    const auto args = bench::bench_args::parse(argc, argv, "bench_world_build", 3,
+                                               "BENCH_world_build.json");
+
+    bench::report report{"world_build", "small", args.repeat};
+    report.set_note(
+        "parallel_for dispatches chunks only to min(workers, hardware cores) lanes and "
+        "runs inline when that is 1, eliminating queue overhead on single-core hosts; any "
+        "residual gap there is the C runtime leaving its single-threaded fast paths "
+        "(malloc locking, atomic refcounts) once worker threads exist, so a pooled build "
+        "can approach but not beat serial");
+    auto& serial_ms =
+        report.add_metric("serial.wall_ms", "ms", bench::direction::lower_is_better, 2.0);
+    auto& parallel_ms =
+        report.add_metric("parallel.wall_ms", "ms", bench::direction::lower_is_better, 2.0);
 
     // One untimed warmup, then interleave the two configurations so process
     // drift (page cache, allocator state, host contention) biases neither leg.
     std::cerr << "warmup build...\n";
     build_once(1);
-    build_result serial, parallel;
-    for (int i = 0; i < repeat; ++i) {
-        std::cerr << "round " << (i + 1) << "/" << repeat << ": serial (threads=1), "
-                  << "pooled (threads=" << threads << ")...\n";
-        keep_best(serial, build_once(1));
-        keep_best(parallel, build_once(threads));
+    build_result best_serial, best_parallel;
+    for (int i = 0; i < args.repeat; ++i) {
+        std::cerr << "round " << (i + 1) << "/" << args.repeat << ": serial (threads=1), "
+                  << "pooled (threads=" << args.threads << ")...\n";
+        auto serial = build_once(1);
+        auto parallel = build_once(args.threads);
+        serial_ms.add(serial.wall_ms);
+        parallel_ms.add(parallel.wall_ms);
+        if (best_serial.report.stages.empty() || serial.wall_ms < best_serial.wall_ms) {
+            best_serial = std::move(serial);
+        }
+        if (best_parallel.report.stages.empty() || parallel.wall_ms < best_parallel.wall_ms) {
+            best_parallel = std::move(parallel);
+        }
     }
 
-    write_report(std::cout, serial, parallel, threads);
-    std::ofstream out{out_path};
-    if (!out) {
-        std::cerr << "bench_world_build: cannot open " << out_path << " for writing\n";
-        return 1;
-    }
-    write_report(out, serial, parallel, threads);
-    std::cerr << "wrote " << out_path << " (speedup " << (serial.wall_ms / parallel.wall_ms)
-              << "x)\n";
-    return 0;
+    // The pooled build trades queue overhead for parallelism, so the gated
+    // expectation is "not much slower than serial", expressed as a ratio.
+    report.add_scalar("parallel_vs_serial_ratio", "ratio",
+                      bench::direction::lower_is_better, 2.0,
+                      parallel_ms.median() / serial_ms.median());
+    report.add_details("serial_stages", stages_json(best_serial.report));
+    report.add_details("parallel_stages", stages_json(best_parallel.report));
+    return report.write_file_and_stdout(args.out_path);
 }

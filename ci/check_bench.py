@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over ac-bench-v1 reports.
+
+Each BENCH_*.json committed at the repo root is a baseline produced by one of
+the bench/ binaries through the shared emitter in bench/bench_common.h. Every
+metric carries its own tolerance band and direction, so the comparison policy
+lives next to the numbers it gates:
+
+  * direction "lower"  (times, sizes): fresh median must stay at or below
+        baseline_median * (1 + tolerance) + slack
+  * direction "higher" (speedups, hit rates): fresh median must stay at or
+        above baseline_median * (1 - tolerance) - slack
+
+`slack` is a small absolute allowance granted to sub-millisecond "ms" metrics
+(scheduler noise on tiny CI hosts easily doubles a 0.2 ms measurement without
+any code regressing). Baselines are machine-specific: when the fresh report
+was produced on a different machine than the baseline, every relative band is
+widened by LENIENT_FACTOR and a warning is printed, since absolute times do
+not transfer between hosts.
+
+Modes:
+
+  check_bench.py compare BASELINE FRESH [...]   diff fresh reports against
+      baselines pairwise (paths alternate: baseline fresh baseline fresh ...)
+  check_bench.py run --build-dir DIR [--repeat R] [--bench NAME ...]
+      run the bench binaries from DIR, write fresh reports to a temp
+      directory, and compare them against the committed baselines
+  check_bench.py selftest                       exercise the comparison logic
+      on synthetic reports (wired up as a ctest)
+
+Exit status: 0 when every gated metric is inside its band, 1 on any
+regression or malformed report, 2 on usage errors.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "ac-bench-v1"
+
+# Absolute slack for "ms" metrics below this median: the gate never fails a
+# timing that moved by less than ABS_SLACK_MS even if the relative band says
+# otherwise.
+SMALL_MS = 1.0
+ABS_SLACK_MS = 0.3
+
+# Relative-band widening applied when baseline and fresh machines differ.
+LENIENT_FACTOR = 3.0
+
+BENCHES = ["world_build", "routing", "analysis", "snapshot"]
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"check_bench: cannot read {path}: {err}")
+    if report.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"check_bench: {path} has schema {report.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    for m in report.get("metrics", []):
+        for key in ("name", "direction", "tolerance", "median"):
+            if key not in m:
+                raise SystemExit(f"check_bench: {path}: metric missing {key!r}: {m}")
+    return report
+
+
+def slack_for(metric):
+    """Absolute allowance on top of the relative band."""
+    if metric.get("unit") == "ms" and metric["median"] < SMALL_MS:
+        return ABS_SLACK_MS
+    return 0.0
+
+
+def check_metric(base, fresh, lenient):
+    """Returns (ok, bound, message) for one baseline/fresh metric pair."""
+    tol = float(base["tolerance"])
+    if lenient:
+        tol *= LENIENT_FACTOR
+    slack = slack_for(base)
+    b = float(base["median"])
+    f = float(fresh["median"])
+    if not (math.isfinite(b) and math.isfinite(f)):
+        return False, b, "non-finite median"
+    if base["direction"] == "lower":
+        bound = b * (1.0 + tol) + slack
+        ok = f <= bound
+        verb = "above"
+    else:
+        bound = max(0.0, b * (1.0 - min(tol, 0.95))) - slack
+        ok = f >= bound
+        verb = "below"
+    status = "ok" if ok else f"REGRESSION ({verb} bound)"
+    msg = (
+        f"{base['name']:40s} base {b:12.4f}  fresh {f:12.4f}  "
+        f"bound {bound:12.4f}  {status}"
+    )
+    return ok, bound, msg
+
+
+def compare_reports(baseline, fresh, baseline_path, fresh_path):
+    """Prints a per-metric table; returns the number of failures."""
+    print(f"== {baseline.get('bench', '?')}: {baseline_path} vs {fresh_path}")
+    lenient = baseline.get("machine") != fresh.get("machine")
+    if lenient:
+        print(
+            f"   warning: baseline machine {baseline.get('machine')!r} != "
+            f"fresh machine {fresh.get('machine')!r}; widening relative bands "
+            f"{LENIENT_FACTOR}x (absolute baselines do not transfer between hosts)"
+        )
+    fresh_by_name = {m["name"]: m for m in fresh.get("metrics", [])}
+    failures = 0
+    for base_metric in baseline.get("metrics", []):
+        name = base_metric["name"]
+        fresh_metric = fresh_by_name.pop(name, None)
+        if fresh_metric is None:
+            print(f"{name:40s} MISSING from fresh report")
+            failures += 1
+            continue
+        ok, _, msg = check_metric(base_metric, fresh_metric, lenient)
+        print(f"   {msg}")
+        if not ok:
+            failures += 1
+    for name in fresh_by_name:
+        print(f"   {name:40s} new metric (not in baseline, not gated)")
+    return failures
+
+
+def cmd_compare(paths):
+    if len(paths) < 2 or len(paths) % 2 != 0:
+        raise SystemExit(
+            "check_bench: compare needs BASELINE FRESH path pairs (got "
+            f"{len(paths)} paths)"
+        )
+    failures = 0
+    for i in range(0, len(paths), 2):
+        baseline = load_report(paths[i])
+        fresh = load_report(paths[i + 1])
+        if baseline.get("bench") != fresh.get("bench"):
+            print(
+                f"check_bench: bench mismatch: {paths[i]} is "
+                f"{baseline.get('bench')!r}, {paths[i + 1]} is {fresh.get('bench')!r}"
+            )
+            failures += 1
+            continue
+        failures += compare_reports(baseline, fresh, paths[i], paths[i + 1])
+    print(f"check_bench: {failures} regression(s)" if failures else "check_bench: all good")
+    return 1 if failures else 0
+
+
+def cmd_run(build_dir, repeat, benches, repo_root):
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="ac_bench_gate.") as tmp:
+        pairs = []
+        for name in benches:
+            binary = os.path.join(build_dir, "bench", f"bench_{name}")
+            baseline = os.path.join(repo_root, f"BENCH_{name}.json")
+            if not os.path.exists(binary):
+                raise SystemExit(f"check_bench: {binary} not built")
+            if not os.path.exists(baseline):
+                raise SystemExit(f"check_bench: no committed baseline {baseline}")
+            fresh_path = os.path.join(tmp, f"BENCH_{name}.json")
+            cmd = [binary, "--repeat", str(repeat), "--out", fresh_path]
+            print(f"check_bench: running {' '.join(cmd)}")
+            proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                print(f"check_bench: {binary} exited {proc.returncode}")
+                failures += 1
+                continue
+            pairs.extend([baseline, fresh_path])
+        if pairs:
+            failures += 1 if cmd_compare(pairs) else 0
+    return 1 if failures else 0
+
+
+def synthetic_report(machine="ci", **medians):
+    metrics = []
+    for name, (median, direction, tolerance, unit) in medians.items():
+        metrics.append(
+            {
+                "name": name,
+                "unit": unit,
+                "direction": direction,
+                "tolerance": tolerance,
+                "median": median,
+                "min": median,
+                "samples": 3,
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "bench": "selftest",
+        "scale": "small",
+        "machine": machine,
+        "git_rev": "0000000",
+        "hardware_concurrency": 1,
+        "repeats": 3,
+        "metrics": metrics,
+    }
+
+
+def cmd_selftest():
+    base = synthetic_report(
+        wall_ms=(10.0, "lower", 2.0, "ms"),
+        tiny_ms=(0.2, "lower", 2.0, "ms"),
+        speedup=(8.0, "higher", 0.6, "x"),
+    )
+
+    def expect(label, fresh, lenient, want_failures):
+        fresh_by_name = {m["name"]: m for m in fresh["metrics"]}
+        failures = 0
+        for m in base["metrics"]:
+            ok, _, _ = check_metric(m, fresh_by_name[m["name"]], lenient)
+            failures += 0 if ok else 1
+        if failures != want_failures:
+            print(f"selftest FAILED: {label}: {failures} failures, wanted {want_failures}")
+            return 1
+        print(f"selftest ok: {label}")
+        return 0
+
+    bad = 0
+    # Identical report passes.
+    bad += expect("identical", synthetic_report(
+        wall_ms=(10.0, "lower", 2.0, "ms"),
+        tiny_ms=(0.2, "lower", 2.0, "ms"),
+        speedup=(8.0, "higher", 0.6, "x"),
+    ), False, 0)
+    # Inside the band passes (2x on a 2.0 tolerance).
+    bad += expect("within band", synthetic_report(
+        wall_ms=(20.0, "lower", 2.0, "ms"),
+        tiny_ms=(0.4, "lower", 2.0, "ms"),
+        speedup=(4.0, "higher", 0.6, "x"),
+    ), False, 0)
+    # A 10x time blowup and a collapsed speedup both fail.
+    bad += expect("blown band", synthetic_report(
+        wall_ms=(100.0, "lower", 2.0, "ms"),
+        tiny_ms=(0.2, "lower", 2.0, "ms"),
+        speedup=(1.0, "higher", 0.6, "x"),
+    ), False, 2)
+    # Sub-ms noise inside the absolute slack passes even past the
+    # relative band (0.2 -> 0.85: 4.25x relative, but only +0.65ms... the
+    # band is 0.2*3 + 0.3 = 0.9).
+    bad += expect("sub-ms slack", synthetic_report(
+        wall_ms=(10.0, "lower", 2.0, "ms"),
+        tiny_ms=(0.85, "lower", 2.0, "ms"),
+        speedup=(8.0, "higher", 0.6, "x"),
+    ), False, 0)
+    # Lenient (cross-machine) widening saves a 5x time.
+    bad += expect("lenient cross-machine", synthetic_report(
+        wall_ms=(50.0, "lower", 2.0, "ms"),
+        tiny_ms=(0.2, "lower", 2.0, "ms"),
+        speedup=(8.0, "higher", 0.6, "x"),
+    ), True, 0)
+    # ... but not a 10x time.
+    bad += expect("lenient still gates", synthetic_report(
+        wall_ms=(100.0, "lower", 2.0, "ms"),
+        tiny_ms=(0.2, "lower", 2.0, "ms"),
+        speedup=(8.0, "higher", 0.6, "x"),
+    ), True, 1)
+
+    # Missing metrics fail through compare_reports.
+    fresh = synthetic_report(wall_ms=(10.0, "lower", 2.0, "ms"))
+    failures = compare_reports(base, fresh, "<base>", "<fresh>")
+    if failures != 2:
+        print(f"selftest FAILED: missing metrics: {failures} failures, wanted 2")
+        bad += 1
+    else:
+        print("selftest ok: missing metrics")
+
+    print("selftest:", "FAILED" if bad else "all good")
+    return 1 if bad else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    p_compare = sub.add_parser("compare", help="diff fresh reports against baselines")
+    p_compare.add_argument("paths", nargs="+", help="BASELINE FRESH path pairs")
+
+    p_run = sub.add_parser("run", help="run benches and compare against baselines")
+    p_run.add_argument("--build-dir", default="build")
+    p_run.add_argument("--repeat", type=int, default=3)
+    p_run.add_argument("--bench", action="append", choices=BENCHES, dest="benches")
+
+    sub.add_parser("selftest", help="exercise the comparison logic")
+
+    args = parser.parse_args()
+    if args.mode == "compare":
+        return cmd_compare(args.paths)
+    if args.mode == "run":
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        return cmd_run(args.build_dir, args.repeat, args.benches or BENCHES, repo_root)
+    return cmd_selftest()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,46 +1,151 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full test suite.
+# Repo verification driver. Stages compose: every flag adds its stage, and
+# any combination may be passed in one invocation (the old driver read only
+# $1, silently making --tsan and --asan mutually exclusive).
 #
-#   ci/verify.sh           tier-1 (build + ctest)
-#   ci/verify.sh --tsan    additionally build with AC_SANITIZE=thread and run
-#                          the engine + routing tests under TSan (build-tsan/;
-#                          routing_test covers the concurrent select-cache
-#                          fill stress)
-#   ci/verify.sh --asan    additionally build with AC_SANITIZE=address
-#                          (ASan+UBSan) and run the tier-1 suite (build-asan/)
+#   ci/verify.sh               tier-1 (build + ctest + CLI round trips)
+#   ci/verify.sh --asan        + AC_SANITIZE=address build, full suite (build-asan/)
+#   ci/verify.sh --tsan        + AC_SANITIZE=thread build, engine + routing +
+#                                obs tests (build-tsan/; concurrency stress)
+#   ci/verify.sh --bench       + benchmark regression gate (ci/check_bench.py)
+#   ci/verify.sh --format      + formatting check (clang-format when available,
+#                                whitespace invariants otherwise); when given
+#                                alone, runs ONLY the format check (no build)
+#   ci/verify.sh --all         everything above
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
-cmake -B build -S .
-cmake --build build -j "${jobs}"
-ctest --test-dir build --output-on-failure -j "${jobs}"
+run_tier1=1
+run_asan=0
+run_tsan=0
+run_bench=0
+run_format=0
+saw_non_format_flag=0
 
-# Snapshot round trip: the figures recomputed from an archived world must be
-# byte-identical to the ones computed from a live build.
-rt=$(mktemp -d)
-trap 'rm -rf "${rt}"' EXIT
-./build/tools/acctx report --scale small --out "${rt}/live"
-./build/tools/acctx snapshot --scale small --out "${rt}/world.acx"
-./build/tools/acctx report --from-snapshot "${rt}/world.acx" --out "${rt}/snap"
-for f in "${rt}/live"/*.csv; do
-    cmp "${f}" "${rt}/snap/$(basename "${f}")"
+for arg in "$@"; do
+    case "${arg}" in
+        --asan) run_asan=1; saw_non_format_flag=1 ;;
+        --tsan) run_tsan=1; saw_non_format_flag=1 ;;
+        --bench) run_bench=1; saw_non_format_flag=1 ;;
+        --format) run_format=1 ;;
+        --all) run_asan=1; run_tsan=1; run_bench=1; run_format=1; saw_non_format_flag=1 ;;
+        *)
+            echo "verify: unknown flag ${arg}" >&2
+            echo "usage: ci/verify.sh [--asan] [--tsan] [--bench] [--format] [--all]" >&2
+            exit 2
+            ;;
+    esac
 done
-echo "verify: snapshot round trip OK ($(ls "${rt}/live" | wc -l) figure files identical)"
 
-if [[ "${1:-}" == "--tsan" ]]; then
-    cmake -B build-tsan -S . -DAC_SANITIZE=thread
-    cmake --build build-tsan -j "${jobs}" --target engine_test --target routing_test
-    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
-    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/routing_test
+# `ci/verify.sh --format` alone is the fast lint lane: no compiler needed.
+if [[ ${run_format} -eq 1 && ${saw_non_format_flag} -eq 0 && $# -eq 1 ]]; then
+    run_tier1=0
 fi
 
-if [[ "${1:-}" == "--asan" ]]; then
+check_format() {
+    echo "verify: format check"
+    local sources
+    mapfile -t sources < <(git ls-files '*.cpp' '*.h')
+    if command -v clang-format > /dev/null 2>&1; then
+        clang-format --dry-run --Werror "${sources[@]}"
+        echo "verify: clang-format OK (${#sources[@]} files)"
+    else
+        # No clang-format on this host: enforce the invariants that do not
+        # need a formatter — no tab indentation, no trailing whitespace, no
+        # CRLF line endings in C++ sources.
+        echo "verify: clang-format not found; checking whitespace invariants only"
+        local bad=0
+        if grep -nP '^\t' "${sources[@]}" /dev/null; then
+            echo "verify: tab indentation found" >&2
+            bad=1
+        fi
+        if grep -nP '[ \t]+$' "${sources[@]}" /dev/null; then
+            echo "verify: trailing whitespace found" >&2
+            bad=1
+        fi
+        if grep -lP '\r$' "${sources[@]}" /dev/null; then
+            echo "verify: CRLF line endings found" >&2
+            bad=1
+        fi
+        [[ ${bad} -eq 0 ]] || exit 1
+        echo "verify: whitespace invariants OK (${#sources[@]} files)"
+    fi
+}
+
+if [[ ${run_format} -eq 1 ]]; then
+    check_format
+fi
+
+if [[ ${run_tier1} -eq 1 ]]; then
+    cmake -B build -S .
+    cmake --build build -j "${jobs}"
+    # Fast-fail lane first, then everything else (golden, slow, cli).
+    ctest --test-dir build --output-on-failure -j "${jobs}" -L unit
+    ctest --test-dir build --output-on-failure -j "${jobs}" -LE unit
+
+    # Snapshot round trip: the figures recomputed from an archived world must
+    # be byte-identical to the ones computed from a live build — and the
+    # observability flags must not change a byte either.
+    rt=$(mktemp -d)
+    trap 'rm -rf "${rt}"' EXIT
+    ./build/tools/acctx report --scale small --out "${rt}/live"
+    ./build/tools/acctx snapshot --scale small --out "${rt}/world.acx"
+    ./build/tools/acctx report --from-snapshot "${rt}/world.acx" --out "${rt}/snap"
+    ./build/tools/acctx report --scale small --out "${rt}/obs" \
+        --trace "${rt}/trace.json" --metrics-json "${rt}/metrics.json"
+    for f in "${rt}/live"/*.csv; do
+        cmp "${f}" "${rt}/snap/$(basename "${f}")"
+        cmp "${f}" "${rt}/obs/$(basename "${f}")"
+    done
+    python3 -m json.tool "${rt}/trace.json" > /dev/null
+    python3 -m json.tool "${rt}/metrics.json" > /dev/null
+    echo "verify: snapshot + observability round trips OK" \
+         "($(ls "${rt}/live" | wc -l) figure files identical; trace and metrics JSON valid)"
+fi
+
+if [[ ${run_tsan} -eq 1 ]]; then
+    cmake -B build-tsan -S . -DAC_SANITIZE=thread
+    cmake --build build-tsan -j "${jobs}" \
+        --target engine_test --target routing_test --target obs_test
+    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
+    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/routing_test
+    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
+fi
+
+if [[ ${run_asan} -eq 1 ]]; then
     cmake -B build-asan -S . -DAC_SANITIZE=address
     cmake --build build-asan -j "${jobs}"
     ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
         ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+fi
+
+if [[ ${run_bench} -eq 1 ]]; then
+    cmake --build build -j "${jobs}" \
+        --target bench_world_build --target bench_routing \
+        --target bench_analysis --target bench_snapshot
+    python3 ci/check_bench.py run --build-dir build --repeat 3
+
+    # The gate must also demonstrably fail: perturb one baseline metric far
+    # past its tolerance band and require a non-zero exit.
+    perturb=$(mktemp -d)
+    python3 - "${perturb}" <<'EOF'
+import json, sys
+report = json.load(open("BENCH_snapshot.json"))
+for m in report["metrics"]:
+    if m["name"] == "rebuild_ms":
+        m["median"] /= 10.0
+json.dump(report, open(sys.argv[1] + "/perturbed.json", "w"))
+EOF
+    if python3 ci/check_bench.py compare "${perturb}/perturbed.json" BENCH_snapshot.json \
+        > /dev/null 2>&1; then
+        echo "verify: bench gate FAILED to reject a perturbed baseline" >&2
+        rm -rf "${perturb}"
+        exit 1
+    fi
+    rm -rf "${perturb}"
+    echo "verify: bench gate OK (passes baselines, rejects perturbation)"
 fi
 
 echo "verify: OK"

@@ -1,9 +1,11 @@
 #include "src/engine/stage_graph.h"
 
-#include <chrono>
 #include <ostream>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ac::engine {
 
@@ -64,8 +66,14 @@ stage_report stage_graph::run(int threads) {
     report.threads = threads;
     report.stages.reserve(stages_.size());
 
-    using clock = std::chrono::steady_clock;
-    const auto run_start = clock::now();
+    // Observability (DESIGN §10): the obs::span IS the stage timer — the
+    // stage_stats wall time is read back from the span, so `--timing` and
+    // `--trace` can never disagree — and every stage also feeds the
+    // process-wide metrics registry.
+    auto& stage_count = obs::registry::global().get_counter("engine.stages_executed");
+    auto& stage_items = obs::registry::global().get_counter("engine.stage_items");
+    auto& stage_wall = obs::registry::global().get_histogram("engine.stage_wall_ms");
+    obs::span run_span{"engine/stage_graph.run", obs::span::policy::always};
 
     // Kahn's algorithm, but scanning in registration order each round so the
     // schedule is deterministic and honors the order stages were declared in.
@@ -84,10 +92,19 @@ stage_report stage_graph::run(int threads) {
             }
             if (!ready) continue;
 
-            const auto start = clock::now();
-            const std::size_t items = stages_[i].fn();
-            const std::chrono::duration<double, std::milli> wall = clock::now() - start;
-            report.stages.push_back(stage_stats{stages_[i].name, wall.count(), items});
+            double wall_ms = 0.0;
+            std::size_t items = 0;
+            {
+                obs::span stage_span{"stage/" + stages_[i].name,
+                                     obs::span::policy::always};
+                items = stages_[i].fn();
+                stage_span.set_items(items);
+                wall_ms = stage_span.elapsed_ms();
+            }
+            report.stages.push_back(stage_stats{stages_[i].name, wall_ms, items});
+            stage_count.add(1);
+            stage_items.add(items);
+            stage_wall.observe(wall_ms);
             done[i] = true;
             ++executed;
             progressed = true;
@@ -97,8 +114,8 @@ stage_report stage_graph::run(int threads) {
         }
     }
 
-    const std::chrono::duration<double, std::milli> total = clock::now() - run_start;
-    report.total_wall_ms = total.count();
+    run_span.set_items(executed);
+    report.total_wall_ms = run_span.elapsed_ms();
     return report;
 }
 

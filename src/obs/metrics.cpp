@@ -1,0 +1,191 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+namespace ac::obs {
+
+namespace detail {
+
+std::size_t shard_of_thread() noexcept {
+    // Hash the thread id once per thread; `thread_local` keeps the hot path
+    // to a single TLS read.
+    static thread_local const std::size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % counter_shards;
+    return shard;
+}
+
+} // namespace detail
+
+namespace {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+    out << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            case '\t': out << "\\t"; break;
+            case '\r': out << "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    const char* hex = "0123456789abcdef";
+                    out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+                } else {
+                    out << c;
+                }
+        }
+    }
+    out << '"';
+}
+
+/// JSON numbers must not be NaN/inf; gauges are user-set doubles.
+void write_json_number(std::ostream& out, double v) {
+    if (std::isfinite(v)) {
+        out << v;
+    } else {
+        out << "null";
+    }
+}
+
+void atomic_add_double(std::atomic<double>& target, double v) noexcept {
+    double expected = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(expected, expected + v, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+histogram::histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()), buckets_(bounds.size() + 1) {
+    if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+        throw std::invalid_argument("obs::histogram: bucket bounds must be ascending");
+    }
+}
+
+void histogram::observe(double v) noexcept {
+    // First bucket whose upper bound >= v; above the last bound -> overflow.
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].value.fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomic_add_double(sum_, v);
+}
+
+std::vector<std::uint64_t> histogram::bucket_counts() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(buckets_.size());
+    for (const auto& b : buckets_) out.push_back(b.value.load(std::memory_order_relaxed));
+    return out;
+}
+
+void histogram::reset_for_test() noexcept {
+    for (auto& b : buckets_) b.value.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::span<const double> default_latency_bounds_ms() noexcept {
+    static const double bounds[] = {0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+                                    100.0, 500.0, 1000.0, 10000.0};
+    return bounds;
+}
+
+registry& registry::global() {
+    static registry instance;
+    return instance;
+}
+
+template <typename T, typename... Args>
+T& registry::get_metric(std::string_view name, kind k, std::deque<T>& store, Args&&... args) {
+    std::lock_guard lock{mutex_};
+    for (const auto& e : entries_) {
+        if (e.name == name) {
+            if (e.k != k) {
+                throw std::invalid_argument("obs::registry: metric '" + std::string{name} +
+                                            "' already registered as a different kind");
+            }
+            return store[e.index];
+        }
+    }
+    store.emplace_back(std::forward<Args>(args)...);
+    entries_.push_back(entry{std::string{name}, k, store.size() - 1});
+    return store.back();
+}
+
+counter& registry::get_counter(std::string_view name) {
+    return get_metric(name, kind::counter_k, counters_);
+}
+
+gauge& registry::get_gauge(std::string_view name) {
+    return get_metric(name, kind::gauge_k, gauges_);
+}
+
+histogram& registry::get_histogram(std::string_view name, std::span<const double> bounds) {
+    histogram& h = get_metric(name, kind::histogram_k, histograms_, bounds);
+    if (h.bounds().size() != bounds.size() ||
+        !std::equal(bounds.begin(), bounds.end(), h.bounds().begin())) {
+        throw std::invalid_argument("obs::registry: histogram '" + std::string{name} +
+                                    "' re-registered with different bounds");
+    }
+    return h;
+}
+
+std::size_t registry::size() const {
+    std::lock_guard lock{mutex_};
+    return entries_.size();
+}
+
+void registry::write_json(std::ostream& out) const {
+    std::lock_guard lock{mutex_};
+    out << "{\n  \"schema\": \"ac-metrics-v1\",\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const auto& e = entries_[i];
+        out << "    {\"name\": ";
+        write_json_string(out, e.name);
+        switch (e.k) {
+            case kind::counter_k:
+                out << ", \"type\": \"counter\", \"value\": " << counters_[e.index].value();
+                break;
+            case kind::gauge_k:
+                out << ", \"type\": \"gauge\", \"value\": ";
+                write_json_number(out, gauges_[e.index].value());
+                break;
+            case kind::histogram_k: {
+                const auto& h = histograms_[e.index];
+                out << ", \"type\": \"histogram\", \"count\": " << h.count() << ", \"sum\": ";
+                write_json_number(out, h.sum());
+                out << ", \"buckets\": [";
+                const auto counts = h.bucket_counts();
+                for (std::size_t b = 0; b < counts.size(); ++b) {
+                    if (b != 0) out << ", ";
+                    out << "{\"le\": ";
+                    if (b < h.bounds().size()) {
+                        write_json_number(out, h.bounds()[b]);
+                    } else {
+                        out << "\"inf\"";
+                    }
+                    out << ", \"count\": " << counts[b] << "}";
+                }
+                out << "]";
+                break;
+            }
+        }
+        out << "}" << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+}
+
+void registry::reset_values_for_test() {
+    std::lock_guard lock{mutex_};
+    for (auto& c : counters_) c.reset_for_test();
+    for (auto& g : gauges_) g.reset_for_test();
+    for (auto& h : histograms_) h.reset_for_test();
+}
+
+} // namespace ac::obs

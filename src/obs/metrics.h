@@ -1,0 +1,155 @@
+// Process-wide metrics registry (DESIGN §10).
+//
+// Counters, gauges, and fixed-bucket latency histograms register once by
+// name and are updated from any thread without further registry locking:
+//
+//   * counters are lock-sharded — each holds a small array of cache-line
+//     padded atomics and `add` picks a shard by hashed thread id, so hot
+//     paths (the route select cache, table kernels) pay one relaxed
+//     fetch_add with no cross-core ping-pong;
+//   * gauges are single relaxed atomic doubles (last write wins);
+//   * histograms count observations into fixed ascending upper-bound
+//     buckets (`le` semantics: value v lands in the first bucket whose
+//     bound >= v, values above the last bound land in the +inf overflow
+//     bucket) and track count/sum for mean recovery.
+//
+// Registration order is stable: the JSON snapshot lists metrics in the
+// order they were first registered, which is deterministic because every
+// registration site in this repo runs in a deterministic order (world
+// stages execute sequentially). Handles returned by the registry are valid
+// for the life of the process; call sites on hot paths should cache them
+// (`static auto& c = registry::global().get_counter(...)`).
+//
+// Snapshots never reset values: `write_json` reads relaxed and reports
+// monotone totals. `reset_for_test` zeroes values (not registrations) so
+// unit tests can assert deltas.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ac::obs {
+
+namespace detail {
+
+inline constexpr std::size_t counter_shards = 8;
+
+struct alignas(64) padded_u64 {
+    std::atomic<std::uint64_t> value{0};
+};
+
+/// Shard picked by hashed thread id (stable per thread, cheap to compute).
+[[nodiscard]] std::size_t shard_of_thread() noexcept;
+
+} // namespace detail
+
+/// Monotone event counter. add() is wait-free and thread-safe.
+class counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        shards_[detail::shard_of_thread()].value.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        std::uint64_t total = 0;
+        for (const auto& s : shards_) total += s.value.load(std::memory_order_relaxed);
+        return total;
+    }
+    void reset_for_test() noexcept {
+        for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::array<detail::padded_u64, detail::counter_shards> shards_;
+};
+
+/// Last-write-wins scalar (thread counts, file sizes, hit rates).
+class gauge {
+public:
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset_for_test() noexcept { set(0.0); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bounds are ascending upper bounds ("le"), plus an
+/// implicit +inf overflow bucket. observe() is one relaxed fetch_add per
+/// bucket/count/sum; bounds are immutable after registration.
+class histogram {
+public:
+    explicit histogram(std::span<const double> bounds);
+
+    void observe(double v) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+    [[nodiscard]] std::span<const double> bounds() const noexcept { return bounds_; }
+    /// bounds().size() + 1 entries; the last is the +inf overflow bucket.
+    [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+    void reset_for_test() noexcept;
+
+private:
+    std::vector<double> bounds_;
+    std::vector<detail::padded_u64> buckets_;  // bounds_.size() + 1
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bucket bounds (ms), roughly log-spaced 10us .. 10s.
+[[nodiscard]] std::span<const double> default_latency_bounds_ms() noexcept;
+
+class registry {
+public:
+    /// The process-wide instance every instrumentation site uses.
+    [[nodiscard]] static registry& global();
+
+    /// Returns the metric registered under `name`, creating it on first use.
+    /// Re-registering a name as a different kind (or a histogram with
+    /// different bounds) throws std::invalid_argument.
+    [[nodiscard]] counter& get_counter(std::string_view name);
+    [[nodiscard]] gauge& get_gauge(std::string_view name);
+    [[nodiscard]] histogram& get_histogram(
+        std::string_view name, std::span<const double> bounds = default_latency_bounds_ms());
+
+    /// Number of registered metrics (all kinds).
+    [[nodiscard]] std::size_t size() const;
+
+    /// Writes the `ac-metrics-v1` JSON snapshot, metrics in registration
+    /// order (see README / DESIGN §10 for the schema).
+    void write_json(std::ostream& out) const;
+
+    /// Zeroes every metric's value; registrations (and their order) remain.
+    void reset_values_for_test();
+
+private:
+    enum class kind : std::uint8_t { counter_k, gauge_k, histogram_k };
+    struct entry {
+        std::string name;
+        kind k;
+        std::size_t index;  // into the deque for its kind
+    };
+
+    template <typename T, typename... Args>
+    T& get_metric(std::string_view name, kind k, std::deque<T>& store, Args&&... args);
+
+    mutable std::mutex mutex_;
+    std::vector<entry> entries_;  // registration order
+    std::deque<counter> counters_;  // deques: stable addresses across growth
+    std::deque<gauge> gauges_;
+    std::deque<histogram> histograms_;
+};
+
+} // namespace ac::obs

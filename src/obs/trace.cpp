@@ -1,0 +1,157 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace ac::obs {
+
+namespace {
+
+/// Microseconds on the steady clock; events store absolute values and the
+/// exporter rebases onto the enable_tracing epoch.
+double now_us() noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct trace_state {
+    std::atomic<bool> enabled{false};
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::vector<trace_event> ring;
+    double epoch_us = 0.0;
+    std::mutex control;  // serializes enable/disable/export
+};
+
+trace_state& state() {
+    static trace_state instance;
+    return instance;
+}
+
+std::uint32_t this_thread_id() noexcept {
+    static std::atomic<std::uint32_t> next_tid{0};
+    static thread_local const std::uint32_t tid =
+        next_tid.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+void copy_name(char (&dst)[span_name_capacity + 1], std::string_view src) noexcept {
+    const std::size_t n = src.size() < span_name_capacity ? src.size() : span_name_capacity;
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+}
+
+void write_json_string(std::ostream& out, const char* s) {
+    out << '"';
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        switch (c) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            case '\t': out << "\\t"; break;
+            case '\r': out << "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    const char* hex = "0123456789abcdef";
+                    out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+                } else {
+                    out << c;
+                }
+        }
+    }
+    out << '"';
+}
+
+} // namespace
+
+bool trace_enabled() noexcept {
+    return state().enabled.load(std::memory_order_relaxed);
+}
+
+void enable_tracing(std::size_t capacity) {
+    auto& s = state();
+    std::lock_guard lock{s.control};
+    s.enabled.store(false, std::memory_order_relaxed);
+    s.ring.assign(capacity == 0 ? 1 : capacity, trace_event{});
+    s.next.store(0, std::memory_order_relaxed);
+    s.dropped.store(0, std::memory_order_relaxed);
+    s.epoch_us = now_us();
+    s.enabled.store(true, std::memory_order_release);
+}
+
+void disable_tracing() noexcept {
+    state().enabled.store(false, std::memory_order_relaxed);
+}
+
+std::size_t trace_event_count() noexcept {
+    auto& s = state();
+    const std::size_t n = s.next.load(std::memory_order_acquire);
+    return n < s.ring.size() ? n : s.ring.size();
+}
+
+std::uint64_t trace_dropped_count() noexcept {
+    return state().dropped.load(std::memory_order_relaxed);
+}
+
+void write_chrome_trace(std::ostream& out) {
+    auto& s = state();
+    std::lock_guard lock{s.control};
+    const std::size_t claimed = s.next.load(std::memory_order_acquire);
+    const std::size_t count = claimed < s.ring.size() ? claimed : s.ring.size();
+    out << "{\"traceEvents\": [\n";
+    for (std::size_t i = 0; i < count; ++i) {
+        const trace_event& e = s.ring[i];
+        double ts = e.start_us - s.epoch_us;
+        if (ts < 0.0) ts = 0.0;  // span opened before enable_tracing
+        out << "  {\"name\": ";
+        write_json_string(out, e.name);
+        out << ", \"ph\": \"X\", \"cat\": \"ac\", \"pid\": 1, \"tid\": " << e.tid
+            << ", \"ts\": " << ts << ", \"dur\": " << e.dur_us;
+        if (e.items != 0) out << ", \"args\": {\"items\": " << e.items << "}";
+        out << "}" << (i + 1 < count ? ",\n" : "\n");
+    }
+    out << "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped\": "
+        << s.dropped.load(std::memory_order_relaxed) << "}}\n";
+}
+
+span::span(std::string_view name, policy p) noexcept {
+    armed_ = trace_enabled();
+    timed_ = armed_ || p == policy::always;
+    if (timed_) {
+        copy_name(name_, name);
+        start_us_ = now_us();
+    }
+}
+
+span::~span() {
+    if (armed_) finish();
+}
+
+double span::elapsed_ms() const noexcept {
+    return timed_ ? (now_us() - start_us_) / 1000.0 : 0.0;
+}
+
+void span::finish() noexcept {
+    const double end_us = now_us();
+    auto& s = state();
+    if (!s.enabled.load(std::memory_order_relaxed)) return;  // disabled mid-span
+    const std::size_t slot = s.next.fetch_add(1, std::memory_order_acq_rel);
+    if (slot >= s.ring.size()) {
+        s.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    trace_event& e = s.ring[slot];
+    std::memcpy(e.name, name_, sizeof name_);
+    e.start_us = start_us_;
+    e.dur_us = end_us - start_us_;
+    e.items = items_;
+    e.tid = this_thread_id();
+}
+
+} // namespace ac::obs

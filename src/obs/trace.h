@@ -1,0 +1,90 @@
+// Scoped trace spans with Chrome trace_event export (DESIGN §10).
+//
+// `obs::span` is the one timing instrument in the repo: world stages, BGP
+// propagation, snapshot section I/O, and the table kernels all open a span
+// around their work. When tracing is disabled (the default) a span costs a
+// single relaxed atomic load in its constructor — no clock read, no
+// allocation — so instrumented kernels stay at full speed. When enabled
+// (`acctx ... --trace FILE`), completed spans append to a fixed-capacity
+// ring of plain-old-data events: a slot is claimed with one fetch_add and
+// written without locks; events past capacity are counted as dropped
+// rather than torn. Span names are copied into a fixed in-slot buffer
+// (truncated at `span_name_capacity`), so callers may pass temporaries.
+//
+// `write_chrome_trace` renders the buffer as Chrome's trace_event JSON
+// ("X" complete events, microsecond timestamps) — load it at
+// chrome://tracing or https://ui.perfetto.dev. Export expects the spans it
+// reports to have completed (join your workers first); spans still open at
+// export time are simply absent.
+//
+// Tracing never changes output bytes: spans observe, they do not
+// participate in any computation (pinned by report_test's
+// golden-with-trace assertion).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace ac::obs {
+
+inline constexpr std::size_t span_name_capacity = 47;  // + NUL = 48-byte field
+
+struct trace_event {
+    char name[span_name_capacity + 1];
+    double start_us = 0.0;
+    double dur_us = 0.0;
+    std::uint64_t items = 0;  // 0 = omitted from args
+    std::uint32_t tid = 0;
+};
+
+/// True while spans record. One relaxed atomic load.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Starts recording into a fresh ring of `capacity` events and resets the
+/// trace clock epoch. Idempotent-safe: re-enabling discards prior events.
+void enable_tracing(std::size_t capacity = 1 << 16);
+
+/// Stops recording. Already-recorded events remain available for export.
+void disable_tracing() noexcept;
+
+/// Completed events currently in the ring (capped at capacity).
+[[nodiscard]] std::size_t trace_event_count() noexcept;
+
+/// Spans that finished after the ring filled.
+[[nodiscard]] std::uint64_t trace_dropped_count() noexcept;
+
+/// Writes every recorded event as Chrome trace_event JSON.
+void write_chrome_trace(std::ostream& out);
+
+class span {
+public:
+    enum class policy : std::uint8_t {
+        when_traced,  // timestamps only taken while tracing is enabled
+        always,       // always timed; elapsed_ms() is valid (stage_graph)
+    };
+
+    explicit span(std::string_view name, policy p = policy::when_traced) noexcept;
+    ~span();
+
+    span(const span&) = delete;
+    span& operator=(const span&) = delete;
+
+    /// Attaches an item count, exported as args.items in the trace.
+    void set_items(std::uint64_t n) noexcept { items_ = n; }
+
+    /// Milliseconds since construction. Requires policy::always.
+    [[nodiscard]] double elapsed_ms() const noexcept;
+
+private:
+    void finish() noexcept;
+
+    std::uint64_t items_ = 0;
+    double start_us_ = 0.0;  // trace-epoch microseconds (valid when timed_)
+    bool armed_ = false;     // record into the ring at destruction
+    bool timed_ = false;     // start_us_ holds a real timestamp
+    char name_[span_name_capacity + 1];
+};
+
+} // namespace ac::obs

@@ -8,10 +8,23 @@
 
 #include "src/netbase/geo.h"
 #include "src/netbase/rng.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ac::route {
 
 namespace {
+
+/// Process-wide select-cache counters, resolved once (the registry lookup
+/// takes a lock; the per-call path must stay at one relaxed add).
+obs::counter& select_hit_counter() {
+    static obs::counter& c = obs::registry::global().get_counter("route.select_cache.hits");
+    return c;
+}
+obs::counter& select_miss_counter() {
+    static obs::counter& c = obs::registry::global().get_counter("route.select_cache.misses");
+    return c;
+}
 
 bool better(route_class cls, std::uint8_t len, route_class incumbent_cls,
             std::uint8_t incumbent_len) {
@@ -78,21 +91,31 @@ anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& 
     // which case only the serial order is well-defined. Per-site work is
     // heavy (a full graph traversal), so grain 1 keeps full fan-out despite
     // the pool's inline threshold for small auto-grain ranges.
-    if (unique_sites) {
-        engine::parallel_over(
-            pool, announcements_.size(),
-            [this](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i) propagate(announcements_[i]);
-            },
-            /*grain=*/1);
-    } else {
-        for (const auto& a : announcements_) propagate(a);
+    {
+        obs::span propagation_span{"bgp/propagate_all"};
+        propagation_span.set_items(announcements_.size());
+        if (unique_sites) {
+            engine::parallel_over(
+                pool, announcements_.size(),
+                [this](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) propagate(announcements_[i]);
+                },
+                /*grain=*/1);
+        } else {
+            for (const auto& a : announcements_) propagate(a);
+        }
     }
 
-    build_fast_path(pool);
+    {
+        obs::span index_span{"bgp/build_fast_path"};
+        index_span.set_items(as_count_);
+        build_fast_path(pool);
+    }
 }
 
 void anycast_rib::propagate(const announcement& a) {
+    obs::span propagate_span{"bgp/propagate_site"};
+    propagate_span.set_items(as_count_);
     propagate_scratch& sc = local_scratch(as_count_);
     const std::size_t base = static_cast<std::size_t>(a.site) * as_count_;
     const std::size_t origin = graph_->dense_index(a.origin_asn);
@@ -445,6 +468,7 @@ std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id 
         std::lock_guard lock{shard.mutex};
         if (const auto it = shard.entries.find(key); it != shard.entries.end()) {
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            select_hit_counter().add(1);
             return it->second;
         }
     }
@@ -452,6 +476,7 @@ std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id 
     // selection is pure, so both compute identical bytes and the first
     // emplace wins — the cache never changes an output.
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    select_miss_counter().add(1);
     auto result = select_indexed(as, asn, region);
     {
         std::lock_guard lock{shard.mutex};
@@ -526,6 +551,8 @@ std::optional<path_result> anycast_rib::select_reference(topo::asn_t asn,
 
 std::vector<std::optional<path_result>> anycast_rib::select_many(
     std::span<const source_key> sources, engine::thread_pool* pool) const {
+    obs::span many_span{"bgp/select_many"};
+    many_span.set_items(sources.size());
     std::vector<std::optional<path_result>> out(sources.size());
     engine::parallel_over(pool, sources.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {

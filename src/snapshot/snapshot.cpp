@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <new>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/snapshot/xxhash64.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -67,6 +69,10 @@ bool valid_elem(elem_type t) {
 
 void writer::add_typed(std::string name, elem_type type, const void* data, std::size_t bytes,
                        std::uint32_t elem_size) {
+    obs::span section_span{"snapshot/section_write"};
+    section_span.set_items(bytes);
+    obs::registry::global().get_counter("snapshot.sections_written").add(1);
+    obs::registry::global().get_counter("snapshot.bytes_written").add(bytes);
     for (const auto& s : sections_) {
         if (s.name == name) {
             throw snapshot_error(errc::malformed, "duplicate section name '" + name + "'");
@@ -87,6 +93,8 @@ void writer::add_raw(std::string name, const void* data, std::size_t bytes,
 }
 
 std::vector<std::byte> writer::finish() const {
+    obs::span finish_span{"snapshot/finish"};
+    finish_span.set_items(sections_.size());
     std::size_t names_bytes = 0;
     for (const auto& s : sections_) names_bytes += s.name.size();
 
@@ -140,7 +148,9 @@ std::vector<std::byte> writer::finish() const {
 }
 
 void writer::write_file(const std::string& path) const {
+    obs::span file_span{"snapshot/write_file"};
     const auto image = finish();
+    file_span.set_items(image.size());
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
         throw snapshot_error(errc::io, "cannot open '" + path + "' for writing");
@@ -193,6 +203,8 @@ void bundle::adopt(std::byte* data, std::size_t size, load_mode mode, bool mappe
 }
 
 std::shared_ptr<const bundle> bundle::open(const std::string& path, load_mode mode) {
+    obs::span open_span{mode == load_mode::mapped ? "snapshot/open_mapped"
+                                                  : "snapshot/open_owned"};
     auto b = std::shared_ptr<bundle>(new bundle());
 
 #if AC_SNAPSHOT_HAS_MMAP
@@ -251,6 +263,8 @@ std::shared_ptr<const bundle> bundle::from_bytes(std::span<const std::byte> imag
 }
 
 void bundle::parse_and_verify() {
+    obs::span verify_span{"snapshot/parse_and_verify"};
+    verify_span.set_items(size_);
     if (size_ < header_bytes) {
         throw snapshot_error(errc::truncated,
                              "file is " + std::to_string(size_) + " bytes, shorter than the " +
@@ -331,9 +345,16 @@ void bundle::parse_and_verify() {
                                  "section '" + std::string{info.name} +
                                      "' length is not a multiple of its element size");
         }
-        if (xxhash64(data_ + payload_offset, payload_bytes) != checksum) {
-            throw snapshot_error(errc::checksum_mismatch,
-                                 "section '" + std::string{info.name} + "' checksum mismatch");
+        {
+            obs::span section_span{"snapshot/section_verify"};
+            section_span.set_items(payload_bytes);
+            obs::registry::global().get_counter("snapshot.sections_read").add(1);
+            obs::registry::global().get_counter("snapshot.bytes_read").add(payload_bytes);
+            if (xxhash64(data_ + payload_offset, payload_bytes) != checksum) {
+                throw snapshot_error(errc::checksum_mismatch, "section '" +
+                                                                  std::string{info.name} +
+                                                                  "' checksum mismatch");
+            }
         }
         info.type = type;
         info.elem_size = elem_size;

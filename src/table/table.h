@@ -30,11 +30,24 @@
 #include <vector>
 
 #include "src/engine/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/table/column.h"
 
 namespace ac::table {
 
 using row_index = std::uint32_t;
+
+namespace detail {
+
+/// Rows-processed counter for the kernels, resolved once per process (the
+/// registry lookup locks; kernel calls must stay lock-free).
+inline obs::counter& kernel_rows_counter() {
+    static obs::counter& c = obs::registry::global().get_counter("table.kernel_rows");
+    return c;
+}
+
+} // namespace detail
 
 namespace detail {
 
@@ -91,6 +104,9 @@ template <std::unsigned_integral K>
 /// equal keys keep their original relative order.
 template <typename K>
 [[nodiscard]] std::vector<row_index> sort_permutation(std::span<const K> keys) {
+    obs::span sort_span{"table/sort_permutation"};
+    sort_span.set_items(keys.size());
+    detail::kernel_rows_counter().add(keys.size());
     if constexpr (std::unsigned_integral<K>) {
         return detail::radix_sort_permutation(keys);
     } else {
@@ -130,6 +146,8 @@ struct grouping {
 
 template <typename K>
 [[nodiscard]] grouping<K> make_grouping(std::span<const K> keys) {
+    obs::span grouping_span{"table/make_grouping"};
+    grouping_span.set_items(keys.size());
     grouping<K> g;
     g.order = sort_permutation(keys);
     if (g.order.empty()) {
@@ -151,6 +169,8 @@ template <typename K>
 /// key order.
 template <typename K, typename Fn>
 void group_by(const grouping<K>& g, Fn&& reduce) {
+    obs::span by_span{"table/group_by"};
+    by_span.set_items(g.groups());
     for (std::size_t i = 0; i < g.groups(); ++i) reduce(g.keys[i], g.rows(i));
 }
 
@@ -161,6 +181,8 @@ void group_by(const grouping<K>& g, Fn&& reduce) {
 template <typename R, typename K, typename Fn>
 [[nodiscard]] std::vector<R> group_reduce(engine::thread_pool* pool, const grouping<K>& g,
                                           Fn&& reduce) {
+    obs::span reduce_span{"table/group_reduce"};
+    reduce_span.set_items(g.groups());
     std::vector<R> out(g.groups());
     engine::parallel_over(pool, g.groups(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) out[i] = reduce(g.keys[i], g.rows(i));
@@ -173,6 +195,8 @@ template <typename R, typename K, typename Fn>
 template <typename K>
 [[nodiscard]] std::vector<double> sum_by(const grouping<K>& g,
                                          std::span<const double> values) {
+    obs::span sum_span{"table/sum_by"};
+    sum_span.set_items(g.order.size());
     std::vector<double> out;
     out.reserve(g.groups());
     for (std::size_t i = 0; i < g.groups(); ++i) {

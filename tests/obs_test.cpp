@@ -1,0 +1,312 @@
+// Observability layer: metrics registry semantics (sharded counters, gauge
+// last-write-wins, histogram bucket edges, stable JSON order), trace span
+// recording (ring capacity, drop counting, disabled no-op), and the Chrome
+// trace / ac-metrics-v1 JSON shapes. The concurrency tests double as the
+// TSan targets for this subsystem: many threads hammer one counter and one
+// ring while a world builds on the pool with tracing enabled.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/world.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace {
+
+using namespace ac;
+
+// Minimal JSON well-formedness checker: objects/arrays/strings/numbers/
+// literals, no semantic validation. Enough to catch unbalanced braces,
+// trailing commas, and unescaped strings in the emitters.
+class json_checker {
+public:
+    explicit json_checker(std::string_view text) : text_{text} {}
+
+    [[nodiscard]] bool valid() {
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+private:
+    bool value() {
+        if (pos_ >= text_.size()) return false;
+        const char c = text_[pos_];
+        if (c == '{') return object();
+        if (c == '[') return array();
+        if (c == '"') return string();
+        if (c == 't') return literal("true");
+        if (c == 'f') return literal("false");
+        if (c == 'n') return literal("null");
+        return number();
+    }
+
+    bool object() {
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek() == '}') { ++pos_; return true; }
+        while (true) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool array() {
+        ++pos_;  // '['
+        skip_ws();
+        if (peek() == ']') { ++pos_; return true; }
+        while (true) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool string() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                if (pos_ + 1 >= text_.size()) return false;
+                ++pos_;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size()) return false;
+        ++pos_;  // closing quote
+        return true;
+    }
+
+    bool number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+TEST(Counter, SumsAcrossShardsAndThreads) {
+    obs::counter c;
+    constexpr int threads = 8;
+    constexpr int per_thread = 10000;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&c] {
+            for (int i = 0; i < per_thread; ++i) c.add();
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(threads) * per_thread);
+    c.reset_for_test();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWins) {
+    obs::gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(2.5);
+    g.set(-7.0);
+    EXPECT_EQ(g.value(), -7.0);
+}
+
+TEST(Histogram, BucketEdgesUseLeSemantics) {
+    const double bounds[] = {1.0, 10.0, 100.0};
+    obs::histogram h{bounds};
+
+    h.observe(0.5);    // <= 1       -> bucket 0
+    h.observe(1.0);    // == bound   -> bucket 0 (le semantics)
+    h.observe(1.0001); // just above -> bucket 1
+    h.observe(10.0);   // == bound   -> bucket 1
+    h.observe(100.0);  // == last    -> bucket 2
+    h.observe(1e9);    // overflow   -> +inf bucket
+    h.observe(-3.0);   // below all  -> bucket 0
+
+    const auto counts = h.bucket_counts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 3u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 1e9 - 3.0);
+}
+
+TEST(Registry, SameNameSameMetricDifferentKindThrows) {
+    auto& reg = obs::registry::global();
+    auto& a = reg.get_counter("obs_test.registry_kind");
+    auto& b = reg.get_counter("obs_test.registry_kind");
+    EXPECT_EQ(&a, &b);
+    EXPECT_THROW((void)reg.get_gauge("obs_test.registry_kind"), std::invalid_argument);
+    const double other_bounds[] = {1.0};
+    (void)reg.get_histogram("obs_test.registry_hist");
+    EXPECT_THROW((void)reg.get_histogram("obs_test.registry_hist", other_bounds),
+                 std::invalid_argument);
+}
+
+TEST(Registry, JsonIsWellFormedAndKeepsRegistrationOrder) {
+    auto& reg = obs::registry::global();
+    (void)reg.get_counter("obs_test.order_first");
+    (void)reg.get_gauge("obs_test.order_second");
+    (void)reg.get_histogram("obs_test.order_third");
+
+    std::ostringstream out;
+    reg.write_json(out);
+    const std::string json = out.str();
+
+    EXPECT_TRUE(json_checker{json}.valid()) << json;
+    EXPECT_NE(json.find("\"schema\": \"ac-metrics-v1\""), std::string::npos);
+    const auto first = json.find("obs_test.order_first");
+    const auto second = json.find("obs_test.order_second");
+    const auto third = json.find("obs_test.order_third");
+    ASSERT_NE(first, std::string::npos);
+    ASSERT_NE(second, std::string::npos);
+    ASSERT_NE(third, std::string::npos);
+    EXPECT_LT(first, second);
+    EXPECT_LT(second, third);
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+    obs::disable_tracing();
+    {
+        obs::span s{"obs_test/disabled"};
+        s.set_items(3);
+    }
+    EXPECT_FALSE(obs::trace_enabled());
+}
+
+TEST(Trace, RecordsSpansAndExportsValidJson) {
+    obs::enable_tracing(64);
+    {
+        obs::span outer{"obs_test/outer"};
+        outer.set_items(7);
+        obs::span inner{"obs_test/\"quoted\"\\name"};
+    }
+    obs::disable_tracing();
+    EXPECT_EQ(obs::trace_event_count(), 2u);
+    EXPECT_EQ(obs::trace_dropped_count(), 0u);
+
+    std::ostringstream out;
+    obs::write_chrome_trace(out);
+    const std::string json = out.str();
+    EXPECT_TRUE(json_checker{json}.valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("obs_test/outer"), std::string::npos);
+    EXPECT_NE(json.find("\"items\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(Trace, LongNamesTruncateAtCapacity) {
+    obs::enable_tracing(8);
+    const std::string long_name(200, 'x');
+    { obs::span s{long_name}; }
+    obs::disable_tracing();
+    std::ostringstream out;
+    obs::write_chrome_trace(out);
+    const std::string json = out.str();
+    EXPECT_TRUE(json_checker{json}.valid());
+    EXPECT_NE(json.find(std::string(obs::span_name_capacity, 'x')), std::string::npos);
+    EXPECT_EQ(json.find(std::string(obs::span_name_capacity + 1, 'x')), std::string::npos);
+}
+
+TEST(Trace, OverflowCountsDropsInsteadOfWrapping) {
+    obs::enable_tracing(4);
+    for (int i = 0; i < 10; ++i) {
+        obs::span s{"obs_test/overflow"};
+    }
+    obs::disable_tracing();
+    EXPECT_EQ(obs::trace_event_count(), 4u);
+    EXPECT_EQ(obs::trace_dropped_count(), 6u);
+
+    std::ostringstream out;
+    obs::write_chrome_trace(out);
+    EXPECT_NE(out.str().find("\"dropped\": 6"), std::string::npos);
+}
+
+TEST(Trace, ConcurrentSpansAreAccountedExactly) {
+    constexpr std::size_t capacity = 256;
+    constexpr int threads = 8;
+    constexpr int per_thread = 200;  // 1600 spans >> capacity
+    obs::enable_tracing(capacity);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([] {
+            for (int i = 0; i < per_thread; ++i) {
+                obs::span s{"obs_test/concurrent"};
+                s.set_items(static_cast<std::uint64_t>(i));
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    obs::disable_tracing();
+
+    EXPECT_EQ(obs::trace_event_count(), capacity);
+    EXPECT_EQ(obs::trace_dropped_count(),
+              static_cast<std::uint64_t>(threads) * per_thread - capacity);
+    std::ostringstream out;
+    obs::write_chrome_trace(out);
+    EXPECT_TRUE(json_checker{out.str()}.valid());
+}
+
+// The TSan centrepiece: a parallel world build with tracing enabled drives
+// every instrumented subsystem (stage graph, BGP propagation, select cache,
+// table kernels) through the registry and the ring concurrently.
+TEST(Obs, ParallelWorldBuildWithTracingIsClean) {
+    obs::enable_tracing();
+    auto config = core::world_config::small();
+    config.threads = 4;
+    const core::world w{std::move(config)};
+    obs::disable_tracing();
+
+    EXPECT_GT(obs::trace_event_count(), 0u);
+    std::ostringstream metrics;
+    obs::registry::global().write_json(metrics);
+    EXPECT_TRUE(json_checker{metrics.str()}.valid());
+    std::ostringstream trace;
+    obs::write_chrome_trace(trace);
+    EXPECT_TRUE(json_checker{trace.str()}.valid());
+}
+
+} // namespace

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/core/report.h"
+#include "src/core/world.h"
+#include "src/obs/trace.h"
 
 namespace {
 
@@ -181,6 +183,25 @@ TEST_F(ReportFixture, ThreadCountNeverChangesFigureBytes) {
         expect_golden_files(files, "threads=" + std::to_string(threads));
         std::filesystem::remove_all(dir);
     }
+}
+
+TEST_F(ReportFixture, ObservabilityNeverChangesFigureBytes) {
+    // Spans and metrics observe, they do not participate: a world built with
+    // tracing enabled and every instrumented subsystem recording must still
+    // produce the goldens above, byte for byte. (The CLI equivalent —
+    // `acctx report --trace --metrics-json` vs a flag-less run — is checked
+    // by ci/verify.sh's round trip.)
+    obs::enable_tracing();
+    auto config = core::world_config::small();
+    config.threads = 4;
+    const core::world traced{std::move(config)};
+    const auto dir = temp_dir() += "_traced";
+    const auto files = core::write_figure_csvs(traced, dir.string());
+    obs::disable_tracing();
+
+    expect_golden_files(files, "tracing enabled");
+    EXPECT_GT(obs::trace_event_count(), 0u);
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

@@ -22,6 +22,10 @@
 // archived config. --from-snapshot conflicts with --seed/--scale/--year
 // (the archive pins them); --threads still applies (it never changes bytes).
 //
+// Every command accepts --trace FILE (Chrome trace_event JSON of all
+// instrumented spans) and --metrics-json FILE (the process metrics
+// registry); observability never changes output bytes (DESIGN §10).
+//
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -37,6 +41,8 @@
 #include "src/core/report.h"
 #include "src/core/world.h"
 #include "src/netbase/strfmt.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/snapshot/world_io.h"
 
 namespace {
@@ -53,6 +59,8 @@ struct cli_options {
     std::optional<std::string> in_path;
     std::optional<std::string> out_path;
     std::optional<std::string> from_snapshot;
+    std::optional<std::string> trace_path;
+    std::optional<std::string> metrics_path;
     std::string format = "text";
     bool threads_set = false;
     bool world_knob_set = false;  // --seed/--scale/--year seen explicitly
@@ -68,7 +76,12 @@ struct cli_options {
               << "  --timing          with 'world': print the per-stage build report as JSON\n"
               << "  --from-snapshot F analysis commands: load datasets from a snapshot\n"
               << "                    (conflicts with --seed/--scale/--year)\n"
-              << "  --format FMT      export/analyze: capture file format (text|snapshot)\n";
+              << "  --format FMT      export/analyze: capture file format (text|snapshot)\n"
+              << "  --trace F         any command: write a Chrome trace_event JSON of every\n"
+              << "                    instrumented span (load at chrome://tracing); output\n"
+              << "                    bytes are unchanged by tracing\n"
+              << "  --metrics-json F  any command: write the process metrics registry\n"
+              << "                    snapshot (ac-metrics-v1 JSON) at exit\n";
     std::exit(code);
 }
 
@@ -86,6 +99,9 @@ bool flag_applies(const std::string& command, const std::string& flag) {
         {"report", {"--seed", "--scale", "--year", "--threads", "--out", "--from-snapshot"}},
         {"analyze", {"--in", "--format"}},
     };
+    // Observability flags apply to every command: they only add output files,
+    // never change what a command computes.
+    if (flag == "--trace" || flag == "--metrics-json") return true;
     const auto it = allowed.find(command);
     if (it == allowed.end()) return false;
     return std::find(it->second.begin(), it->second.end(), flag) != it->second.end();
@@ -120,7 +136,8 @@ cli_options parse_args(int argc, char** argv) {
         if (arg == "--help" || arg == "-h") usage(0);
         if (arg == "--seed" || arg == "--scale" || arg == "--year" || arg == "--threads" ||
             arg == "--timing" || arg == "--in" || arg == "--out" ||
-            arg == "--from-snapshot" || arg == "--format") {
+            arg == "--from-snapshot" || arg == "--format" || arg == "--trace" ||
+            arg == "--metrics-json") {
             check_applies();
         }
         if (arg == "--seed") {
@@ -157,6 +174,10 @@ cli_options parse_args(int argc, char** argv) {
             options.out_path = value();
         } else if (arg == "--from-snapshot") {
             options.from_snapshot = value();
+        } else if (arg == "--trace") {
+            options.trace_path = value();
+        } else if (arg == "--metrics-json") {
+            options.metrics_path = value();
         } else if (arg == "--format") {
             options.format = value();
             if (options.format != "text" && options.format != "snapshot") {
@@ -357,20 +378,64 @@ int cmd_analyze(const cli_options& options) {
 
 } // namespace
 
+int run_command(const cli_options& options) {
+    if (options.command == "world") return cmd_world(options);
+    if (options.command == "inflation") return cmd_inflation(options);
+    if (options.command == "amortize") return cmd_amortize(options);
+    if (options.command == "cdn") return cmd_cdn(options);
+    if (options.command == "export") return cmd_export(options);
+    if (options.command == "analyze") return cmd_analyze(options);
+    if (options.command == "snapshot") return cmd_snapshot(options);
+    if (options.command == "report") return cmd_report(options);
+    usage(2);  // unreachable: parse_args validated the command
+}
+
+/// Writes the trace / metrics files requested by --trace / --metrics-json.
+/// Runs after the command (even a failed one: a trace of the failing run is
+/// exactly what one wants); failure to write is its own error.
+int write_observability(const cli_options& options) {
+    int rc = 0;
+    if (options.trace_path) {
+        obs::disable_tracing();
+        std::ofstream out{*options.trace_path};
+        if (out) {
+            obs::write_chrome_trace(out);
+        }
+        if (!out) {
+            std::cerr << "acctx: cannot write trace to " << *options.trace_path << "\n";
+            rc = 1;
+        } else {
+            std::cerr << "wrote trace (" << obs::trace_event_count() << " spans, "
+                      << obs::trace_dropped_count() << " dropped) to " << *options.trace_path
+                      << "\n";
+        }
+    }
+    if (options.metrics_path) {
+        std::ofstream out{*options.metrics_path};
+        if (out) {
+            obs::registry::global().write_json(out);
+        }
+        if (!out) {
+            std::cerr << "acctx: cannot write metrics to " << *options.metrics_path << "\n";
+            rc = 1;
+        } else {
+            std::cerr << "wrote " << obs::registry::global().size() << " metrics to "
+                      << *options.metrics_path << "\n";
+        }
+    }
+    return rc;
+}
+
 int main(int argc, char** argv) {
     const auto options = parse_args(argc, argv);
+    if (options.trace_path) obs::enable_tracing();
+    int rc = 0;
     try {
-        if (options.command == "world") return cmd_world(options);
-        if (options.command == "inflation") return cmd_inflation(options);
-        if (options.command == "amortize") return cmd_amortize(options);
-        if (options.command == "cdn") return cmd_cdn(options);
-        if (options.command == "export") return cmd_export(options);
-        if (options.command == "analyze") return cmd_analyze(options);
-        if (options.command == "snapshot") return cmd_snapshot(options);
-        if (options.command == "report") return cmd_report(options);
+        rc = run_command(options);
     } catch (const std::exception& e) {
         std::cerr << "acctx: " << e.what() << "\n";
-        return 1;
+        rc = 1;
     }
-    usage(2);  // unreachable: parse_args validated the command
+    const int obs_rc = write_observability(options);
+    return rc != 0 ? rc : obs_rc;
 }
