@@ -51,7 +51,7 @@ ABS_SLACK_MS = 0.3
 # Relative-band widening applied when baseline and fresh machines differ.
 LENIENT_FACTOR = 3.0
 
-BENCHES = ["world_build", "routing", "analysis", "snapshot"]
+BENCHES = ["world_build", "routing", "analysis", "snapshot", "scenario"]
 
 
 def load_report(path):

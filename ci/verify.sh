@@ -108,10 +108,12 @@ fi
 if [[ ${run_tsan} -eq 1 ]]; then
     cmake -B build-tsan -S . -DAC_SANITIZE=thread
     cmake --build build-tsan -j "${jobs}" \
-        --target engine_test --target routing_test --target obs_test
+        --target engine_test --target routing_test --target obs_test \
+        --target scenario_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/routing_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
+    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/scenario_test
 fi
 
 if [[ ${run_asan} -eq 1 ]]; then
@@ -124,7 +126,8 @@ fi
 if [[ ${run_bench} -eq 1 ]]; then
     cmake --build build -j "${jobs}" \
         --target bench_world_build --target bench_routing \
-        --target bench_analysis --target bench_snapshot
+        --target bench_analysis --target bench_snapshot \
+        --target bench_scenario
     python3 ci/check_bench.py run --build-dir build --repeat 3
 
     # The gate must also demonstrably fail: perturb one baseline metric far

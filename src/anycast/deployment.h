@@ -38,6 +38,10 @@ public:
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] const std::vector<site>& sites() const noexcept { return sites_; }
     [[nodiscard]] const route::anycast_rib& rib() const noexcept { return *rib_; }
+    /// Mutable routing state, for scenario-driven announce/withdraw events
+    /// (src/scenario). The site records themselves stay fixed — events only
+    /// change what the RIB announces.
+    [[nodiscard]] route::anycast_rib& mutable_rib() noexcept { return *rib_; }
     [[nodiscard]] const topo::region_table& regions() const noexcept { return *regions_; }
 
     [[nodiscard]] int global_site_count() const noexcept { return global_count_; }

@@ -101,6 +101,9 @@ public:
         return *apnic_counts_;
     }
     [[nodiscard]] const dns::root_system& roots() const noexcept { return *roots_; }
+    /// Mutable root system for `acctx scenario`: event timelines mutate
+    /// letter RIBs in place (the rest of the world is untouched).
+    [[nodiscard]] dns::root_system& mutable_roots() noexcept { return *roots_; }
     [[nodiscard]] const dns::root_zone& zone() const noexcept { return *zone_; }
     [[nodiscard]] const std::vector<dns::recursive_query_profile>& profiles() const noexcept {
         return profiles_;

@@ -103,6 +103,14 @@ const anycast::deployment& root_system::deployment_of(char letter) const {
     return *it->second;
 }
 
+anycast::deployment& root_system::mutable_deployment_of(char letter) {
+    auto it = deployments_.find(letter);
+    if (it == deployments_.end()) {
+        throw std::out_of_range(std::string{"root_system: unknown letter "} + letter);
+    }
+    return *it->second;
+}
+
 std::vector<char> root_system::geographic_analysis_letters() const {
     std::vector<char> out;
     for (const auto& s : specs_) {

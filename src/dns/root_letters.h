@@ -55,6 +55,9 @@ public:
     [[nodiscard]] const std::vector<letter_spec>& specs() const noexcept { return specs_; }
     [[nodiscard]] const letter_spec& spec(char letter) const;
     [[nodiscard]] const anycast::deployment& deployment_of(char letter) const;
+    /// Mutable access for scenario event replay (src/scenario): timelines
+    /// withdraw/re-announce letter sites through the deployment's RIB.
+    [[nodiscard]] anycast::deployment& mutable_deployment_of(char letter);
 
     /// Letters usable for geographic-inflation analysis (Fig. 2a): in DITL,
     /// not fully anonymized, and more than one site.

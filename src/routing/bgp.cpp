@@ -25,6 +25,29 @@ obs::counter& select_miss_counter() {
     static obs::counter& c = obs::registry::global().get_counter("route.select_cache.misses");
     return c;
 }
+obs::counter& select_invalidation_counter() {
+    static obs::counter& c =
+        obs::registry::global().get_counter("route.select_cache.invalidations");
+    return c;
+}
+
+/// Incremental re-convergence work counters (DESIGN §11): how many events
+/// ran, how many per-AS index slots they recomputed, and how many cache
+/// shards they had to visit.
+obs::counter& reconverge_event_counter() {
+    static obs::counter& c = obs::registry::global().get_counter("route.reconverge.events");
+    return c;
+}
+obs::counter& reconverge_ases_counter() {
+    static obs::counter& c =
+        obs::registry::global().get_counter("route.reconverge.ases_touched");
+    return c;
+}
+obs::counter& reconverge_shards_counter() {
+    static obs::counter& c =
+        obs::registry::global().get_counter("route.reconverge.cache_shards_visited");
+    return c;
+}
 
 bool better(route_class cls, std::uint8_t len, route_class incumbent_cls,
             std::uint8_t incumbent_len) {
@@ -67,6 +90,7 @@ anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& 
     for (const auto& as : graph.all()) asns_.push_back(as.asn);
     as_count_ = asns_.size();
     region_count_ = regions.size();
+    link_count_ = graph.link_count();
 
     const std::size_t cells = announcements_.size() * as_count_;
     cls_.assign(cells, static_cast<std::uint8_t>(route_class::none));
@@ -76,6 +100,7 @@ anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& 
 
     bool unique_sites = true;
     std::vector<std::uint8_t> seen(announcements_.size(), 0);
+    withdrawn_.assign(announcements_.size(), 0);
     for (const auto& a : announcements_) {
         if (!graph.has_as(a.origin_asn)) {
             throw std::invalid_argument("anycast_rib: announcement from unknown ASN");
@@ -85,6 +110,7 @@ anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& 
         }
         if (seen[a.site]) unique_sites = false;
         seen[a.site] = 1;
+        if (a.withdrawn) withdrawn_[a.site] = 1;
     }
     // Each site's propagation writes only its own matrix row, so sites are
     // independent work items — unless two announcements share a site id, in
@@ -98,11 +124,15 @@ anycast_rib::anycast_rib(const topo::as_graph& graph, const topo::region_table& 
             engine::parallel_over(
                 pool, announcements_.size(),
                 [this](std::size_t begin, std::size_t end) {
-                    for (std::size_t i = begin; i < end; ++i) propagate(announcements_[i]);
+                    for (std::size_t i = begin; i < end; ++i) {
+                        if (!announcements_[i].withdrawn) propagate(announcements_[i]);
+                    }
                 },
                 /*grain=*/1);
         } else {
-            for (const auto& a : announcements_) propagate(a);
+            for (const auto& a : announcements_) {
+                if (!a.withdrawn) propagate(a);
+            }
         }
     }
 
@@ -132,7 +162,18 @@ void anycast_rib::propagate(const announcement& a) {
         link_[base + i] = link;
     };
 
-    set(origin, route_class::origin, 1, no_next_hop, 0);
+    // Guard for announce() after the underlying graph grew (later deployments
+    // attach host networks): neighbors/links beyond this RIB's construction
+    // snapshot do not exist in the matrix and must be skipped. At build time
+    // every index is in range, so these tests never fire then.
+    const auto in_snapshot = [&](const auto& nb) {
+        return nb.neighbor_index < as_count_ && nb.link_index < link_count_;
+    };
+
+    // AS-path prepending seeds the origin row longer; every propagated length
+    // below is relative to it, so the whole tree inherits the penalty.
+    const auto origin_len = static_cast<std::uint8_t>(1 + a.prepend);
+    set(origin, route_class::origin, origin_len, no_next_hop, 0);
 
     for (const topo::asn_t s : a.suppressed_neighbors) {
         const std::size_t i = graph_->find_index(s);
@@ -146,6 +187,7 @@ void anycast_rib::propagate(const announcement& a) {
     if (a.scope == announcement_scope::local) {
         // Local sites: announced to direct neighbors with no re-export.
         for (const auto& nb : graph_->neighbors_at(origin)) {
+            if (!in_snapshot(nb)) continue;
             if (sc.suppressed[nb.neighbor_index]) continue;
             // Relationship seen from the *neighbor*: it learned the route
             // from `origin`, which is its customer/peer/provider.
@@ -158,8 +200,9 @@ void anycast_rib::propagate(const announcement& a) {
                 }
                 return route_class::none;
             }();
-            if (is_better(cls, 2, nb.neighbor_index)) {
-                set(nb.neighbor_index, cls, 2, static_cast<std::uint32_t>(origin),
+            const auto len = static_cast<std::uint8_t>(origin_len + 1);
+            if (is_better(cls, len, nb.neighbor_index)) {
+                set(nb.neighbor_index, cls, len, static_cast<std::uint32_t>(origin),
                     nb.link_index);
             }
         }
@@ -178,6 +221,7 @@ void anycast_rib::propagate(const announcement& a) {
             const auto cur_len = len_[base + cur];
             for (const auto& nb : graph_->neighbors_at(cur)) {
                 if (nb.relationship != topo::as_relationship::provider) continue;
+                if (!in_snapshot(nb)) continue;
                 if (cur == origin && sc.suppressed[nb.neighbor_index]) continue;
                 const std::size_t i = nb.neighbor_index;
                 const auto len = static_cast<std::uint8_t>(cur_len + 1);
@@ -200,6 +244,7 @@ void anycast_rib::propagate(const announcement& a) {
             }
             for (const auto& nb : graph_->neighbors_at(cur)) {
                 if (nb.relationship != topo::as_relationship::peer) continue;
+                if (!in_snapshot(nb)) continue;
                 if (cur == origin && sc.suppressed[nb.neighbor_index]) continue;
                 const auto len = static_cast<std::uint8_t>(len_[base + cur] + 1);
                 sc.pending.push_back(propagate_scratch::pending_route{
@@ -235,6 +280,7 @@ void anycast_rib::propagate(const announcement& a) {
             if (static_cast<std::uint8_t>(len_[base + cur] + 1) != len) continue;  // stale
             for (const auto& nb : graph_->neighbors_at(cur)) {
                 if (nb.relationship != topo::as_relationship::customer) continue;
+                if (!in_snapshot(nb)) continue;
                 if (cur == origin && sc.suppressed[nb.neighbor_index]) continue;
                 if (is_better(route_class::provider, len, nb.neighbor_index)) {
                     set(nb.neighbor_index, route_class::provider, len, cur, nb.link_index);
@@ -333,11 +379,13 @@ void anycast_rib::build_fast_path(engine::thread_pool* pool) {
 }
 
 std::vector<site_id> anycast_rib::best_candidates(topo::asn_t asn) const {
+    std::shared_lock lock{topo_mutex_};
     const auto span = candidate_span(as_index(asn));
     return std::vector<site_id>(span.begin(), span.end());
 }
 
 std::optional<site_route> anycast_rib::route_toward(topo::asn_t asn, site_id site) const {
+    std::shared_lock lock{topo_mutex_};
     if (site >= announcements_.size()) {
         throw std::out_of_range("anycast_rib: unknown site");
     }
@@ -352,6 +400,7 @@ std::optional<site_route> anycast_rib::route_toward(topo::asn_t asn, site_id sit
 }
 
 anycast_rib::site_route_view anycast_rib::site_routes(site_id site) const {
+    std::shared_lock lock{topo_mutex_};
     if (site >= announcements_.size()) {
         throw std::out_of_range("anycast_rib: unknown site");
     }
@@ -366,6 +415,7 @@ anycast_rib::site_route_view anycast_rib::site_routes(site_id site) const {
 
 std::optional<path_result> anycast_rib::evaluate(topo::asn_t asn, topo::region_id region,
                                                  site_id site) const {
+    std::shared_lock lock{topo_mutex_};
     if (site >= announcements_.size()) {
         throw std::out_of_range("anycast_rib: unknown site");
     }
@@ -459,11 +509,16 @@ std::optional<path_result> anycast_rib::select_indexed(std::size_t as, topo::asn
 }
 
 std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id region) const {
+    // Shared (reader) side of the topology gate: any number of selects run
+    // concurrently; announce/withdraw take the exclusive side, so a select
+    // never observes a half-reconverged matrix. Lock order is topo gate →
+    // cache shard, matching invalidate_cache under the writer.
+    std::shared_lock lock{topo_mutex_};
     const std::size_t as = as_index(asn);
     if (candidate_span(as).empty()) return std::nullopt;
 
     const std::uint64_t key = (std::uint64_t{asn} << 32) | region;
-    cache_shard& shard = cache_shards_[(key * 0x9e3779b97f4a7c15ULL) >> 58];
+    cache_shard& shard = cache_shards_[shard_of(asn)];
     {
         std::lock_guard lock{shard.mutex};
         if (const auto it = shard.entries.find(key); it != shard.entries.end()) {
@@ -487,6 +542,7 @@ std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id 
 
 std::optional<path_result> anycast_rib::select_uncached(topo::asn_t asn,
                                                         topo::region_id region) const {
+    std::shared_lock lock{topo_mutex_};
     const std::size_t as = as_index(asn);
     if (candidate_span(as).empty()) return std::nullopt;
     return select_indexed(as, asn, region);
@@ -494,6 +550,7 @@ std::optional<path_result> anycast_rib::select_uncached(topo::asn_t asn,
 
 std::optional<path_result> anycast_rib::select_reference(topo::asn_t asn,
                                                          topo::region_id region) const {
+    std::shared_lock lock{topo_mutex_};
     // Pre-index candidate scan: walk every site's route row for this AS.
     const std::size_t i = as_index(asn);
     route_class best_cls = route_class::none;
@@ -563,6 +620,7 @@ std::vector<std::optional<path_result>> anycast_rib::select_many(
 }
 
 bool anycast_rib::has_direct_route(topo::asn_t asn) const {
+    std::shared_lock lock{topo_mutex_};
     return direct_[as_index(asn)] != 0;
 }
 
@@ -572,6 +630,189 @@ std::size_t anycast_rib::as_index(topo::asn_t asn) const {
         throw std::out_of_range("anycast_rib: unknown ASN");
     }
     return i;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation: per-source withdraw/announce with incremental re-convergence.
+// ---------------------------------------------------------------------------
+
+anycast_rib::reconverge_stats anycast_rib::withdraw(site_id site) {
+    obs::span event_span{"bgp/withdraw"};
+    reconverge_stats stats;
+    std::unique_lock lock{topo_mutex_};
+    if (site >= announcements_.size()) {
+        throw std::out_of_range("anycast_rib: unknown site");
+    }
+    if (withdrawn_[site]) return stats;  // idempotent: already out of the RIB
+
+    // A site's routes live in exactly one matrix row, so a withdrawal never
+    // needs re-propagation: clearing the row and repairing the per-AS index
+    // for the ASes that held a route to it is the complete fix.
+    std::vector<std::uint8_t> touched(as_count_, 0);
+    clear_row(site, touched);
+    withdrawn_[site] = 1;
+    announcements_[site].withdrawn = true;
+    reconverge_touched(touched, stats);
+    event_span.set_items(stats.ases_touched);
+    return stats;
+}
+
+anycast_rib::reconverge_stats anycast_rib::announce(announcement a) {
+    obs::span event_span{"bgp/announce"};
+    reconverge_stats stats;
+    std::unique_lock lock{topo_mutex_};
+    const std::size_t origin = graph_->find_index(a.origin_asn);
+    if (origin == topo::as_graph::npos || origin >= as_count_) {
+        throw std::invalid_argument("anycast_rib: announcement from unknown ASN");
+    }
+    if (a.site > announcements_.size()) {
+        throw std::invalid_argument("anycast_rib: site ids must be dense [0, n)");
+    }
+    a.withdrawn = false;
+
+    std::vector<std::uint8_t> touched(as_count_, 0);
+    if (a.site == announcements_.size()) {
+        // New site: append a fresh matrix row.
+        cls_.resize(cls_.size() + as_count_, static_cast<std::uint8_t>(route_class::none));
+        len_.resize(len_.size() + as_count_, 0);
+        next_idx_.resize(next_idx_.size() + as_count_, no_next_hop);
+        link_.resize(link_.size() + as_count_, 0);
+        announcements_.push_back(a);
+        withdrawn_.push_back(0);
+    } else {
+        // Re-announce (possibly with new parameters): the old row's routes
+        // are stale either way, so clear first and re-propagate from scratch.
+        clear_row(a.site, touched);
+        announcements_[a.site] = a;
+        withdrawn_[a.site] = 0;
+    }
+    propagate(announcements_[a.site]);
+
+    // Everything the new row reached joins the touched frontier.
+    const std::size_t base = cell(a.site, 0);
+    for (std::size_t i = 0; i < as_count_; ++i) {
+        if (static_cast<route_class>(cls_[base + i]) != route_class::none) touched[i] = 1;
+    }
+    reconverge_touched(touched, stats);
+    event_span.set_items(stats.ases_touched);
+    return stats;
+}
+
+bool anycast_rib::is_withdrawn(site_id site) const {
+    std::shared_lock lock{topo_mutex_};
+    if (site >= announcements_.size()) {
+        throw std::out_of_range("anycast_rib: unknown site");
+    }
+    return withdrawn_[site] != 0;
+}
+
+std::size_t anycast_rib::active_site_count() const {
+    std::shared_lock lock{topo_mutex_};
+    std::size_t n = 0;
+    for (const std::uint8_t w : withdrawn_) n += (w == 0);
+    return n;
+}
+
+void anycast_rib::clear_row(site_id site, std::vector<std::uint8_t>& touched) {
+    const std::size_t base = cell(site, 0);
+    for (std::size_t i = 0; i < as_count_; ++i) {
+        if (static_cast<route_class>(cls_[base + i]) == route_class::none) continue;
+        touched[i] = 1;
+        cls_[base + i] = static_cast<std::uint8_t>(route_class::none);
+        len_[base + i] = 0;
+        next_idx_[base + i] = no_next_hop;
+        link_[base + i] = 0;
+    }
+}
+
+void anycast_rib::recompute_as_index(std::size_t as) {
+    // Same scan order and comparisons as build_fast_path passes A and B, so
+    // the recomputed candidate list is byte-identical to a full rebuild's.
+    const std::size_t sites = announcements_.size();
+    route_class best = route_class::none;
+    std::uint8_t best_len = std::numeric_limits<std::uint8_t>::max();
+    std::uint8_t direct = 0;
+    for (std::size_t s = 0; s < sites; ++s) {
+        const auto c = static_cast<route_class>(cls_[cell(static_cast<site_id>(s), as)]);
+        if (c == route_class::none) continue;
+        const std::uint8_t l = len_[cell(static_cast<site_id>(s), as)];
+        if (l <= 2) direct = 1;
+        if (c < best || (c == best && l < best_len)) {
+            best = c;
+            best_len = l;
+        }
+    }
+    best_cls_[as] = static_cast<std::uint8_t>(best);
+    best_len_[as] = best_len;
+    direct_[as] = direct;
+
+    overlay_[as].clear();
+    overlaid_[as] = 1;
+    if (best == route_class::none) return;
+    for (std::size_t s = 0; s < sites; ++s) {
+        const std::size_t c = cell(static_cast<site_id>(s), as);
+        if (static_cast<route_class>(cls_[c]) == best && len_[c] == best_len) {
+            overlay_[as].push_back(static_cast<site_id>(s));
+        }
+    }
+}
+
+void anycast_rib::clear_select_cache() {
+    // Writer on the topo gate so no select can be filling a shard while it
+    // drops (same lock order as invalidate_cache: topo gate, then shard).
+    std::unique_lock lock{topo_mutex_};
+    for (auto& shard : cache_shards_) {
+        std::lock_guard shard_lock{shard.mutex};
+        shard.entries.clear();
+    }
+}
+
+std::pair<std::size_t, std::size_t> anycast_rib::invalidate_cache(
+    const std::vector<std::uint8_t>& touched) {
+    static_assert(cache_shard_count == 64, "dirty mask below is a uint64");
+    std::uint64_t dirty = 0;
+    for (std::size_t i = 0; i < as_count_; ++i) {
+        if (touched[i]) dirty |= std::uint64_t{1} << shard_of(asns_[i]);
+    }
+    std::size_t erased = 0;
+    std::size_t visited = 0;
+    for (std::size_t s = 0; s < cache_shard_count; ++s) {
+        if (((dirty >> s) & 1) == 0) continue;
+        ++visited;
+        std::lock_guard shard_lock{cache_shards_[s].mutex};
+        erased += std::erase_if(cache_shards_[s].entries, [&](const auto& kv) {
+            const auto asn = static_cast<topo::asn_t>(kv.first >> 32);
+            const std::size_t i = graph_->find_index(asn);
+            return i != topo::as_graph::npos && i < as_count_ && touched[i] != 0;
+        });
+    }
+    return {erased, visited};
+}
+
+void anycast_rib::reconverge_touched(const std::vector<std::uint8_t>& touched,
+                                     reconverge_stats& out) {
+    obs::span reconverge_span{"bgp/reconverge"};
+    if (overlaid_.empty()) {
+        // First mutation on this RIB: activate the overlay layer. The CSR
+        // arrays stay frozen as the pristine-AS fallback.
+        overlaid_.assign(as_count_, 0);
+        overlay_.resize(as_count_);
+    }
+    for (std::size_t i = 0; i < as_count_; ++i) {
+        if (!touched[i]) continue;
+        recompute_as_index(i);
+        ++out.ases_touched;
+    }
+    const auto [erased, visited] = invalidate_cache(touched);
+    out.cache_entries_invalidated = erased;
+    out.cache_shards_visited = visited;
+    cache_invalidations_.fetch_add(erased, std::memory_order_relaxed);
+
+    reconverge_span.set_items(out.ases_touched);
+    reconverge_event_counter().add(1);
+    reconverge_ases_counter().add(out.ases_touched);
+    reconverge_shards_counter().add(visited);
+    select_invalidation_counter().add(erased);
 }
 
 } // namespace ac::route

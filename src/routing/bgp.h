@@ -36,6 +36,17 @@
 //     results are bit-identical, and concurrent fills are race-safe: any
 //     thread that computes a key computes the same bytes, and the first
 //     insert wins.
+//
+// The RIB is *mutable* (DESIGN §11): per-source `announce`/`withdraw` entry
+// points re-converge incrementally. Because every site owns a disjoint route
+// row, an event only rewrites that one row; the per-AS best-route index is
+// then fixed up for exactly the ASes whose row entry changed (the event's
+// frontier), and only the select-cache shards holding those ASes are
+// invalidated. Nothing else — other rows, the geo tables, untouched index
+// slots, untouched cache shards — is rebuilt. A `shared_mutex` makes
+// mutation safe against concurrent selects: readers see either the pre- or
+// the post-event state, never a torn one, and the post-event state is
+// byte-identical to a from-scratch rebuild with the same announcement set.
 #pragma once
 
 #include <array>
@@ -44,6 +55,7 @@
 #include <limits>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +85,15 @@ struct announcement {
     /// peering points" when they make poor routing decisions. Those
     /// neighbors can still learn the site transitively through others.
     std::vector<topo::asn_t> suppressed_neighbors;
+    /// AS-path prepending (§7.1's other TE lever): the origin announces an
+    /// artificially lengthened path, making this site lose path-length
+    /// tie-breaks everywhere without withdrawing it.
+    std::uint8_t prepend = 0;
+    /// A withdrawn announcement defines the site (it keeps its dense id and
+    /// its RTT-jitter identity) but contributes no routes until `announce`
+    /// re-activates it. This is how scenario timelines express drained
+    /// sites without renumbering — renumbering would change output bytes.
+    bool withdrawn = false;
 };
 
 /// Route class in local-preference order (smaller value = more preferred).
@@ -90,6 +111,8 @@ struct site_route {
     std::uint8_t path_len = 0;          // number of ASes on the path, incl. both ends
     topo::asn_t next_hop = 0;           // 0 at the origin
     std::uint32_t link_index = 0;       // link to next_hop (valid unless origin)
+
+    friend bool operator==(const site_route&, const site_route&) = default;
 };
 
 /// A fully evaluated path from a source <region, AS> to a site.
@@ -117,6 +140,41 @@ public:
     /// AS owns its index slot, so the result is schedule-free).
     anycast_rib(const topo::as_graph& graph, const topo::region_table& regions,
                 std::vector<announcement> announcements, engine::thread_pool* pool = nullptr);
+
+    /// Work done by one incremental re-convergence (announce or withdraw).
+    struct reconverge_stats {
+        std::size_t ases_touched = 0;              // index slots recomputed
+        std::size_t cache_entries_invalidated = 0; // memoized selects dropped
+        std::size_t cache_shards_visited = 0;      // shards that held them
+    };
+
+    /// Withdraws `site`'s announcement and re-converges incrementally:
+    /// clears the site's route row, recomputes the best-route index for
+    /// exactly the ASes that held a route to it, and invalidates only the
+    /// select-cache shards containing those ASes. Every other site's routes
+    /// are untouched (per-site rows are independent). No-op on an already
+    /// withdrawn site. Thread-safe against concurrent selects; afterwards
+    /// `select` is byte-identical to a from-scratch rebuild without the
+    /// site. Throws std::out_of_range on an unknown site.
+    reconverge_stats withdraw(site_id site);
+
+    /// (Re-)announces a site and re-converges incrementally. `a.site` must
+    /// be an existing site id (re-announce: scope/prepend/suppression/origin
+    /// may all change) or exactly `site_count()` (a brand-new site, whose
+    /// row is appended). The changed row is re-propagated from scratch and
+    /// the index/cache fixed up for the union of ASes that held the old
+    /// route or hold the new one. Throws std::invalid_argument on an
+    /// unknown origin ASN or a non-dense site id.
+    reconverge_stats announce(announcement a);
+
+    /// True if `site` is currently withdrawn (no routes).
+    [[nodiscard]] bool is_withdrawn(site_id site) const;
+
+    /// Total sites this RIB knows (withdrawn ones included).
+    [[nodiscard]] std::size_t site_count() const noexcept { return announcements_.size(); }
+
+    /// Sites currently announced.
+    [[nodiscard]] std::size_t active_site_count() const;
 
     /// Sites for which `asn` holds any route, restricted to the best
     /// (class, path length) — BGP's deterministic criteria. Hot-potato
@@ -191,20 +249,54 @@ public:
     struct cache_stats {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
+        std::uint64_t invalidations = 0;  // entries dropped by announce/withdraw
+
+        /// Hit fraction over all lookups; 0.0 before the first lookup (the
+        /// zero-query case must not divide by zero).
+        [[nodiscard]] double hit_rate() const noexcept {
+            const std::uint64_t lookups = hits + misses;
+            return lookups == 0 ? 0.0
+                                : static_cast<double>(hits) / static_cast<double>(lookups);
+        }
     };
     [[nodiscard]] cache_stats select_cache_stats() const noexcept {
         return {cache_hits_.load(std::memory_order_relaxed),
-                cache_misses_.load(std::memory_order_relaxed)};
+                cache_misses_.load(std::memory_order_relaxed),
+                cache_invalidations_.load(std::memory_order_relaxed)};
     }
+
+    /// Empties every select-cache shard (counters are left alone). Makes
+    /// subsequent invalidation work counts a pure function of the queries
+    /// run since, independent of prior process history — the scenario
+    /// driver calls this so its per-step work accounting is reproducible
+    /// whether the world came from a live build or a snapshot.
+    void clear_select_cache();
 
 private:
     void propagate(const announcement& a);
     void build_fast_path(engine::thread_pool* pool);
+    /// Recomputes one AS's best (class, len), direct flag, and candidate
+    /// list after a row changed, writing candidates into the overlay. Same
+    /// scan order and comparisons as the bulk build, so the result is
+    /// byte-identical to a from-scratch index.
+    void recompute_as_index(std::size_t as);
+    /// Clears `site`'s route row, marking every AS that held a route in
+    /// `touched` (bitmap by dense index).
+    void clear_row(site_id site, std::vector<std::uint8_t>& touched);
+    /// Drops memoized selects for the touched ASes, visiting only the cache
+    /// shards that can hold them. Returns (entries erased, shards visited).
+    std::pair<std::size_t, std::size_t> invalidate_cache(
+        const std::vector<std::uint8_t>& touched);
+    /// Index fix-up + cache invalidation for a touched set; fills `out`.
+    void reconverge_touched(const std::vector<std::uint8_t>& touched, reconverge_stats& out);
     [[nodiscard]] std::size_t as_index(topo::asn_t asn) const;
     [[nodiscard]] std::size_t cell(site_id site, std::size_t as) const noexcept {
         return static_cast<std::size_t>(site) * as_count_ + as;
     }
     [[nodiscard]] std::span<const site_id> candidate_span(std::size_t as) const noexcept {
+        if (!overlaid_.empty() && overlaid_[as]) {
+            return std::span<const site_id>{overlay_[as]};
+        }
         return std::span<const site_id>{cand_sites_}.subspan(
             cand_begin_[as], cand_begin_[as + 1] - cand_begin_[as]);
     }
@@ -219,6 +311,13 @@ private:
     std::vector<announcement> announcements_;
     std::vector<topo::asn_t> asns_;  // dense index -> asn (graph snapshot)
     std::size_t as_count_ = 0;
+    std::size_t link_count_ = 0;  // graph link snapshot at construction
+    std::vector<std::uint8_t> withdrawn_;  // per site: currently not announced
+
+    // Reader/writer gate for mutation: every query path holds it shared,
+    // announce/withdraw hold it exclusively. Selection under a shared lock
+    // is unchanged bytes; the lock only serializes against re-convergence.
+    mutable std::shared_mutex topo_mutex_;
 
     // Route matrix, struct-of-arrays, site-major: entry for (site, as) lives
     // at site * as_count_ + as in each column. Dense because every AS usually
@@ -235,6 +334,13 @@ private:
     std::vector<site_id> cand_sites_;        // candidate sites, ascending per AS
     std::vector<std::uint8_t> direct_;       // has_direct_route flags
 
+    // Mutation overlay: a touched AS's candidate list moves out of the CSR
+    // (whose offsets cannot shrink or grow in place) into its own vector.
+    // Empty until the first announce/withdraw, so the static fast path pays
+    // one vector-empty test. candidate_span prefers the overlay when set.
+    std::vector<std::uint8_t> overlaid_;         // per dense AS index
+    std::vector<std::vector<site_id>> overlay_;  // valid where overlaid_[i]
+
     // Per-link nearest-interconnect table: entry (link, region) is the id of
     // the link's interconnect region nearest that source region, resolving
     // early-exit geometry to one lookup + one distance-matrix read.
@@ -242,8 +348,14 @@ private:
     std::size_t region_count_ = 0;
 
     // Sharded select memoization, keyed by (asn << 32) | region. Mutable:
-    // the cache is an observably-pure accelerator of const queries.
+    // the cache is an observably-pure accelerator of const queries. The
+    // shard is picked from the ASN alone so that invalidating one AS visits
+    // exactly one shard (region-mixed sharding would smear an AS's entries
+    // across every shard and force full-cache scans on every event).
     static constexpr std::size_t cache_shard_count = 64;  // power of two
+    [[nodiscard]] static constexpr std::size_t shard_of(topo::asn_t asn) noexcept {
+        return (std::uint64_t{asn} * 0x9e3779b97f4a7c15ULL) >> 58;
+    }
     struct cache_shard {
         std::mutex mutex;
         std::unordered_map<std::uint64_t, std::optional<path_result>> entries;
@@ -251,6 +363,7 @@ private:
     mutable std::array<cache_shard, cache_shard_count> cache_shards_;
     mutable std::atomic<std::uint64_t> cache_hits_{0};
     mutable std::atomic<std::uint64_t> cache_misses_{0};
+    mutable std::atomic<std::uint64_t> cache_invalidations_{0};
 };
 
 /// Per-hop router processing added to the propagation delay, ms (round trip).

@@ -1,0 +1,152 @@
+#include "src/scenario/event.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <sstream>
+
+namespace ac::scenario {
+
+namespace {
+
+/// Parses a non-negative integer field; anything else (sign, trailing
+/// garbage, overflow) is malformed.
+long long parse_number(const std::string& token, const std::string& field, int line_no) {
+    long long value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size() || value < 0) {
+        throw timeline_error("timeline line " + std::to_string(line_no) + ": malformed " +
+                             field + " '" + token + "'");
+    }
+    return value;
+}
+
+struct event_shape {
+    event_type type;
+    bool has_target;
+    bool has_site;
+    bool has_region;
+    bool has_amount;
+};
+
+const event_shape* shape_of(const std::string& name) {
+    static const event_shape shapes[] = {
+        {event_type::drain, true, true, false, false},
+        {event_type::restore, true, true, false, false},
+        {event_type::withdraw, true, false, false, false},
+        {event_type::announce, true, false, false, false},
+        {event_type::outage, false, false, true, false},
+        {event_type::prepend, true, true, false, true},
+        {event_type::promote, true, true, false, false},
+        {event_type::demote, true, true, false, false},
+    };
+    for (const auto& s : shapes) {
+        if (name == event_type_name(s.type)) return &s;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+std::string_view event_type_name(event_type type) noexcept {
+    switch (type) {
+        case event_type::drain: return "drain";
+        case event_type::restore: return "restore";
+        case event_type::withdraw: return "withdraw";
+        case event_type::announce: return "announce";
+        case event_type::outage: return "outage";
+        case event_type::prepend: return "prepend";
+        case event_type::promote: return "promote";
+        case event_type::demote: return "demote";
+    }
+    return "?";
+}
+
+std::string event::describe() const {
+    std::string out{event_type_name(type)};
+    if (type == event_type::outage) {
+        out += " region " + std::to_string(region);
+        return out;
+    }
+    out += " " + target;
+    if (type == event_type::drain || type == event_type::restore ||
+        type == event_type::prepend || type == event_type::promote ||
+        type == event_type::demote) {
+        out += " site " + std::to_string(site);
+    }
+    if (type == event_type::prepend) out += " x" + std::to_string(prepend);
+    return out;
+}
+
+int timeline::last_step() const noexcept {
+    int last = 0;
+    for (const auto& e : events) last = std::max(last, e.step);
+    return last;
+}
+
+timeline parse_timeline(std::istream& in) {
+    timeline tl;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (const auto hash = line.find('#'); hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream fields{line};
+        std::vector<std::string> tokens;
+        for (std::string tok; fields >> tok;) tokens.push_back(std::move(tok));
+        if (tokens.empty()) continue;  // blank or comment-only line
+
+        if (tokens.size() < 2) {
+            throw timeline_error("timeline line " + std::to_string(line_no) +
+                                 ": expected '<step> <type> [args]', got '" + line + "'");
+        }
+        event e;
+        e.step = static_cast<int>(parse_number(tokens[0], "step", line_no));
+        const event_shape* shape = shape_of(tokens[1]);
+        if (shape == nullptr) {
+            throw timeline_error("timeline line " + std::to_string(line_no) +
+                                 ": unknown event type '" + tokens[1] + "'");
+        }
+        e.type = shape->type;
+        const std::size_t expected = 2u + (shape->has_target ? 1u : 0u) +
+                                     (shape->has_site ? 1u : 0u) +
+                                     (shape->has_region ? 1u : 0u) +
+                                     (shape->has_amount ? 1u : 0u);
+        if (tokens.size() != expected) {
+            throw timeline_error("timeline line " + std::to_string(line_no) + ": '" +
+                                 tokens[1] + "' takes " + std::to_string(expected - 2) +
+                                 " argument(s), got " + std::to_string(tokens.size() - 2));
+        }
+        std::size_t next = 2;
+        if (shape->has_target) e.target = tokens[next++];
+        if (shape->has_site) {
+            e.site = static_cast<route::site_id>(parse_number(tokens[next++], "site", line_no));
+        }
+        if (shape->has_region) {
+            e.region =
+                static_cast<topo::region_id>(parse_number(tokens[next++], "region", line_no));
+        }
+        if (shape->has_amount) {
+            e.prepend = static_cast<int>(parse_number(tokens[next++], "prepend count", line_no));
+            if (e.prepend < 1 || e.prepend > max_prepend) {
+                throw timeline_error("timeline line " + std::to_string(line_no) +
+                                     ": prepend count must be 1.." +
+                                     std::to_string(max_prepend));
+            }
+        }
+        tl.events.push_back(std::move(e));
+    }
+    std::stable_sort(tl.events.begin(), tl.events.end(),
+                     [](const event& a, const event& b) { return a.step < b.step; });
+    return tl;
+}
+
+timeline parse_timeline_text(std::string_view text) {
+    std::istringstream in{std::string{text}};
+    return parse_timeline(in);
+}
+
+} // namespace ac::scenario

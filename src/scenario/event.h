@@ -1,0 +1,85 @@
+// Scenario events: the operational timeline vocabulary for dynamic anycast.
+//
+// The paper's analyses run against one static converged world, but anycast
+// operation is defined by events — Tangled's evaluation (PAPERS.md) is a
+// catalogue of exactly these failover experiments. A `timeline` is an
+// ordered list of events, each firing at an integer step:
+//
+//   drain    <target> <site>       one site stops announcing (maintenance)
+//   restore  <target> <site>       a drained site re-announces
+//   withdraw <target>              the whole prefix withdraws (all sites)
+//   announce <target>              every withdrawn site re-announces
+//   outage   <region>              regional outage: every target's sites in
+//                                  that region withdraw
+//   prepend  <target> <site> <n>   site re-announces with n AS-path prepends
+//   promote  <target> <site>       local site becomes global (ring promotion)
+//   demote   <target> <site>       global site becomes local
+//
+// The text format is one event per line: `<step> <type> <args...>`, with
+// `#` comments and blank lines ignored. Parsing is strict: unknown event
+// types, missing/extra arguments, and non-numeric fields are
+// `timeline_error`s, which `acctx scenario` maps to usage errors.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/routing/bgp.h"
+#include "src/topology/region.h"
+
+namespace ac::scenario {
+
+enum class event_type : std::uint8_t {
+    drain,
+    restore,
+    withdraw,
+    announce,
+    outage,
+    prepend,
+    promote,
+    demote,
+};
+
+[[nodiscard]] std::string_view event_type_name(event_type type) noexcept;
+
+/// One timeline entry. Which fields are meaningful depends on `type`
+/// (see the table above); the parser only fills the ones the type uses.
+struct event {
+    int step = 0;
+    event_type type = event_type::drain;
+    std::string target;            // deployment name; empty for `outage`
+    route::site_id site = 0;       // drain/restore/prepend/promote/demote
+    topo::region_id region = 0;    // outage
+    int prepend = 0;               // prepend amount, 1..max_prepend
+
+    /// Human-readable rendering, e.g. "drain K site 3".
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Largest accepted prepend count: path lengths live in a uint8 and real
+/// operators rarely prepend more than a handful of hops.
+inline constexpr int max_prepend = 16;
+
+/// A parse or validation failure; the message names the offending line.
+class timeline_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+struct timeline {
+    std::vector<event> events;  // sorted by step (stable on input order)
+
+    /// Highest step any event fires at (0 for an empty timeline).
+    [[nodiscard]] int last_step() const noexcept;
+};
+
+/// Parses the line-based timeline format. Throws `timeline_error` on any
+/// unknown event type or malformed entry.
+[[nodiscard]] timeline parse_timeline(std::istream& in);
+[[nodiscard]] timeline parse_timeline_text(std::string_view text);
+
+} // namespace ac::scenario

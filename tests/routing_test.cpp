@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "src/netbase/rng.h"
 #include "src/routing/bgp.h"
 
 namespace {
@@ -352,6 +354,204 @@ TEST_F(RoutingPolicy, ConcurrentCacheFillMatchesSerialOracle) {
     const auto stats = rib.select_cache_stats();
     EXPECT_GT(stats.hits, 0u);
     EXPECT_GE(stats.misses, 1u);  // racing fills may exceed distinct keys
+}
+
+// Mutation tests: per-source withdraw/announce with incremental
+// re-convergence (DESIGN §11). The contract: after any event sequence the
+// RIB is byte-identical to one rebuilt from scratch with the same
+// announcement state.
+
+TEST_F(RoutingPolicy, WithdrawClearsRoutesAndReconverges) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}},
+                         {1, 1, 3, route::announcement_scope::global, {}}});
+    ASSERT_TRUE(rib.route_toward(8, 0).has_value());
+    const auto stats = rib.withdraw(0);
+    EXPECT_GT(stats.ases_touched, 0u);
+    EXPECT_FALSE(rib.route_toward(8, 0).has_value());
+    EXPECT_TRUE(rib.is_withdrawn(0));
+    EXPECT_EQ(rib.active_site_count(), 1u);
+    // Selection falls over to the surviving site.
+    const auto chosen = rib.select(8, 2);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_EQ(chosen->site, 1u);
+}
+
+TEST_F(RoutingPolicy, WithdrawIsIdempotent) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto first = rib.withdraw(0);
+    EXPECT_GT(first.ases_touched, 0u);
+    const auto second = rib.withdraw(0);
+    EXPECT_EQ(second.ases_touched, 0u);
+    EXPECT_EQ(second.cache_entries_invalidated, 0u);
+    EXPECT_THROW((void)rib.withdraw(9), std::out_of_range);
+}
+
+TEST_F(RoutingPolicy, AnnounceRestoresWithdrawnSite) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}},
+                         {1, 1, 3, route::announcement_scope::global, {}}});
+    const auto before = rib.select_uncached(8, 2);
+    (void)rib.withdraw(0);
+    (void)rib.announce(rib.announcements()[0]);
+    EXPECT_FALSE(rib.is_withdrawn(0));
+    EXPECT_EQ(rib.active_site_count(), 2u);
+    // Restoration is exact: same announcement, same selection bytes.
+    EXPECT_EQ(rib.select_uncached(8, 2), before);
+}
+
+TEST_F(RoutingPolicy, AnnounceValidatesOriginAndDensity) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    EXPECT_THROW((void)rib.announce({0, 99, 0, route::announcement_scope::global, {}}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)rib.announce({5, 1, 0, route::announcement_scope::global, {}}),
+                 std::invalid_argument);
+}
+
+TEST_F(RoutingPolicy, AnnounceAppendsNewSite) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto stats = rib.announce({1, 1, 3, route::announcement_scope::global, {}});
+    EXPECT_GT(stats.ases_touched, 0u);
+    EXPECT_EQ(rib.site_count(), 2u);
+    EXPECT_TRUE(rib.route_toward(8, 1).has_value());
+    // Byte-identical to a RIB built with both sites from scratch.
+    auto fresh = make_rib({{0, 1, 0, route::announcement_scope::global, {}},
+                           {1, 1, 3, route::announcement_scope::global, {}}});
+    for (const topo::asn_t asn : rib.known_asns()) {
+        for (topo::region_id region = 0; region < regions_.size(); ++region) {
+            EXPECT_EQ(rib.select(asn, region), fresh.select(asn, region));
+        }
+    }
+}
+
+TEST_F(RoutingPolicy, PrependLengthensPathsAndShiftsSelection) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    const auto plain = rib.route_toward(2, 0);
+    ASSERT_TRUE(plain.has_value());
+    auto prepended = rib.announcements()[0];
+    prepended.prepend = 3;
+    (void)rib.announce(prepended);
+    const auto longer = rib.route_toward(2, 0);
+    ASSERT_TRUE(longer.has_value());
+    EXPECT_EQ(longer->path_len, plain->path_len + 3);
+    // And it matches a from-scratch build with the prepended announcement.
+    auto fresh = make_rib({prepended});
+    EXPECT_EQ(rib.route_toward(2, 0), fresh.route_toward(2, 0));
+}
+
+TEST_F(RoutingPolicy, CacheStatsZeroQueryGuardAndInvalidations) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}}});
+    // Satellite fix: hit_rate() with zero lookups is 0.0, not NaN.
+    const auto empty = rib.select_cache_stats();
+    EXPECT_EQ(empty.hits + empty.misses, 0u);
+    EXPECT_EQ(empty.hit_rate(), 0.0);
+    EXPECT_EQ(empty.invalidations, 0u);
+
+    (void)rib.select(8, 2);
+    (void)rib.select(8, 2);
+    EXPECT_GT(rib.select_cache_stats().hit_rate(), 0.0);
+    const auto stats = rib.withdraw(0);
+    EXPECT_EQ(rib.select_cache_stats().invalidations, stats.cache_entries_invalidated);
+    EXPECT_GT(rib.select_cache_stats().invalidations, 0u);
+}
+
+TEST_F(RoutingPolicy, IncrementalMatchesRebuildAfterRandomizedTimeline) {
+    // The tentpole equivalence contract: replay a randomized event timeline
+    // and, after *every* event, require select over all (asn, region) pairs
+    // to be byte-identical to a from-scratch rebuild holding the same
+    // announcement state — at thread counts 1, 2, and 8.
+    for (const int threads : {1, 2, 8}) {
+        engine::thread_pool pool{threads};
+        route::anycast_rib rib{graph_,
+                               regions_,
+                               {{0, 1, 0, route::announcement_scope::global, {}},
+                                {1, 1, 3, route::announcement_scope::global, {}},
+                                {2, 1, 1, route::announcement_scope::local, {}}},
+                               &pool};
+        rand::rng gen{rand::mix_seed(0x5cea4106ULL, static_cast<std::uint64_t>(threads))};
+        for (int round = 0; round < 24; ++round) {
+            const auto site = static_cast<route::site_id>(gen.uniform_index(rib.site_count()));
+            switch (gen.uniform_index(4)) {
+                case 0: (void)rib.withdraw(site); break;
+                case 1: (void)rib.announce(rib.announcements()[site]); break;
+                case 2: {
+                    auto a = rib.announcements()[site];
+                    a.prepend = static_cast<std::uint8_t>(gen.uniform_index(4));
+                    (void)rib.announce(a);
+                    break;
+                }
+                default: {
+                    auto a = rib.announcements()[site];
+                    a.scope = a.scope == route::announcement_scope::global
+                                  ? route::announcement_scope::local
+                                  : route::announcement_scope::global;
+                    (void)rib.announce(a);
+                    break;
+                }
+            }
+            route::anycast_rib fresh{graph_,
+                                     regions_,
+                                     std::vector<route::announcement>(
+                                         rib.announcements().begin(),
+                                         rib.announcements().end()),
+                                     &pool};
+            for (const topo::asn_t asn : rib.known_asns()) {
+                for (topo::region_id region = 0; region < regions_.size(); ++region) {
+                    ASSERT_EQ(rib.select(asn, region), fresh.select(asn, region))
+                        << "threads " << threads << " round " << round << " asn " << asn
+                        << " region " << region;
+                }
+            }
+        }
+    }
+}
+
+TEST_F(RoutingPolicy, ConcurrentSelectsDuringInvalidationAreSafe) {
+    // TSan target: reader threads hammer select() while the main thread
+    // withdraws and re-announces sites. Readers must always observe a fully
+    // converged state — one of the two the mutation moves between.
+    engine::thread_pool pool{4};
+    route::anycast_rib rib{graph_,
+                           regions_,
+                           {{0, 1, 0, route::announcement_scope::global, {}},
+                            {1, 1, 3, route::announcement_scope::global, {}}},
+                           &pool};
+
+    std::vector<route::source_key> keys;
+    for (const topo::asn_t asn : rib.known_asns()) {
+        for (topo::region_id region = 0; region < regions_.size(); ++region) {
+            keys.push_back({asn, region});
+        }
+    }
+    // The two converged states a reader may legitimately observe.
+    std::vector<std::optional<route::path_result>> with_both;
+    for (const auto& k : keys) with_both.push_back(rib.select_uncached(k.asn, k.region));
+    (void)rib.withdraw(0);
+    std::vector<std::optional<route::path_result>> without_site0;
+    for (const auto& k : keys) without_site0.push_back(rib.select_uncached(k.asn, k.region));
+    (void)rib.announce(rib.announcements()[0]);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                for (std::size_t k = 0; k < keys.size(); ++k) {
+                    const auto got = rib.select(keys[k].asn, keys[k].region);
+                    ASSERT_TRUE(got == with_both[k] || got == without_site0[k]);
+                }
+            }
+        });
+    }
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        (void)rib.withdraw(0);
+        (void)rib.announce(rib.announcements()[0]);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& r : readers) r.join();
+
+    // Settled state: identical to the pre-mutation world.
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+        EXPECT_EQ(rib.select_uncached(keys[k].asn, keys[k].region), with_both[k]);
+    }
 }
 
 TEST_F(HotPotato, EvaluateReportsDirectDistance) {

@@ -12,6 +12,9 @@
 //   acctx analyze   --in F          filter + summarize a capture file
 //   acctx snapshot  [...] --out F   build a world and archive it as a snapshot
 //   acctx report    [...] --out DIR write plot-ready CSVs for every figure
+//   acctx scenario  [...] --timeline F [--letters KF] [--out CSV]
+//                                   replay a failover event timeline and
+//                                   re-measure catchment/latency per step
 //
 // Every world-building command accepts --threads N (0 = hardware
 // concurrency, 1 = serial); thread count never changes output bytes.
@@ -43,6 +46,7 @@
 #include "src/netbase/strfmt.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/scenario/driver.h"
 #include "src/snapshot/world_io.h"
 
 namespace {
@@ -61,16 +65,20 @@ struct cli_options {
     std::optional<std::string> from_snapshot;
     std::optional<std::string> trace_path;
     std::optional<std::string> metrics_path;
+    std::optional<std::string> timeline_path;
+    std::string letters = "K";
     std::string format = "text";
     bool threads_set = false;
     bool world_knob_set = false;  // --seed/--scale/--year seen explicitly
 };
 
 [[noreturn]] void usage(int code) {
-    std::cerr << "usage: acctx <world|inflation|amortize|cdn|export|analyze|snapshot|report>\n"
+    std::cerr << "usage: acctx "
+                 "<world|inflation|amortize|cdn|export|analyze|snapshot|report|scenario>\n"
               << "             [--seed N] [--scale small|full] [--year 2018|2020]\n"
               << "             [--threads N] [--timing] [--in FILE] [--out FILE]\n"
               << "             [--from-snapshot FILE] [--format text|snapshot]\n"
+              << "             [--timeline FILE] [--letters STR]\n"
               << "  --threads N       construction threads (0 = hardware concurrency,\n"
               << "                    1 = serial); output is identical at any N\n"
               << "  --timing          with 'world': print the per-stage build report as JSON\n"
@@ -81,7 +89,13 @@ struct cli_options {
               << "                    instrumented span (load at chrome://tracing); output\n"
               << "                    bytes are unchanged by tracing\n"
               << "  --metrics-json F  any command: write the process metrics registry\n"
-              << "                    snapshot (ac-metrics-v1 JSON) at exit\n";
+              << "                    snapshot (ac-metrics-v1 JSON) at exit\n"
+              << "  --timeline F      scenario: event timeline file, one event per line:\n"
+              << "                    '<step> drain|restore|prepend|promote|demote <letter>\n"
+              << "                    <site> [n]', '<step> withdraw|announce <letter>', or\n"
+              << "                    '<step> outage <region>'\n"
+              << "  --letters STR     scenario: letters to drive, e.g. KF ('all' = every\n"
+              << "                    letter); default K\n";
     std::exit(code);
 }
 
@@ -97,6 +111,8 @@ bool flag_applies(const std::string& command, const std::string& flag) {
         {"export", {"--seed", "--scale", "--year", "--threads", "--out", "--format"}},
         {"snapshot", {"--seed", "--scale", "--year", "--threads", "--out"}},
         {"report", {"--seed", "--scale", "--year", "--threads", "--out", "--from-snapshot"}},
+        {"scenario", {"--seed", "--scale", "--year", "--threads", "--out", "--from-snapshot",
+                      "--timeline", "--letters"}},
         {"analyze", {"--in", "--format"}},
     };
     // Observability flags apply to every command: they only add output files,
@@ -137,7 +153,7 @@ cli_options parse_args(int argc, char** argv) {
         if (arg == "--seed" || arg == "--scale" || arg == "--year" || arg == "--threads" ||
             arg == "--timing" || arg == "--in" || arg == "--out" ||
             arg == "--from-snapshot" || arg == "--format" || arg == "--trace" ||
-            arg == "--metrics-json") {
+            arg == "--metrics-json" || arg == "--timeline" || arg == "--letters") {
             check_applies();
         }
         if (arg == "--seed") {
@@ -178,6 +194,14 @@ cli_options parse_args(int argc, char** argv) {
             options.trace_path = value();
         } else if (arg == "--metrics-json") {
             options.metrics_path = value();
+        } else if (arg == "--timeline") {
+            options.timeline_path = value();
+        } else if (arg == "--letters") {
+            options.letters = value();
+            if (options.letters.empty()) {
+                std::cerr << "acctx scenario: --letters needs at least one letter\n";
+                usage(2);
+            }
         } else if (arg == "--format") {
             options.format = value();
             if (options.format != "text" && options.format != "snapshot") {
@@ -239,14 +263,77 @@ int cmd_world(const cli_options& options) {
             const auto s = w.roots().deployment_of(letter).rib().select_cache_stats();
             stats.hits += s.hits;
             stats.misses += s.misses;
+            stats.invalidations += s.invalidations;
         }
-        const auto lookups = stats.hits + stats.misses;
-        std::cout << "route cache:  " << stats.hits << "/" << lookups << " select hits ("
-                  << strfmt::fixed(lookups ? 100.0 * static_cast<double>(stats.hits) /
-                                                 static_cast<double>(lookups)
-                                           : 0.0,
-                                   1)
-                  << "% hit rate across all ribs)\n";
+        // hit_rate() is zero-query safe (0 lookups -> 0.0, never NaN), so a
+        // world built with routing disabled still prints a finite rate.
+        std::cout << "route cache:  " << stats.hits << "/" << (stats.hits + stats.misses)
+                  << " select hits (" << strfmt::fixed(100.0 * stats.hit_rate(), 1)
+                  << "% hit rate across all ribs, " << stats.invalidations
+                  << " invalidated)\n";
+    }
+    return 0;
+}
+
+int cmd_scenario(const cli_options& options) {
+    if (!options.timeline_path) {
+        std::cerr << "acctx scenario: --timeline FILE required\n";
+        return 2;
+    }
+    std::ifstream timeline_file{*options.timeline_path};
+    if (!timeline_file) {
+        std::cerr << "acctx: cannot open " << *options.timeline_path << "\n";
+        return 1;
+    }
+    scenario::timeline tl;
+    try {
+        tl = scenario::parse_timeline(timeline_file);
+    } catch (const scenario::timeline_error& e) {
+        std::cerr << "acctx scenario: " << e.what() << "\n";
+        return 2;
+    }
+
+    auto w = build_world(options);  // non-const: the timeline mutates letter RIBs
+    scenario::driver drv{w.graph(), w.regions()};
+    std::string letters = options.letters;
+    if (letters == "all") {
+        letters.clear();
+        for (const char l : w.roots().all_letters()) letters.push_back(l);
+    }
+    try {
+        for (const char l : letters) {
+            drv.add_target(std::string{l}, w.mutable_roots().mutable_deployment_of(l));
+        }
+    } catch (const std::out_of_range& e) {
+        std::cerr << "acctx scenario: " << e.what() << "\n";
+        return 2;
+    }
+    std::vector<scenario::weighted_source> sources;
+    sources.reserve(w.users().locations().size());
+    for (const auto& loc : w.users().locations()) {
+        sources.push_back(scenario::weighted_source{loc.asn, loc.region, loc.users});
+    }
+    drv.set_sources(std::move(sources));
+
+    scenario::driver_options drv_options;
+    drv_options.pool = w.pool();
+    drv_options.threads = w.timing().threads;
+    std::vector<scenario::step_metrics> steps;
+    try {
+        steps = drv.run(tl, drv_options);
+    } catch (const scenario::timeline_error& e) {
+        std::cerr << "acctx scenario: " << e.what() << "\n";
+        return 2;
+    }
+    scenario::print_step_series(std::cout, steps);
+    if (options.out_path) {
+        std::ofstream out{*options.out_path};
+        if (!out) {
+            std::cerr << "acctx: cannot open " << *options.out_path << " for writing\n";
+            return 1;
+        }
+        scenario::write_step_csv(out, steps);
+        std::cout << "wrote " << steps.size() << " steps to " << *options.out_path << "\n";
     }
     return 0;
 }
@@ -387,6 +474,7 @@ int run_command(const cli_options& options) {
     if (options.command == "analyze") return cmd_analyze(options);
     if (options.command == "snapshot") return cmd_snapshot(options);
     if (options.command == "report") return cmd_report(options);
+    if (options.command == "scenario") return cmd_scenario(options);
     usage(2);  // unreachable: parse_args validated the command
 }
 
