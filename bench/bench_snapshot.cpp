@@ -82,8 +82,21 @@ int main(int argc, char** argv) {
             snapshot::bundle::open(path, snapshot::load_mode::mapped), 1);
     });
 
+    // The all-plain v1 container of the same world, for the compression
+    // headline (v2 stores columns encoded; see src/table/encoding.h).
+    const auto v1_path =
+        (std::filesystem::temp_directory_path() / "ac_bench_snapshot_v1.acx").string();
+    snapshot::save_world(w, v1_path, 1);
+    const auto v1_file_bytes = std::filesystem::file_size(v1_path);
+    std::remove(v1_path.c_str());
+
     report.add_scalar("file_bytes", "bytes", direction::lower_is_better, 0.25,
                       static_cast<double>(file_bytes));
+    report.add_scalar("v1_file_bytes", "bytes", direction::lower_is_better, 0.25,
+                      static_cast<double>(v1_file_bytes));
+    report.add_scalar("compression_ratio", "ratio", direction::higher_is_better, 0.25,
+                      static_cast<double>(v1_file_bytes) /
+                          static_cast<double>(file_bytes));
     report.add_scalar("owned_load_speedup", "x", direction::higher_is_better, 0.6,
                       rebuild_ms.median() / owned_load_ms.median());
     report.add_scalar("mmap_load_speedup", "x", direction::higher_is_better, 0.6,

@@ -1,0 +1,162 @@
+// Encoded-column kernel baseline: what do compressed snapshot columns cost
+// to scan, and what do the encoding-aware fast paths buy back? Times
+//
+//   * sequential scans (for_each sums) of plain vs encoded columns straight
+//     out of a small-world snapshot image,
+//   * group-by over a dictionary-encoded key column via the code-grouping
+//     fast path vs the span radix-sort path, and
+//   * the big DITL /24 join sort, single-threaded LSD vs radix-partitioned
+//     over the pool (identical permutation by construction),
+//
+// and exports an ac-bench-v1 BENCH_table.json gated by ci/check_bench.py.
+//
+//   bench_table [--threads N] [--repeat R] [--out FILE]
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#define AC_BENCH_NO_HARNESS
+#include "bench/bench_common.h"
+#include "src/core/world.h"
+#include "src/snapshot/world_io.h"
+#include "src/table/table.h"
+
+namespace {
+
+using namespace ac;
+
+/// Keeps results observable so the compiler cannot drop a timed pass.
+volatile double g_sink = 0.0;
+
+void time_into(bench::metric& samples, int repeat, const auto& fn) {
+    for (int i = 0; i < repeat; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        samples.add(bench::ms_since(start));
+    }
+}
+
+/// Scans are microseconds on the small world; loop them inside each timed
+/// pass so one sample is comfortably above timer resolution.
+constexpr int scan_loops = 50;
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto args = bench::bench_args::parse(argc, argv, "bench_table", 5, "BENCH_table.json");
+
+    std::cerr << "building small world (serial)...\n";
+    auto config = core::world_config::small();
+    config.threads = 1;
+    const core::world w{std::move(config)};
+
+    std::cerr << "archiving + reopening (columns come back encoded)...\n";
+    const auto bundle = snapshot::bundle::from_bytes(snapshot::encode_world(w));
+
+    // One encoded double column per DITL letter (delta-encoded qpd), plus
+    // its materialized plain twin.
+    std::vector<table::column<double>> encoded_qpd;
+    std::vector<std::vector<double>> plain_qpd;
+    const auto letter_count = bundle->scalar<std::uint32_t>("ditl/letter_count");
+    for (std::uint32_t i = 0; i < letter_count; ++i) {
+        auto col = bundle->typed_column<double>("ditl/" + std::to_string(i) + "/rec/qpd");
+        plain_qpd.push_back(col.materialize());
+        encoded_qpd.push_back(std::move(col));
+    }
+
+    // Dictionary-encoded key column (server ASNs) and its plain twin.
+    const auto asn_col = bundle->typed_column<std::uint32_t>("server/asn");
+    const auto asn_plain = asn_col.materialize();
+
+    // The DITL /24 join key column, concatenated across letters, then tiled
+    // past detail::parallel_sort_min_rows so the partitioned path engages
+    // (the small world alone sits just under the threshold).
+    std::vector<std::uint32_t> base_keys;
+    for (const auto& t : w.filtered_tables()) {
+        t.source_ip.for_each([&](std::uint32_t ip) { base_keys.push_back(ip >> 8); });
+    }
+    std::vector<std::uint32_t> s24;
+    while (s24.size() < 2 * table::detail::parallel_sort_min_rows) {
+        s24.insert(s24.end(), base_keys.begin(), base_keys.end());
+    }
+
+    bench::report report{"table", "small", args.repeat};
+    report.set_note("scan = for_each sum x" + std::to_string(scan_loops) +
+                    "; encoded columns decode straight out of the snapshot image; "
+                    "partitioned sort returns the exact serial permutation");
+    using bench::direction;
+
+    std::cerr << "timing scans...\n";
+    auto& plain_scan = report.add_metric("scan.plain_ms", "ms", direction::lower_is_better, 2.0);
+    time_into(plain_scan, args.repeat, [&] {
+        double total = 0.0;
+        for (int loop = 0; loop < scan_loops; ++loop) {
+            for (const auto& values : plain_qpd) {
+                for (const double v : values) total += v;
+            }
+        }
+        g_sink = total;
+    });
+    auto& encoded_scan =
+        report.add_metric("scan.encoded_ms", "ms", direction::lower_is_better, 2.0);
+    time_into(encoded_scan, args.repeat, [&] {
+        double total = 0.0;
+        for (int loop = 0; loop < scan_loops; ++loop) {
+            for (const auto& col : encoded_qpd) {
+                col.for_each([&](double v) { total += v; });
+            }
+        }
+        g_sink = total;
+    });
+
+    std::cerr << "timing group-by...\n";
+    auto& span_groupby =
+        report.add_metric("groupby.span_sort_ms", "ms", direction::lower_is_better, 2.0);
+    time_into(span_groupby, args.repeat, [&] {
+        for (int loop = 0; loop < scan_loops; ++loop) {
+            const auto g = table::make_grouping(std::span<const std::uint32_t>{asn_plain});
+            g_sink = static_cast<double>(g.groups());
+        }
+    });
+    auto& dict_groupby =
+        report.add_metric("groupby.dict_codes_ms", "ms", direction::lower_is_better, 2.0);
+    time_into(dict_groupby, args.repeat, [&] {
+        for (int loop = 0; loop < scan_loops; ++loop) {
+            const auto g = table::make_grouping(asn_col);
+            g_sink = static_cast<double>(g.groups());
+        }
+    });
+
+    std::cerr << "timing join sort over " << s24.size() << " keys (serial vs "
+              << args.threads << " threads)...\n";
+    auto& serial_sort =
+        report.add_metric("join.serial_sort_ms", "ms", direction::lower_is_better, 2.0);
+    time_into(serial_sort, args.repeat, [&] {
+        for (int loop = 0; loop < scan_loops; ++loop) {
+            const auto perm = table::sort_permutation(std::span<const std::uint32_t>{s24});
+            g_sink = static_cast<double>(perm.size());
+        }
+    });
+    engine::thread_pool pool{args.threads};
+    auto& partitioned_sort = report.add_metric("join.partitioned_sort_ms", "ms",
+                                               direction::lower_is_better, 2.0);
+    time_into(partitioned_sort, args.repeat, [&] {
+        for (int loop = 0; loop < scan_loops; ++loop) {
+            const auto perm = table::sort_permutation(std::span<const std::uint32_t>{s24}, &pool);
+            g_sink = static_cast<double>(perm.size());
+        }
+    });
+
+    report.add_scalar("groupby.dict_speedup", "x", direction::higher_is_better, 0.6,
+                      span_groupby.median() / dict_groupby.median());
+    report.add_scalar("join.partitioned_speedup", "x", direction::higher_is_better, 0.6,
+                      serial_sort.median() / partitioned_sort.median());
+
+    std::ostringstream info;
+    info << "{\"join_rows\": " << s24.size() << ", \"threads\": " << args.threads << "}";
+    report.add_details("workload", info.str());
+    return report.write_file_and_stdout(args.out_path);
+}

@@ -16,7 +16,9 @@ lives next to the numbers it gates:
 any code regressing). Baselines are machine-specific: when the fresh report
 was produced on a different machine than the baseline, every relative band is
 widened by LENIENT_FACTOR and a warning is printed, since absolute times do
-not transfer between hosts.
+not transfer between hosts. Metrics in MACHINE_INDEPENDENT_UNITS ("bytes",
+"ratio") are exempt from the widening: snapshot sizes and compression ratios
+are deterministic, so they gate at full strength on every host.
 
 Modes:
 
@@ -51,7 +53,12 @@ ABS_SLACK_MS = 0.3
 # Relative-band widening applied when baseline and fresh machines differ.
 LENIENT_FACTOR = 3.0
 
-BENCHES = ["world_build", "routing", "analysis", "snapshot", "scenario"]
+# Units whose values do not depend on the host (deterministic sizes and
+# ratios): cross-machine leniency never applies to them — a snapshot that
+# doubled in size regressed no matter which box measured it.
+MACHINE_INDEPENDENT_UNITS = {"bytes", "ratio"}
+
+BENCHES = ["world_build", "routing", "analysis", "snapshot", "table", "scenario"]
 
 
 def load_report(path):
@@ -81,7 +88,7 @@ def slack_for(metric):
 def check_metric(base, fresh, lenient):
     """Returns (ok, bound, message) for one baseline/fresh metric pair."""
     tol = float(base["tolerance"])
-    if lenient:
+    if lenient and base.get("unit") not in MACHINE_INDEPENDENT_UNITS:
         tol *= LENIENT_FACTOR
     slack = slack_for(base)
     b = float(base["median"])
@@ -263,6 +270,38 @@ def cmd_selftest():
         tiny_ms=(0.2, "lower", 2.0, "ms"),
         speedup=(8.0, "higher", 0.6, "x"),
     ), True, 1)
+
+    # Sizes and ratios are machine-independent: cross-machine leniency does
+    # NOT widen their bands. A 1.5x size bloat (tolerance 0.25) fails even
+    # lenient, while the same relative excursion on an "ms" metric passes.
+    size_base = synthetic_report(
+        file_bytes=(1000000.0, "lower", 0.25, "bytes"),
+        ratio=(2.0, "higher", 0.25, "ratio"),
+        wall_ms=(10.0, "lower", 0.25, "ms"),
+    )
+
+    def expect_sizes(label, fresh, lenient, want_failures):
+        fresh_by_name = {m["name"]: m for m in fresh["metrics"]}
+        failures = 0
+        for m in size_base["metrics"]:
+            ok, _, _ = check_metric(m, fresh_by_name[m["name"]], lenient)
+            failures += 0 if ok else 1
+        if failures != want_failures:
+            print(f"selftest FAILED: {label}: {failures} failures, wanted {want_failures}")
+            return 1
+        print(f"selftest ok: {label}")
+        return 0
+
+    bad += expect_sizes("machine-independent units stay strict", synthetic_report(
+        file_bytes=(1500000.0, "lower", 0.25, "bytes"),
+        ratio=(1.3, "higher", 0.25, "ratio"),
+        wall_ms=(15.0, "lower", 0.25, "ms"),
+    ), True, 2)
+    bad += expect_sizes("sizes inside band pass", synthetic_report(
+        file_bytes=(1200000.0, "lower", 0.25, "bytes"),
+        ratio=(1.6, "higher", 0.25, "ratio"),
+        wall_ms=(10.0, "lower", 0.25, "ms"),
+    ), True, 0)
 
     # Missing metrics fail through compare_reports.
     fresh = synthetic_report(wall_ms=(10.0, "lower", 2.0, "ms"))

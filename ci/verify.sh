@@ -93,6 +93,9 @@ if [[ ${run_tier1} -eq 1 ]]; then
     ./build/tools/acctx report --scale small --out "${rt}/live"
     ./build/tools/acctx snapshot --scale small --out "${rt}/world.acx"
     ./build/tools/acctx report --from-snapshot "${rt}/world.acx" --out "${rt}/snap"
+    # The section inspector must read the archive it just wrote and agree it
+    # is a v2 container.
+    ./build/tools/acctx snapshot --info "${rt}/world.acx" | grep -q "container v2"
     ./build/tools/acctx report --scale small --out "${rt}/obs" \
         --trace "${rt}/trace.json" --metrics-json "${rt}/metrics.json"
     for f in "${rt}/live"/*.csv; do
@@ -127,7 +130,7 @@ if [[ ${run_bench} -eq 1 ]]; then
     cmake --build build -j "${jobs}" \
         --target bench_world_build --target bench_routing \
         --target bench_analysis --target bench_snapshot \
-        --target bench_scenario
+        --target bench_table --target bench_scenario
     python3 ci/check_bench.py run --build-dir build --repeat 3
 
     # The gate must also demonstrably fail: perturb one baseline metric far

@@ -81,19 +81,18 @@ root_inflation_result compute_root_inflation(std::span<const capture::letter_tab
                             lat_letters.end();
         const auto& dep = roots.deployment_of(letter.letter);
 
-        // Median TCP RTT per packed (source /24 key << 32) | site.
+        // Median TCP RTT per packed (source /24 key << 32) | site. The
+        // column constructor scans encoded snapshot columns directly.
         table::sorted_lookup<std::uint64_t, double> tcp_median;
         if (in_lat) {
             tcp_median = table::sorted_lookup<std::uint64_t, double>(
-                letter.tcp_key.view(), letter.tcp_median_rtt_ms.view());
+                letter.tcp_key, letter.tcp_median_rtt_ms);
         }
 
         table::column<std::uint32_t> s24;
         s24.reserve(letter.rows());
-        for (std::size_t i = 0; i < letter.rows(); ++i) {
-            s24.push_back(letter.source_ip[i] >> 8);
-        }
-        const auto grouping = table::make_grouping(s24.view());
+        letter.source_ip.for_each([&](std::uint32_t ip) { s24.push_back(ip >> 8); });
+        const auto grouping = table::make_grouping(s24.view(), pool);
 
         const auto slices = table::group_reduce<slash24_slice>(
             pool, grouping,

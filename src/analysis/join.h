@@ -45,19 +45,22 @@ struct amortization_result {
 };
 
 /// Builds Fig. 3 (or Fig. 8 when fed unfiltered captures, or Fig. 9 with
-/// join_by_slash24=false). Columnar form.
+/// join_by_slash24=false). Columnar form. The big DITL∩CDN key sort runs
+/// radix-partitioned over `pool` when one is given (null = serial); the
+/// partitioned sort yields the exact serial permutation, so results are
+/// identical at any thread count.
 [[nodiscard]] amortization_result compute_amortization(
     std::span<const capture::letter_table> letters, const pop::user_base& base,
     const pop::cdn_user_counts& cdn_users, const pop::apnic_user_counts& apnic_users,
     const topo::ip_to_asn& as_mapper, const dns::query_model_options& model_options,
-    const amortization_options& options = {});
+    const amortization_options& options = {}, engine::thread_pool* pool = nullptr);
 
 /// Row-oriented shim: converts to columns and delegates.
 [[nodiscard]] amortization_result compute_amortization(
     std::span<const capture::filtered_letter> letters, const pop::user_base& base,
     const pop::cdn_user_counts& cdn_users, const pop::apnic_user_counts& apnic_users,
     const topo::ip_to_asn& as_mapper, const dns::query_model_options& model_options,
-    const amortization_options& options = {});
+    const amortization_options& options = {}, engine::thread_pool* pool = nullptr);
 
 /// Table 4: how much of each dataset the other covers, with and without the
 /// /24 aggregation.
@@ -74,12 +77,15 @@ struct overlap_comparison {
 };
 
 /// Columnar form: both universes are sorted key columns merged in one pass.
+/// The DITL key sort runs radix-partitioned over `pool` when given.
 [[nodiscard]] overlap_comparison compute_overlap(
-    std::span<const capture::letter_table> letters, const pop::cdn_user_counts& cdn_users);
+    std::span<const capture::letter_table> letters, const pop::cdn_user_counts& cdn_users,
+    engine::thread_pool* pool = nullptr);
 
 /// Row-oriented shim: converts to columns and delegates.
 [[nodiscard]] overlap_comparison compute_overlap(
-    std::span<const capture::filtered_letter> letters, const pop::cdn_user_counts& cdn_users);
+    std::span<const capture::filtered_letter> letters, const pop::cdn_user_counts& cdn_users,
+    engine::thread_pool* pool = nullptr);
 
 /// Fig. 10 / Eq. 3: for each /24 with more than one active source IP, the
 /// fraction of its queries that do not reach its most popular ("favorite")

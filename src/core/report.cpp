@@ -65,7 +65,7 @@ std::vector<std::string> write_figure_csvs(const world& w, const std::string& di
     {
         const auto amortized = analysis::compute_amortization(
             w.filtered_tables(), w.users(), w.cdn_user_counts(), w.apnic_user_counts(),
-            w.as_mapper(), w.config().query_model);
+            w.as_mapper(), w.config().query_model, {}, w.pool());
         const auto path = dir / "fig03_queries_per_user.csv";
         auto out = open_csv(path, "series,queries_per_user_day,cdf");
         write_cdf(out, "ideal", amortized.ideal, options.cdf_points);

@@ -1,30 +1,46 @@
 // The snapshot container format (DESIGN.md §9).
 //
 // A snapshot is one file: a fixed 64-byte header, a section table, a name
-// blob, then 64-byte-aligned section payloads. All integers are
-// little-endian fixed-width; payloads are raw little-endian element arrays
-// so a reader can hand out `table::column<T>` spans pointing straight into
-// an mmap of the file. Every section carries an XXH64 checksum over its
-// payload, and the header carries one over the whole file (checksum field
-// excluded), so a flipped byte anywhere — header, table, names, payload or
-// padding — fails verification with a typed error instead of undefined
-// behaviour.
+// blob, then aligned section payloads. All integers are little-endian
+// fixed-width. A *plain* payload is a raw little-endian element array, so a
+// reader hands out `table::column<T>` spans pointing straight into an mmap
+// of the file; a v2 payload may instead be *encoded* (dictionary, RLE,
+// frame-of-reference delta, or a cross-reference into another section — see
+// src/table/encoding.h), in which case the reader hands out an encoded
+// `table::column<T>` whose view still points straight into the mmap and
+// decodes on scan, never on load. Every section carries an XXH64 checksum
+// over its payload, and the header carries one over the whole file
+// (checksum field excluded), so a flipped byte anywhere — header, table,
+// names, payload or padding — fails verification with a typed error instead
+// of undefined behaviour.
 //
 //   [0,  8)  magic "ACXSNAP1"
-//   [8, 12)  u32 format version (readers reject newer versions)
+//   [8, 12)  u32 format version (readers reject newer versions; v1 files
+//            remain readable — all-plain sections, 64-byte alignment)
 //   [12,16)  u32 section count (zero-section files are rejected)
 //   [16,24)  u64 section table offset (= 64)
 //   [24,32)  u64 name blob offset
 //   [32,40)  u64 name blob length in bytes
-//   [40,48)  u64 first payload offset (64-byte aligned)
+//   [40,48)  u64 first payload offset (aligned)
 //   [48,56)  u64 total file length in bytes
 //   [56,64)  u64 XXH64 over [0,56) ++ [64, file length)
 //
 // Section table entry (40 bytes each, packed little-endian):
 //   u32 name offset (into the name blob), u32 name length,
-//   u8  element type tag, u8[3] zero padding, u32 element size in bytes,
-//   u64 payload offset (64-byte aligned), u64 payload length in bytes,
+//   u8  element type tag,
+//   u8  encoding tag (v2; must be zero in v1 files),
+//   u16 cross-reference source section index (v2, xref sections only;
+//       must be zero otherwise — kept in the entry, not the payload, so
+//       columns sharing one index mapping dedup to a single payload),
+//   u32 element size in bytes,
+//   u64 payload offset (aligned), u64 payload length in bytes,
 //   u64 XXH64 over the payload
+//
+// Payload alignment is 64 bytes in v1 and 8 bytes in v2 (encoded payloads
+// are small; 64-byte padding between them would cost ~1% of the file).
+// Identical payload bytes may share one payload (and one checksum): the v2
+// writer dedups, and nothing in the format forbids overlap for v1 readers
+// either.
 #pragma once
 
 #include <bit>
@@ -42,10 +58,15 @@ static_assert(std::endian::native == std::endian::little,
               "snapshot container requires a little-endian host");
 
 inline constexpr char magic[8] = {'A', 'C', 'X', 'S', 'N', 'A', 'P', '1'};
-inline constexpr std::uint32_t format_version = 1;
+inline constexpr std::uint32_t format_version = 2;
 inline constexpr std::size_t header_bytes = 64;
 inline constexpr std::size_t section_entry_bytes = 40;
-inline constexpr std::size_t payload_alignment = 64;
+inline constexpr std::size_t payload_alignment = 64;     // v1 files
+inline constexpr std::size_t payload_alignment_v2 = 8;   // v2 files
+
+[[nodiscard]] constexpr std::size_t payload_alignment_for(std::uint32_t version) noexcept {
+    return version >= 2 ? payload_alignment_v2 : payload_alignment;
+}
 
 /// Element type of a section payload. Tags are part of the on-disk format;
 /// never renumber.
@@ -105,6 +126,7 @@ enum class errc : std::uint8_t {
     malformed,          // structurally invalid (zero sections, bad entry, ...)
     section_missing,    // a required section is absent
     type_mismatch,      // section exists but with a different element type
+    bad_encoding,       // encoding tag/header/payload is invalid (v2)
 };
 
 [[nodiscard]] constexpr const char* errc_name(errc code) noexcept {
@@ -117,6 +139,7 @@ enum class errc : std::uint8_t {
         case errc::malformed: return "malformed";
         case errc::section_missing: return "section_missing";
         case errc::type_mismatch: return "type_mismatch";
+        case errc::bad_encoding: return "bad_encoding";
     }
     return "unknown";
 }

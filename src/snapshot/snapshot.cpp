@@ -28,9 +28,15 @@ std::size_t align_up(std::size_t n, std::size_t alignment) {
     return (n + alignment - 1) / alignment * alignment;
 }
 
+void put_u16(std::byte* at, std::uint16_t v) { std::memcpy(at, &v, sizeof v); }
 void put_u32(std::byte* at, std::uint32_t v) { std::memcpy(at, &v, sizeof v); }
 void put_u64(std::byte* at, std::uint64_t v) { std::memcpy(at, &v, sizeof v); }
 
+std::uint16_t get_u16(const std::byte* at) {
+    std::uint16_t v;
+    std::memcpy(&v, at, sizeof v);
+    return v;
+}
 std::uint32_t get_u32(const std::byte* at) {
     std::uint32_t v;
     std::memcpy(&v, at, sizeof v);
@@ -82,9 +88,59 @@ void writer::add_typed(std::string name, elem_type type, const void* data, std::
     section.name = std::move(name);
     section.type = type;
     section.elem_size = elem_size;
+    section.rows = elem_size == 0 ? 0 : bytes / elem_size;
     section.payload.resize(bytes);
     if (bytes != 0) std::memcpy(section.payload.data(), data, bytes);
     sections_.push_back(std::move(section));
+}
+
+void writer::add_encoded(std::string name, elem_type type, std::uint32_t elem_size,
+                         table::enc::encoding encoding, std::vector<std::byte> payload,
+                         std::uint64_t rows, std::uint16_t xref_source) {
+    obs::span section_span{"snapshot/section_write"};
+    section_span.set_items(payload.size());
+    obs::registry::global().get_counter("snapshot.sections_written").add(1);
+    obs::registry::global().get_counter("snapshot.bytes_written").add(payload.size());
+    obs::registry::global().get_counter("snapshot.encoded_bytes_written").add(payload.size());
+    for (const auto& s : sections_) {
+        if (s.name == name) {
+            throw snapshot_error(errc::malformed, "duplicate section name '" + name + "'");
+        }
+    }
+    pending_section section;
+    section.name = std::move(name);
+    section.type = type;
+    section.elem_size = elem_size;
+    section.encoding = encoding;
+    section.xref_source = xref_source;
+    section.rows = rows;
+    section.payload = std::move(payload);
+    sections_.push_back(std::move(section));
+}
+
+void writer::add_xref(std::string name, elem_type type, std::uint32_t elem_size,
+                      std::string_view source_name, std::span<const std::uint32_t> indices) {
+    if (version_ < 2) {
+        throw snapshot_error(errc::malformed,
+                             "xref sections require container version 2");
+    }
+    std::size_t source = sections_.size();
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+        if (sections_[i].name == source_name) {
+            source = i;
+            break;
+        }
+    }
+    if (source == sections_.size() || source > 0xffff ||
+        sections_[source].type != type ||
+        sections_[source].encoding == table::enc::encoding::xref) {
+        throw snapshot_error(errc::malformed, "invalid xref source '" +
+                                                  std::string{source_name} + "' for '" +
+                                                  name + "'");
+    }
+    add_encoded(std::move(name), type, elem_size, table::enc::encoding::xref,
+                table::enc::encode_xref(indices, sections_[source].rows), indices.size(),
+                static_cast<std::uint16_t>(source));
 }
 
 void writer::add_raw(std::string name, const void* data, std::size_t bytes,
@@ -95,26 +151,45 @@ void writer::add_raw(std::string name, const void* data, std::size_t bytes,
 std::vector<std::byte> writer::finish() const {
     obs::span finish_span{"snapshot/finish"};
     finish_span.set_items(sections_.size());
+    const std::size_t alignment = payload_alignment_for(version_);
     std::size_t names_bytes = 0;
     for (const auto& s : sections_) names_bytes += s.name.size();
 
     const std::size_t table_offset = header_bytes;
     const std::size_t names_offset = table_offset + sections_.size() * section_entry_bytes;
-    const std::size_t first_payload = align_up(names_offset + names_bytes, payload_alignment);
+    const std::size_t first_payload = align_up(names_offset + names_bytes, alignment);
 
+    // Lay out payloads. A v2 writer dedups: byte-identical payloads share
+    // one file range (and therefore one checksum) — the four per-row letter
+    // table columns that xref one shared index mapping collapse this way.
+    std::vector<std::uint64_t> payload_checksums(sections_.size());
+    std::vector<std::size_t> payload_offsets(sections_.size());
+    std::vector<bool> shared(sections_.size(), false);
     std::size_t total = first_payload;
-    std::vector<std::size_t> payload_offsets;
-    payload_offsets.reserve(sections_.size());
-    for (const auto& s : sections_) {
-        total = align_up(total, payload_alignment);
-        payload_offsets.push_back(total);
-        total += s.payload.size();
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+        const auto& s = sections_[i];
+        payload_checksums[i] = xxhash64(s.payload.data(), s.payload.size());
+        if (version_ >= 2) {
+            for (std::size_t j = 0; j < i; ++j) {
+                if (payload_checksums[j] == payload_checksums[i] &&
+                    sections_[j].payload == s.payload) {
+                    payload_offsets[i] = payload_offsets[j];
+                    shared[i] = true;
+                    break;
+                }
+            }
+        }
+        if (!shared[i]) {
+            total = align_up(total, alignment);
+            payload_offsets[i] = total;
+            total += s.payload.size();
+        }
     }
 
     std::vector<std::byte> image(total, std::byte{0});
 
     std::memcpy(image.data(), magic, sizeof magic);
-    put_u32(image.data() + 8, format_version);
+    put_u32(image.data() + 8, version_);
     put_u32(image.data() + 12, static_cast<std::uint32_t>(sections_.size()));
     put_u64(image.data() + 16, table_offset);
     put_u64(image.data() + 24, names_offset);
@@ -129,15 +204,16 @@ std::vector<std::byte> writer::finish() const {
         put_u32(entry + 0, static_cast<std::uint32_t>(name_cursor));
         put_u32(entry + 4, static_cast<std::uint32_t>(s.name.size()));
         entry[8] = static_cast<std::byte>(s.type);
-        // entry[9..12) stays zero
+        entry[9] = static_cast<std::byte>(s.encoding);  // always zero in v1
+        put_u16(entry + 10, s.xref_source);             // always zero unless xref
         put_u32(entry + 12, s.elem_size);
         put_u64(entry + 16, payload_offsets[i]);
         put_u64(entry + 24, s.payload.size());
-        put_u64(entry + 32, xxhash64(s.payload.data(), s.payload.size()));
+        put_u64(entry + 32, payload_checksums[i]);
 
         std::memcpy(image.data() + names_offset + name_cursor, s.name.data(), s.name.size());
         name_cursor += s.name.size();
-        if (!s.payload.empty()) {
+        if (!s.payload.empty() && !shared[i]) {
             std::memcpy(image.data() + payload_offsets[i], s.payload.data(),
                         s.payload.size());
         }
@@ -280,6 +356,8 @@ void bundle::parse_and_verify() {
                                  ", this reader understands up to v" +
                                  std::to_string(format_version));
     }
+    version_ = version;
+    const std::size_t alignment = payload_alignment_for(version);
     const std::uint32_t count = get_u32(data_ + 12);
     const std::uint64_t table_offset = get_u64(data_ + 16);
     const std::uint64_t names_offset = get_u64(data_ + 24);
@@ -299,7 +377,7 @@ void bundle::parse_and_verify() {
     if (table_offset != header_bytes || table_offset + table_bytes > size_ ||
         names_offset != table_offset + table_bytes || names_offset + names_bytes > size_ ||
         first_payload < names_offset + names_bytes || first_payload > size_ ||
-        first_payload % payload_alignment != 0) {
+        first_payload % alignment != 0) {
         throw snapshot_error(errc::malformed, "header layout fields are inconsistent");
     }
 
@@ -309,12 +387,16 @@ void bundle::parse_and_verify() {
 
     sections_.clear();
     sections_.reserve(count);
+    views_.clear();
+    views_.reserve(count);
     const char* names = reinterpret_cast<const char*>(data_ + names_offset);
     for (std::uint32_t i = 0; i < count; ++i) {
         const std::byte* entry = data_ + table_offset + i * section_entry_bytes;
         const std::uint32_t name_off = get_u32(entry + 0);
         const std::uint32_t name_len = get_u32(entry + 4);
         const auto type = static_cast<elem_type>(entry[8]);
+        const auto encoding_tag = static_cast<std::uint8_t>(entry[9]);
+        const std::uint16_t xref_source = get_u16(entry + 10);
         const std::uint32_t elem_size = get_u32(entry + 12);
         const std::uint64_t payload_offset = get_u64(entry + 16);
         const std::uint64_t payload_bytes = get_u64(entry + 24);
@@ -330,17 +412,32 @@ void bundle::parse_and_verify() {
             throw snapshot_error(errc::malformed, "section '" + std::string{info.name} +
                                                       "' has an unknown element type tag");
         }
+        if (version == 1 && (encoding_tag != 0 || xref_source != 0)) {
+            throw snapshot_error(errc::malformed,
+                                 "section '" + std::string{info.name} +
+                                     "' has nonzero v2 encoding fields in a v1 file");
+        }
+        if (encoding_tag > table::enc::max_encoding_tag) {
+            throw snapshot_error(errc::bad_encoding, "section '" + std::string{info.name} +
+                                                         "' has an unknown encoding tag");
+        }
+        const auto encoding = static_cast<table::enc::encoding>(encoding_tag);
+        if (encoding != table::enc::encoding::xref && xref_source != 0) {
+            throw snapshot_error(errc::bad_encoding,
+                                 "section '" + std::string{info.name} +
+                                     "' has an xref source but is not an xref");
+        }
         if (elem_size == 0 ||
             (type != elem_type::raw && elem_size != elem_size_of(type))) {
             throw snapshot_error(errc::malformed, "section '" + std::string{info.name} +
                                                       "' has an invalid element size");
         }
-        if (payload_offset % payload_alignment != 0 || payload_offset < first_payload ||
+        if (payload_offset % alignment != 0 || payload_offset < first_payload ||
             payload_offset > size_ || payload_bytes > size_ - payload_offset) {
             throw snapshot_error(errc::truncated, "section '" + std::string{info.name} +
                                                       "' payload out of bounds");
         }
-        if (payload_bytes % elem_size != 0) {
+        if (encoding == table::enc::encoding::plain && payload_bytes % elem_size != 0) {
             throw snapshot_error(errc::malformed,
                                  "section '" + std::string{info.name} +
                                      "' length is not a multiple of its element size");
@@ -356,13 +453,55 @@ void bundle::parse_and_verify() {
                                                                   "' checksum mismatch");
             }
         }
+
+        // Parse + fully validate the encoding (bounds, widths, code/index
+        // ranges) so scans can decode without further checks. Nothing is
+        // decoded here — the view's pointers alias the payload bytes.
+        const std::span<const std::byte> payload{data_ + payload_offset, payload_bytes};
+        table::enc::any_view view;
+        std::string encoding_error;
+        if (encoding == table::enc::encoding::xref) {
+            if (xref_source >= i) {
+                throw snapshot_error(errc::bad_encoding,
+                                     "section '" + std::string{info.name} +
+                                         "' xref source index is out of range");
+            }
+            if (sections_[xref_source].type != type) {
+                throw snapshot_error(errc::bad_encoding,
+                                     "section '" + std::string{info.name} +
+                                         "' xref source has a different element type");
+            }
+            encoding_error =
+                table::enc::parse_xref(payload, elem_size, views_[xref_source].self, view);
+            view.encoded_bytes = payload_bytes + sections_[xref_source].payload_bytes;
+        } else {
+            encoding_error = table::enc::parse_view(encoding, payload, elem_size, view.self);
+            view.origin = payload.data();
+            view.encoded_bytes = payload_bytes;
+        }
+        if (!encoding_error.empty()) {
+            throw snapshot_error(errc::bad_encoding, "section '" + std::string{info.name} +
+                                                         "': " + encoding_error);
+        }
+
         info.type = type;
+        info.encoding = encoding;
+        info.xref_source = xref_source;
+        info.rows = view.self.rows;
         info.elem_size = elem_size;
         info.payload_offset = payload_offset;
         info.payload_bytes = payload_bytes;
         info.checksum = checksum;
         sections_.push_back(info);
+        views_.push_back(view);
     }
+}
+
+std::size_t bundle::section_index(std::string_view name) const {
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+        if (sections_[i].name == name) return i;
+    }
+    throw snapshot_error(errc::section_missing, "section '" + std::string{name} + "' absent");
 }
 
 bool bundle::has(std::string_view name) const noexcept {

@@ -4,21 +4,31 @@
 // described in format.h. Assembly is serial and a pure function of the
 // section contents, so two worlds with byte-identical datasets produce
 // byte-identical snapshot files regardless of how many threads built them.
+// A v2 writer (the default) may store a column section encoded
+// (dict/rle/delta, chosen automatically by exact candidate sizes, or as an
+// xref into another section) and dedups byte-identical payloads; a writer
+// constructed with container version 1 reproduces the v1 format — all
+// plain, 64-byte aligned — for backward-compat round trips.
 //
 // The reader (`bundle`) has two modes:
 //   - owned:  reads the whole file into an aligned heap buffer — portable,
 //             and the buffer's lifetime is the bundle's.
-//   - mapped: mmaps the file read-only; column accessors return spans into
-//             the mapping, so nothing is deserialized (falls back to owned
-//             on platforms without mmap).
-// Both modes verify the file checksum and every section checksum on open;
-// all structural failures throw snapshot_error (format.h) — never UB.
+//   - mapped: mmaps the file read-only; column accessors return spans (or
+//             encoded views) into the mapping, so nothing is deserialized
+//             (falls back to owned on platforms without mmap).
+// Both modes verify the file checksum, every section checksum, and every
+// encoding header (bounds, widths, code/index ranges) on open; all
+// structural failures throw snapshot_error (format.h) — never UB. Encoded
+// sections are *validated* on open but never decoded: `typed_column`
+// returns a `table::column<T>` whose encoded view points straight into the
+// bundle's bytes and decodes on scan.
 //
 // Bundles are immutable once opened and are created behind shared_ptr so
 // borrowed columns (and worlds hydrated from them) can keep the backing
 // bytes alive.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -28,13 +38,23 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/snapshot/format.h"
+#include "src/table/column.h"
 
 namespace ac::snapshot {
 
 /// Collects sections and assembles a snapshot file image.
 class writer {
 public:
+    /// `container_version` 2 (default) enables encoded sections, payload
+    /// dedup and 8-byte payload alignment; 1 writes the original all-plain
+    /// 64-byte-aligned format.
+    explicit writer(std::uint32_t container_version = format_version)
+        : version_(container_version) {}
+
+    [[nodiscard]] std::uint32_t container_version() const noexcept { return version_; }
+
     /// Adds one section. Names must be unique; insertion order is the
     /// on-disk order (and therefore part of byte-identity).
     void add_raw(std::string name, const void* data, std::size_t bytes,
@@ -44,6 +64,41 @@ public:
     void add_column(std::string name, std::span<const T> values) {
         add_typed(std::move(name), elem_tag<T>::value, values.data(), values.size_bytes(),
                   sizeof(T));
+    }
+
+    /// Adds a column section, automatically choosing the smallest encoding
+    /// (plain/dict/rle/delta) by exact candidate sizes. On a v1 writer this
+    /// degrades to a plain `add_column`. The choice is a pure function of
+    /// the values, so re-encoding a decoded column is byte-identical.
+    template <typename T>
+    void add_column_encoded(std::string name, std::span<const T> values) {
+        if (version_ < 2) {
+            add_column(std::move(name), values);
+            return;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        auto encoded = table::enc::choose_and_encode<T>(values);
+        obs::registry::global().get_counter("snapshot.encode_ns")
+            .add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()));
+        if (encoded.kind == table::enc::encoding::plain) {
+            add_column(std::move(name), values);
+            return;
+        }
+        add_encoded(std::move(name), elem_tag<T>::value, sizeof(T), encoded.kind,
+                    std::move(encoded.bytes), values.size(), 0);
+    }
+
+    /// Adds a column as bit-packed row indices into a previously added
+    /// non-xref section of the same element type (see encoding.h). Only
+    /// valid on a v2 writer (the caller checks `container_version()` and
+    /// falls back to `add_column_encoded` with the materialized values).
+    template <typename T>
+    void add_column_xref(std::string name, std::string_view source_name,
+                         std::span<const std::uint32_t> indices) {
+        add_xref(std::move(name), elem_tag<T>::value, sizeof(T), source_name, indices);
     }
 
     /// Convenience for one-value sections (totals, counts).
@@ -67,12 +122,21 @@ private:
         std::string name;
         elem_type type = elem_type::raw;
         std::uint32_t elem_size = 1;
+        table::enc::encoding encoding = table::enc::encoding::plain;
+        std::uint16_t xref_source = 0;
+        std::uint64_t rows = 0;
         std::vector<std::byte> payload;
     };
 
     void add_typed(std::string name, elem_type type, const void* data, std::size_t bytes,
                    std::uint32_t elem_size);
+    void add_encoded(std::string name, elem_type type, std::uint32_t elem_size,
+                     table::enc::encoding encoding, std::vector<std::byte> payload,
+                     std::uint64_t rows, std::uint16_t xref_source);
+    void add_xref(std::string name, elem_type type, std::uint32_t elem_size,
+                  std::string_view source_name, std::span<const std::uint32_t> indices);
 
+    std::uint32_t version_ = format_version;
     std::vector<pending_section> sections_;
 };
 
@@ -88,6 +152,9 @@ public:
         std::string_view name;  // points into the bundle's name blob
         elem_type type = elem_type::raw;
         std::uint32_t elem_size = 1;
+        table::enc::encoding encoding = table::enc::encoding::plain;
+        std::uint16_t xref_source = 0;     // section index, xref sections only
+        std::uint64_t rows = 0;            // decoded element count
         std::uint64_t payload_offset = 0;  // absolute file offset
         std::uint64_t payload_bytes = 0;
         std::uint64_t checksum = 0;
@@ -109,6 +176,7 @@ public:
 
     [[nodiscard]] load_mode mode() const noexcept { return mode_; }
     [[nodiscard]] std::size_t file_bytes() const noexcept { return size_; }
+    [[nodiscard]] std::uint32_t container_version() const noexcept { return version_; }
     [[nodiscard]] const std::vector<section_info>& sections() const noexcept {
         return sections_;
     }
@@ -118,8 +186,9 @@ public:
     /// The section's metadata; throws errc::section_missing if absent.
     [[nodiscard]] const section_info& section(std::string_view name) const;
 
-    /// Typed zero-copy view of one section. Throws errc::section_missing or
-    /// errc::type_mismatch.
+    /// Typed zero-copy span of one *plain* section. Throws
+    /// errc::section_missing, errc::type_mismatch (also for encoded
+    /// sections, which have no contiguous values — use `typed_column`).
     template <typename T>
     [[nodiscard]] std::span<const T> column(std::string_view name) const {
         const auto& s = section(name);
@@ -129,8 +198,34 @@ public:
                                      std::to_string(static_cast<int>(s.type)) +
                                      ", not the requested element type");
         }
+        if (s.encoding != table::enc::encoding::plain) {
+            throw snapshot_error(errc::type_mismatch,
+                                 "section '" + std::string{name} +
+                                     "' is encoded; use typed_column() to scan it");
+        }
         return {reinterpret_cast<const T*>(data_ + s.payload_offset),
                 s.payload_bytes / sizeof(T)};
+    }
+
+    /// Typed zero-copy column over one section in any encoding: plain
+    /// sections come back borrowed, encoded sections come back as
+    /// decode-on-scan views — both point straight into the bundle's bytes.
+    template <typename T>
+    [[nodiscard]] table::column<T> typed_column(std::string_view name) const {
+        const std::size_t i = section_index(name);
+        const section_info& s = sections_[i];
+        if (s.type != elem_tag<T>::value) {
+            throw snapshot_error(errc::type_mismatch,
+                                 "section '" + std::string{name} + "' holds " +
+                                     std::to_string(static_cast<int>(s.type)) +
+                                     ", not the requested element type");
+        }
+        if (s.encoding == table::enc::encoding::plain) {
+            return table::column<T>::borrowed(
+                {reinterpret_cast<const T*>(data_ + s.payload_offset),
+                 s.payload_bytes / sizeof(T)});
+        }
+        return table::column<T>::encoded(views_[i]);
     }
 
     /// Raw bytes of one section (for packed record sections).
@@ -151,12 +246,15 @@ private:
     bundle() = default;
     void adopt(std::byte* data, std::size_t size, load_mode mode, bool mapped_region);
     void parse_and_verify();
+    [[nodiscard]] std::size_t section_index(std::string_view name) const;
 
     const std::byte* data_ = nullptr;
     std::size_t size_ = 0;
     load_mode mode_ = load_mode::owned;
     bool mapped_region_ = false;  // data_ came from mmap (munmap on destroy)
+    std::uint32_t version_ = format_version;
     std::vector<section_info> sections_;
+    std::vector<table::enc::any_view> views_;  // parsed per-section views
 };
 
 } // namespace ac::snapshot

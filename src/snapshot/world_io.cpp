@@ -286,10 +286,58 @@ void decode_letter_spec_flags(byte_source& s, dns::letter_spec& spec) {
     spec.complete = s.u8() != 0;
 }
 
+/// Adds a column section in whatever way fits the column's storage state:
+/// plain/borrowed columns hand their span straight to the writer, encoded
+/// columns (a re-encode of a hydrated world) decode into a scratch vector
+/// first. Encoding choice is downstream and deterministic either way.
 template <typename T>
-std::span<const std::uint8_t> as_u8_span(std::span<const T> values) {
-    static_assert(sizeof(T) == 1);
-    return {reinterpret_cast<const std::uint8_t*>(values.data()), values.size()};
+void add_encoded_column_from(writer& w, std::string name, const table::column<T>& c) {
+    if (c.is_encoded()) {
+        const auto values = c.materialize();
+        w.add_column_encoded<T>(std::move(name), values);
+    } else {
+        w.add_column_encoded<T>(std::move(name), c.view());
+    }
+}
+
+[[nodiscard]] std::uint64_t f64_bits(double v) {
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+/// Tries to express the filtered letter table's four per-row columns as ONE
+/// shared row-index mapping into the letter's raw capture records. The
+/// filter preserves record order, so a greedy in-order walk that matches
+/// (source_ip, site, category, qpd) simultaneously finds the mapping when
+/// it exists; doubles are matched by bit pattern because an xref decode
+/// reproduces the *record's* bits. Returns false when any table row has no
+/// remaining matching record (the caller then encodes the columns directly).
+bool joint_record_mapping(const capture::letter_capture& lc, const capture::letter_table& t,
+                          std::vector<std::uint32_t>& indices) {
+    const std::size_t rows = t.source_ip.size();
+    indices.clear();
+    if (rows == 0 || lc.records.empty() || lc.letter != t.letter) return false;
+    indices.reserve(rows);
+    std::size_t j = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::uint32_t ip = t.source_ip[r];
+        const std::uint32_t site = t.site[r];
+        const auto category = t.category[r];
+        const std::uint64_t qpd = f64_bits(t.queries_per_day[r]);
+        while (j < lc.records.size()) {
+            const auto& rec = lc.records[j];
+            if (rec.source_ip.value() == ip && rec.site == site &&
+                rec.category == category && f64_bits(rec.queries_per_day) == qpd) {
+                break;
+            }
+            ++j;
+        }
+        if (j == lc.records.size()) return false;
+        indices.push_back(static_cast<std::uint32_t>(j));
+        ++j;
+    }
+    return true;
 }
 
 void add_letter_capture_sections(writer& w, std::size_t i, const capture::letter_capture& lc) {
@@ -319,10 +367,10 @@ void add_letter_capture_sections(writer& w, std::size_t i, const capture::letter
         category.push_back(static_cast<std::uint8_t>(r.category));
         qpd.push_back(r.queries_per_day);
     }
-    w.add_column<std::uint32_t>(sec("ditl", i, "rec/source_ip"), source_ip);
-    w.add_column<std::uint32_t>(sec("ditl", i, "rec/site"), site);
-    w.add_column<std::uint8_t>(sec("ditl", i, "rec/category"), category);
-    w.add_column<double>(sec("ditl", i, "rec/qpd"), qpd);
+    w.add_column_encoded<std::uint32_t>(sec("ditl", i, "rec/source_ip"), source_ip);
+    w.add_column_encoded<std::uint32_t>(sec("ditl", i, "rec/site"), site);
+    w.add_column_encoded<std::uint8_t>(sec("ditl", i, "rec/category"), category);
+    w.add_column_encoded<double>(sec("ditl", i, "rec/qpd"), qpd);
 
     std::vector<std::uint32_t> tcp_source;
     std::vector<std::uint32_t> tcp_site;
@@ -341,11 +389,11 @@ void add_letter_capture_sections(writer& w, std::size_t i, const capture::letter
         tcp_median.push_back(t.median_rtt_ms);
         tcp_qpd.push_back(t.queries_per_day);
     }
-    w.add_column<std::uint32_t>(sec("ditl", i, "tcp/source"), tcp_source);
-    w.add_column<std::uint32_t>(sec("ditl", i, "tcp/site"), tcp_site);
-    w.add_column<std::int32_t>(sec("ditl", i, "tcp/samples"), tcp_samples);
-    w.add_column<double>(sec("ditl", i, "tcp/median"), tcp_median);
-    w.add_column<double>(sec("ditl", i, "tcp/qpd"), tcp_qpd);
+    w.add_column_encoded<std::uint32_t>(sec("ditl", i, "tcp/source"), tcp_source);
+    w.add_column_encoded<std::uint32_t>(sec("ditl", i, "tcp/site"), tcp_site);
+    w.add_column_encoded<std::int32_t>(sec("ditl", i, "tcp/samples"), tcp_samples);
+    w.add_column_encoded<double>(sec("ditl", i, "tcp/median"), tcp_median);
+    w.add_column_encoded<double>(sec("ditl", i, "tcp/qpd"), tcp_qpd);
 }
 
 capture::letter_capture read_letter_capture(const bundle& b, std::size_t i) {
@@ -359,10 +407,10 @@ capture::letter_capture read_letter_capture(const bundle& b, std::size_t i) {
     lc.ipv6_queries_per_day = meta.f64();
     meta.finish();
 
-    const auto source_ip = b.column<std::uint32_t>(sec("ditl", i, "rec/source_ip"));
-    const auto site = b.column<std::uint32_t>(sec("ditl", i, "rec/site"));
-    const auto category = b.column<std::uint8_t>(sec("ditl", i, "rec/category"));
-    const auto qpd = b.column<double>(sec("ditl", i, "rec/qpd"));
+    const auto source_ip = b.typed_column<std::uint32_t>(sec("ditl", i, "rec/source_ip"));
+    const auto site = b.typed_column<std::uint32_t>(sec("ditl", i, "rec/site"));
+    const auto category = b.typed_column<std::uint8_t>(sec("ditl", i, "rec/category"));
+    const auto qpd = b.typed_column<double>(sec("ditl", i, "rec/qpd"));
     if (site.size() != source_ip.size() || category.size() != source_ip.size() ||
         qpd.size() != source_ip.size()) {
         throw snapshot_error(errc::malformed, "ditl record columns disagree on row count");
@@ -378,11 +426,11 @@ capture::letter_capture read_letter_capture(const bundle& b, std::size_t i) {
                                                 qpd[r]};
     }
 
-    const auto tcp_source = b.column<std::uint32_t>(sec("ditl", i, "tcp/source"));
-    const auto tcp_site = b.column<std::uint32_t>(sec("ditl", i, "tcp/site"));
-    const auto tcp_samples = b.column<std::int32_t>(sec("ditl", i, "tcp/samples"));
-    const auto tcp_median = b.column<double>(sec("ditl", i, "tcp/median"));
-    const auto tcp_qpd = b.column<double>(sec("ditl", i, "tcp/qpd"));
+    const auto tcp_source = b.typed_column<std::uint32_t>(sec("ditl", i, "tcp/source"));
+    const auto tcp_site = b.typed_column<std::uint32_t>(sec("ditl", i, "tcp/site"));
+    const auto tcp_samples = b.typed_column<std::int32_t>(sec("ditl", i, "tcp/samples"));
+    const auto tcp_median = b.typed_column<double>(sec("ditl", i, "tcp/median"));
+    const auto tcp_qpd = b.typed_column<double>(sec("ditl", i, "tcp/qpd"));
     if (tcp_site.size() != tcp_source.size() || tcp_samples.size() != tcp_source.size() ||
         tcp_median.size() != tcp_source.size() || tcp_qpd.size() != tcp_source.size()) {
         throw snapshot_error(errc::malformed, "ditl tcp columns disagree on row count");
@@ -398,7 +446,8 @@ capture::letter_capture read_letter_capture(const bundle& b, std::size_t i) {
 
 // ----------------------------------------------------- letter table sections
 
-void add_letter_table_sections(writer& w, std::size_t i, const capture::letter_table& t) {
+void add_letter_table_sections(writer& w, std::size_t i, const capture::letter_table& t,
+                               const capture::letter_capture* raw_capture) {
     byte_sink meta;
     meta.u8(static_cast<std::uint8_t>(t.letter));
     meta.u8(static_cast<std::uint8_t>(t.spec.strategy));
@@ -407,13 +456,36 @@ void add_letter_table_sections(writer& w, std::size_t i, const capture::letter_t
     meta.i32(t.spec.local_sites);
     w.add_raw(sec("tables", i, "meta"), meta.bytes.data(), meta.bytes.size(),
               static_cast<std::uint32_t>(meta.bytes.size()));
-    w.add_column<std::uint32_t>(sec("tables", i, "source_ip"), t.source_ip.view());
-    w.add_column<std::uint32_t>(sec("tables", i, "site"), t.site.view());
-    w.add_column<std::uint8_t>(sec("tables", i, "category"),
-                               as_u8_span(t.category.view()));
-    w.add_column<double>(sec("tables", i, "qpd"), t.queries_per_day.view());
-    w.add_column<std::uint64_t>(sec("tables", i, "tcp_key"), t.tcp_key.view());
-    w.add_column<double>(sec("tables", i, "tcp_median"), t.tcp_median_rtt_ms.view());
+
+    // The filtered per-row columns are a row subset of the letter's raw
+    // capture records, which this file already wrote as ditl/i/rec/*. When
+    // the shared in-order mapping exists, store all four columns as xrefs
+    // over it — the four index payloads are byte-identical, so payload
+    // dedup keeps exactly one copy on disk.
+    std::vector<std::uint32_t> indices;
+    if (w.container_version() >= 2 && raw_capture != nullptr &&
+        joint_record_mapping(*raw_capture, t, indices)) {
+        w.add_column_xref<std::uint32_t>(sec("tables", i, "source_ip"),
+                                         sec("ditl", i, "rec/source_ip"), indices);
+        w.add_column_xref<std::uint32_t>(sec("tables", i, "site"),
+                                         sec("ditl", i, "rec/site"), indices);
+        w.add_column_xref<std::uint8_t>(sec("tables", i, "category"),
+                                        sec("ditl", i, "rec/category"), indices);
+        w.add_column_xref<double>(sec("tables", i, "qpd"), sec("ditl", i, "rec/qpd"),
+                                  indices);
+    } else {
+        add_encoded_column_from(w, sec("tables", i, "source_ip"), t.source_ip);
+        add_encoded_column_from(w, sec("tables", i, "site"), t.site);
+        std::vector<std::uint8_t> category;
+        category.reserve(t.category.size());
+        t.category.for_each([&](capture::query_category c) {
+            category.push_back(static_cast<std::uint8_t>(c));
+        });
+        w.add_column_encoded<std::uint8_t>(sec("tables", i, "category"), category);
+        add_encoded_column_from(w, sec("tables", i, "qpd"), t.queries_per_day);
+    }
+    add_encoded_column_from(w, sec("tables", i, "tcp_key"), t.tcp_key);
+    add_encoded_column_from(w, sec("tables", i, "tcp_median"), t.tcp_median_rtt_ms);
 }
 
 capture::letter_table read_letter_table(const bundle& b, std::size_t i) {
@@ -431,20 +503,13 @@ capture::letter_table read_letter_table(const bundle& b, std::size_t i) {
     t.spec.local_sites = meta.i32();
     meta.finish();
 
-    t.source_ip = table::column<std::uint32_t>::borrowed(
-        b.column<std::uint32_t>(sec("tables", i, "source_ip")));
-    t.site = table::column<std::uint32_t>::borrowed(
-        b.column<std::uint32_t>(sec("tables", i, "site")));
-    const auto category = b.column<std::uint8_t>(sec("tables", i, "category"));
-    t.category = table::column<capture::query_category>::borrowed(
-        {reinterpret_cast<const capture::query_category*>(category.data()),
-         category.size()});
-    t.queries_per_day =
-        table::column<double>::borrowed(b.column<double>(sec("tables", i, "qpd")));
-    t.tcp_key = table::column<std::uint64_t>::borrowed(
-        b.column<std::uint64_t>(sec("tables", i, "tcp_key")));
-    t.tcp_median_rtt_ms =
-        table::column<double>::borrowed(b.column<double>(sec("tables", i, "tcp_median")));
+    t.source_ip = b.typed_column<std::uint32_t>(sec("tables", i, "source_ip"));
+    t.site = b.typed_column<std::uint32_t>(sec("tables", i, "site"));
+    t.category = table::column_cast<capture::query_category>(
+        b.typed_column<std::uint8_t>(sec("tables", i, "category")));
+    t.queries_per_day = b.typed_column<double>(sec("tables", i, "qpd"));
+    t.tcp_key = b.typed_column<std::uint64_t>(sec("tables", i, "tcp_key"));
+    t.tcp_median_rtt_ms = b.typed_column<double>(sec("tables", i, "tcp_median"));
     if (t.site.size() != t.source_ip.size() || t.category.size() != t.source_ip.size() ||
         t.queries_per_day.size() != t.source_ip.size() ||
         t.tcp_median_rtt_ms.size() != t.tcp_key.size()) {
@@ -456,14 +521,14 @@ capture::letter_table read_letter_table(const bundle& b, std::size_t i) {
 // ------------------------------------------------------- telemetry sections
 
 void add_server_log_sections(writer& w, const cdn::server_log_table& t) {
-    w.add_column<std::uint32_t>("server/asn", t.asn.view());
-    w.add_column<std::uint32_t>("server/region", t.region.view());
-    w.add_column<std::int32_t>("server/ring", t.ring.view());
-    w.add_column<std::int32_t>("server/front_end", t.front_end.view());
-    w.add_column<double>("server/median_rtt_ms", t.median_rtt_ms.view());
-    w.add_column<std::int64_t>("server/samples", t.sample_count.view());
-    w.add_column<double>("server/users", t.users.view());
-    w.add_column<double>("server/front_end_km", t.front_end_km.view());
+    add_encoded_column_from(w, "server/asn", t.asn);
+    add_encoded_column_from(w, "server/region", t.region);
+    add_encoded_column_from(w, "server/ring", t.ring);
+    add_encoded_column_from(w, "server/front_end", t.front_end);
+    add_encoded_column_from(w, "server/median_rtt_ms", t.median_rtt_ms);
+    add_encoded_column_from(w, "server/samples", t.sample_count);
+    add_encoded_column_from(w, "server/users", t.users);
+    add_encoded_column_from(w, "server/front_end_km", t.front_end_km);
 }
 
 void add_client_sections(writer& w, std::span<const cdn::client_measurement_row> rows) {
@@ -487,12 +552,12 @@ void add_client_sections(writer& w, std::span<const cdn::client_measurement_row>
         samples.push_back(r.sample_count);
         users.push_back(r.users);
     }
-    w.add_column<std::uint32_t>("client/asn", asn);
-    w.add_column<std::uint32_t>("client/region", region);
-    w.add_column<std::int32_t>("client/ring", ring);
-    w.add_column<double>("client/median_fetch_ms", fetch);
-    w.add_column<std::int64_t>("client/samples", samples);
-    w.add_column<double>("client/users", users);
+    w.add_column_encoded<std::uint32_t>("client/asn", asn);
+    w.add_column_encoded<std::uint32_t>("client/region", region);
+    w.add_column_encoded<std::int32_t>("client/ring", ring);
+    w.add_column_encoded<double>("client/median_fetch_ms", fetch);
+    w.add_column_encoded<std::int64_t>("client/samples", samples);
+    w.add_column_encoded<double>("client/users", users);
 }
 
 // ------------------------------------------------------ population sections
@@ -509,16 +574,16 @@ void add_population_sections(writer& w, const pop::cdn_user_counts& cdn_counts,
         keys.push_back(e.key);
         users.push_back(e.users);
     }
-    w.add_column<std::uint32_t>("pop/cdn/block_key", keys);
-    w.add_column<double>("pop/cdn/block_users", users);
+    w.add_column_encoded<std::uint32_t>("pop/cdn/block_key", keys);
+    w.add_column_encoded<double>("pop/cdn/block_users", users);
     keys.clear();
     users.clear();
     for (const auto& e : ips) {
         keys.push_back(e.key);
         users.push_back(e.users);
     }
-    w.add_column<std::uint32_t>("pop/cdn/ip_key", keys);
-    w.add_column<double>("pop/cdn/ip_users", users);
+    w.add_column_encoded<std::uint32_t>("pop/cdn/ip_key", keys);
+    w.add_column_encoded<double>("pop/cdn/ip_users", users);
     w.add_scalar<double>("pop/cdn/total", cdn_counts.total_observed_users());
 
     const auto apnic = apnic_counts.entries();
@@ -529,15 +594,15 @@ void add_population_sections(writer& w, const pop::cdn_user_counts& cdn_counts,
         asns.push_back(e.asn);
         users.push_back(e.users);
     }
-    w.add_column<std::uint32_t>("pop/apnic/asn", asns);
-    w.add_column<double>("pop/apnic/users", users);
+    w.add_column_encoded<std::uint32_t>("pop/apnic/asn", asns);
+    w.add_column_encoded<double>("pop/apnic/users", users);
 }
 
 std::vector<pop::cdn_user_counts::entry> read_entry_pairs(const bundle& b,
                                                           std::string_view key_section,
                                                           std::string_view user_section) {
-    const auto keys = b.column<std::uint32_t>(key_section);
-    const auto users = b.column<double>(user_section);
+    const auto keys = b.typed_column<std::uint32_t>(key_section);
+    const auto users = b.typed_column<double>(user_section);
     if (keys.size() != users.size()) {
         throw snapshot_error(errc::malformed, "population key/user columns disagree");
     }
@@ -572,8 +637,9 @@ void save_ditl(const capture::ditl_dataset& dataset, const std::string& path) {
     w.write_file(path);
 }
 
-std::vector<std::byte> encode_world(const core::world& world) {
-    writer w;
+std::vector<std::byte> encode_world(const core::world& world,
+                                    std::uint32_t container_version) {
+    writer w{container_version};
     byte_sink config;
     encode_config(config, world.config());
     w.add_raw("world/config", config.bytes.data(), config.bytes.size());
@@ -594,10 +660,12 @@ std::vector<std::byte> encode_world(const core::world& world) {
     add_ditl_sections(w, world.ditl());
 
     const auto tables = world.filtered_tables();
+    const auto& letters = world.ditl().letters;
     w.add_scalar<std::uint32_t>("tables/letter_count",
                                 static_cast<std::uint32_t>(tables.size()));
     for (std::size_t i = 0; i < tables.size(); ++i) {
-        add_letter_table_sections(w, i, tables[i]);
+        add_letter_table_sections(w, i, tables[i],
+                                  i < letters.size() ? &letters[i] : nullptr);
     }
 
     add_server_log_sections(w, world.server_log_table());
@@ -606,11 +674,11 @@ std::vector<std::byte> encode_world(const core::world& world) {
     return w.finish();
 }
 
-void save_world(const core::world& world, const std::string& path) {
-    // finish() is already deterministic; writing via the writer keeps the
-    // file byte-identical to encode_world()'s image.
-    writer w;
-    const auto image = encode_world(world);
+void save_world(const core::world& world, const std::string& path,
+                std::uint32_t container_version) {
+    // finish() is already deterministic; writing the image directly keeps
+    // the file byte-identical to encode_world()'s bytes.
+    const auto image = encode_world(world, container_version);
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
         throw snapshot_error(errc::io, "cannot open '" + path + "' for writing");
@@ -652,19 +720,14 @@ std::vector<capture::letter_table> read_letter_tables(const bundle& b) {
 
 cdn::server_log_table read_server_log_table(const bundle& b) {
     cdn::server_log_table t;
-    t.asn = table::column<topo::asn_t>::borrowed(b.column<std::uint32_t>("server/asn"));
-    t.region =
-        table::column<topo::region_id>::borrowed(b.column<std::uint32_t>("server/region"));
-    t.ring = table::column<std::int32_t>::borrowed(b.column<std::int32_t>("server/ring"));
-    t.front_end =
-        table::column<std::int32_t>::borrowed(b.column<std::int32_t>("server/front_end"));
-    t.median_rtt_ms =
-        table::column<double>::borrowed(b.column<double>("server/median_rtt_ms"));
-    t.sample_count =
-        table::column<std::int64_t>::borrowed(b.column<std::int64_t>("server/samples"));
-    t.users = table::column<double>::borrowed(b.column<double>("server/users"));
-    t.front_end_km =
-        table::column<double>::borrowed(b.column<double>("server/front_end_km"));
+    t.asn = b.typed_column<std::uint32_t>("server/asn");
+    t.region = b.typed_column<std::uint32_t>("server/region");
+    t.ring = b.typed_column<std::int32_t>("server/ring");
+    t.front_end = b.typed_column<std::int32_t>("server/front_end");
+    t.median_rtt_ms = b.typed_column<double>("server/median_rtt_ms");
+    t.sample_count = b.typed_column<std::int64_t>("server/samples");
+    t.users = b.typed_column<double>("server/users");
+    t.front_end_km = b.typed_column<double>("server/front_end_km");
     const auto rows = t.asn.size();
     if (t.region.size() != rows || t.ring.size() != rows || t.front_end.size() != rows ||
         t.median_rtt_ms.size() != rows || t.sample_count.size() != rows ||
@@ -691,12 +754,12 @@ std::vector<cdn::server_log_row> read_server_log_rows(const bundle& b) {
 }
 
 std::vector<cdn::client_measurement_row> read_client_rows(const bundle& b) {
-    const auto asn = b.column<std::uint32_t>("client/asn");
-    const auto region = b.column<std::uint32_t>("client/region");
-    const auto ring = b.column<std::int32_t>("client/ring");
-    const auto fetch = b.column<double>("client/median_fetch_ms");
-    const auto samples = b.column<std::int64_t>("client/samples");
-    const auto users = b.column<double>("client/users");
+    const auto asn = b.typed_column<std::uint32_t>("client/asn");
+    const auto region = b.typed_column<std::uint32_t>("client/region");
+    const auto ring = b.typed_column<std::int32_t>("client/ring");
+    const auto fetch = b.typed_column<double>("client/median_fetch_ms");
+    const auto samples = b.typed_column<std::int64_t>("client/samples");
+    const auto users = b.typed_column<double>("client/users");
     if (region.size() != asn.size() || ring.size() != asn.size() ||
         fetch.size() != asn.size() || samples.size() != asn.size() ||
         users.size() != asn.size()) {

@@ -29,9 +29,16 @@ namespace ac::snapshot {
 /// Appends the DITL capture sections ("ditl/...") for `dataset` to `w`.
 void add_ditl_sections(writer& w, const capture::ditl_dataset& dataset);
 
-/// Full world snapshot as an in-memory image / on disk.
-[[nodiscard]] std::vector<std::byte> encode_world(const core::world& w);
-void save_world(const core::world& w, const std::string& path);
+/// Full world snapshot as an in-memory image / on disk. The default
+/// container version (2) stores columns encoded (dict/rle/delta/xref, see
+/// src/table/encoding.h) with payload dedup; passing 1 writes the original
+/// all-plain format for backward-compat round trips. Both are deterministic
+/// and hydrate to byte-identical worlds.
+[[nodiscard]] std::vector<std::byte> encode_world(const core::world& w,
+                                                  std::uint32_t container_version =
+                                                      format_version);
+void save_world(const core::world& w, const std::string& path,
+                std::uint32_t container_version = format_version);
 
 /// DITL-only snapshot (no config — cannot hydrate a world).
 [[nodiscard]] std::vector<std::byte> encode_ditl(const capture::ditl_dataset& dataset);

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -12,6 +13,7 @@
 #include "src/capture/serialize.h"
 #include "src/core/report.h"
 #include "src/snapshot/world_io.h"
+#include "src/snapshot/xxhash64.h"
 
 namespace {
 
@@ -106,6 +108,35 @@ protected:
         ADD_FAILURE() << "expected snapshot_error, image parsed cleanly";
         return snapshot::errc::io;
     }
+
+    /// Recomputes the file checksum after a deliberate in-place edit, so the
+    /// edit reaches the targeted validation layer instead of tripping the
+    /// whole-file checksum.
+    static void patch_file_checksum(std::vector<std::byte>& img) {
+        const std::uint64_t head = snapshot::xxhash64(img.data(), 56);
+        const std::uint64_t sum = snapshot::xxhash64(
+            img.data() + snapshot::header_bytes, img.size() - snapshot::header_bytes, head);
+        std::memcpy(img.data() + 56, &sum, sizeof sum);
+    }
+
+    /// Recomputes the stored checksum of every section whose payload starts
+    /// at `payload_offset` (shared/deduped payloads have several entries).
+    static void patch_section_checksums(std::vector<std::byte>& img,
+                                        std::uint64_t payload_offset) {
+        std::uint32_t count = 0;
+        std::memcpy(&count, img.data() + 12, sizeof count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            auto* entry =
+                img.data() + snapshot::header_bytes + snapshot::section_entry_bytes * i;
+            std::uint64_t off = 0;
+            std::uint64_t bytes = 0;
+            std::memcpy(&off, entry + 16, sizeof off);
+            std::memcpy(&bytes, entry + 24, sizeof bytes);
+            if (off != payload_offset) continue;
+            const std::uint64_t sum = snapshot::xxhash64(img.data() + off, bytes);
+            std::memcpy(entry + 32, &sum, sizeof sum);
+        }
+    }
 };
 
 // ------------------------------------------------------------ writer/reader
@@ -133,9 +164,11 @@ TEST_F(SnapshotFixture, WriterRoundTripsSectionsInMemory) {
     EXPECT_EQ(u[1], 11u);
     EXPECT_EQ(b->raw("blob").size(), sizeof raw);
 
-    // Every payload lands 64-byte aligned (the mmap zero-copy contract).
+    // Every payload lands aligned for its container version (the mmap
+    // zero-copy contract).
+    const auto alignment = snapshot::payload_alignment_for(b->container_version());
     for (const auto& s : b->sections()) {
-        EXPECT_EQ(s.payload_offset % snapshot::payload_alignment, 0u) << s.name;
+        EXPECT_EQ(s.payload_offset % alignment, 0u) << s.name;
     }
 }
 
@@ -205,15 +238,26 @@ TEST_F(SnapshotFixture, MappedColumnsAreZeroCopy) {
     const auto b = snapshot::bundle::open(path.string(), snapshot::load_mode::mapped);
     ASSERT_EQ(b->mode(), snapshot::load_mode::mapped);
     const auto hydrated = snapshot::hydrate_world(b);
-    // Borrowed table columns alias the bundle's bytes: same addresses.
+    // Table columns alias the bundle's bytes: encoded columns scan straight
+    // out of the mapped payload (never decoded on load), plain columns stay
+    // borrowed spans with pointer identity.
     ASSERT_FALSE(hydrated.filtered_tables().empty());
     const auto& t = hydrated.filtered_tables().front();
     EXPECT_FALSE(t.source_ip.owns());
-    EXPECT_EQ(t.source_ip.view().data(),
-              b->column<std::uint32_t>("tables/0/source_ip").data());
-    EXPECT_FALSE(hydrated.server_log_table().median_rtt_ms.owns());
-    EXPECT_EQ(hydrated.server_log_table().median_rtt_ms.view().data(),
-              b->column<double>("server/median_rtt_ms").data());
+    ASSERT_TRUE(t.source_ip.is_encoded());
+    EXPECT_NE(b->section("tables/0/source_ip").encoding, table::enc::encoding::plain);
+    EXPECT_EQ(t.source_ip.storage_origin(),
+              static_cast<const void*>(b->raw("tables/0/source_ip").data()));
+    const auto& median = hydrated.server_log_table().median_rtt_ms;
+    EXPECT_FALSE(median.owns());
+    ASSERT_TRUE(median.is_encoded());
+    EXPECT_EQ(median.storage_origin(),
+              static_cast<const void*>(b->raw("server/median_rtt_ms").data()));
+    // Plain sections keep the original borrowed-span identity.
+    const auto total = b->typed_column<double>("pop/cdn/total");
+    ASSERT_FALSE(total.is_encoded());
+    EXPECT_EQ(static_cast<const void*>(total.view().data()),
+              static_cast<const void*>(b->raw("pop/cdn/total").data()));
     std::filesystem::remove(path);
 #else
     GTEST_SKIP() << "no mmap on this platform";
@@ -277,6 +321,30 @@ TEST_F(SnapshotFixture, SnapshotBytesIdenticalAcrossThreadCounts) {
     EXPECT_EQ(snapshot::encode_world(rehydrated), image());
 }
 
+TEST_F(SnapshotFixture, V1ContainerRoundTripsAndV2Shrinks) {
+    // A v1 writer reproduces the original all-plain 64-byte-aligned format…
+    const auto v1 = snapshot::encode_world(w(), 1);
+    const auto b = snapshot::bundle::from_bytes(v1);
+    EXPECT_EQ(b->container_version(), 1u);
+    for (const auto& s : b->sections()) {
+        EXPECT_EQ(s.encoding, table::enc::encoding::plain) << s.name;
+        EXPECT_EQ(s.payload_offset % snapshot::payload_alignment, 0u) << s.name;
+    }
+    // …that still hydrates, and re-encodes at the default version to the
+    // exact image a live world produces (backward-compat reads are lossless).
+    const auto hydrated = snapshot::hydrate_world(b);
+    EXPECT_EQ(snapshot::encode_world(hydrated), image());
+    // The headline: the encoded v2 container is at least 2x smaller.
+    EXPECT_GE(v1.size(), 2 * image().size())
+        << "v1 " << v1.size() << " bytes vs v2 " << image().size();
+}
+
+TEST_F(SnapshotFixture, HydratedV1WorldReproducesGoldenFigures) {
+    const auto v1 = snapshot::encode_world(w(), 1);
+    const auto hydrated = snapshot::hydrate_world(snapshot::bundle::from_bytes(v1));
+    expect_golden_figures(hydrated, "v1");
+}
+
 TEST_F(SnapshotFixture, HydrateRejectsDitlOnlySnapshot) {
     const auto ditl_image = snapshot::encode_ditl(w().ditl());
     const auto b = snapshot::bundle::from_bytes(ditl_image);
@@ -316,6 +384,76 @@ TEST_F(SnapshotFixture, EveryFlippedSectionByteIsCaught) {
             EXPECT_EQ(code_of(corrupt), snapshot::errc::checksum_mismatch)
                 << s.name << " flip at " << at;
         }
+    }
+}
+
+TEST_F(SnapshotFixture, V1NonzeroEncodingFieldIsMalformed) {
+    // The v2 entry bytes ([9, 12): encoding tag + xref source) must be zero
+    // in a v1 file; a nonzero value is a structural error, not a checksum
+    // one, so the file checksum is re-patched to let the gate fire.
+    auto corrupt = snapshot::encode_world(w(), 1);
+    corrupt[snapshot::header_bytes + 9] = std::byte{1};
+    patch_file_checksum(corrupt);
+    EXPECT_EQ(code_of(corrupt), snapshot::errc::malformed);
+}
+
+TEST_F(SnapshotFixture, BadEncodingHeadersAreTyped) {
+    // Sabotage the bit-width byte inside every encoded section's payload
+    // header (0xff is invalid for every encoding) with both checksums
+    // re-patched: only the open-time encoding validation can catch it.
+    const auto b = snapshot::bundle::from_bytes(image());
+    std::size_t tested = 0;
+    for (const auto& s : b->sections()) {
+        if (s.encoding == table::enc::encoding::plain) continue;
+        auto corrupt = image();
+        corrupt[s.payload_offset + 4] = std::byte{0xff};
+        patch_section_checksums(corrupt, s.payload_offset);
+        patch_file_checksum(corrupt);
+        EXPECT_EQ(code_of(corrupt), snapshot::errc::bad_encoding) << s.name;
+        ++tested;
+    }
+    EXPECT_GT(tested, 0u) << "world image has no encoded sections";
+}
+
+TEST_F(SnapshotFixture, EncodedPayloadCorruptionIsTyped) {
+    // Flipping bytes inside the packed data (past the header) must also be
+    // caught by the open-time validation or fail closed with a checksum
+    // mismatch — never parse into an out-of-range view.
+    const auto b = snapshot::bundle::from_bytes(image());
+    for (const auto& s : b->sections()) {
+        if (s.encoding == table::enc::encoding::plain) continue;
+        if (s.payload_bytes < 17) continue;
+        auto corrupt = image();
+        corrupt[s.payload_offset + 16] ^= std::byte{0xff};
+        patch_section_checksums(corrupt, s.payload_offset);
+        patch_file_checksum(corrupt);
+        try {
+            const auto parsed = snapshot::bundle::from_bytes(corrupt);
+            // A flip that survives validation decoded to different values;
+            // the view must still be in range (scanning must not crash).
+            for (const auto& ps : parsed->sections()) {
+                ASSERT_LE(ps.payload_offset + ps.payload_bytes, corrupt.size());
+            }
+        } catch (const snapshot::snapshot_error& e) {
+            EXPECT_TRUE(e.code() == snapshot::errc::bad_encoding ||
+                        e.code() == snapshot::errc::checksum_mismatch)
+                << s.name << ": " << e.what();
+        }
+    }
+}
+
+TEST_F(SnapshotFixture, NonXrefSourceIndexIsTyped) {
+    // A nonzero xref-source entry field on a non-xref section is typed.
+    const auto b = snapshot::bundle::from_bytes(image());
+    for (std::size_t i = 0; i < b->sections().size(); ++i) {
+        const auto& s = b->sections()[i];
+        if (s.encoding != table::enc::encoding::dict) continue;
+        auto corrupt = image();
+        corrupt[snapshot::header_bytes + snapshot::section_entry_bytes * i + 10] =
+            std::byte{1};
+        patch_file_checksum(corrupt);
+        EXPECT_EQ(code_of(corrupt), snapshot::errc::bad_encoding) << s.name;
+        break;
     }
 }
 

@@ -2,6 +2,7 @@
 // determinism contract the analyses build on.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <unordered_map>
 
@@ -174,6 +175,246 @@ TEST(Column, PushAndView) {
     const auto view = col.view();
     ASSERT_EQ(view.size(), 2u);
     EXPECT_EQ(view[0], 5u);
+}
+
+// ------------------------------------------------------- encoded columns --
+
+/// Encodes `values`, parses the payload back (through the same validating
+/// parser the snapshot reader uses), and checks both random access and the
+/// sequential scan reproduce every value bit-for-bit.
+template <typename T>
+void expect_encoding_roundtrip(const std::vector<T>& values, const char* context) {
+    const auto encoded =
+        table::enc::choose_and_encode<T>(std::span<const T>{values});
+    if (encoded.kind == table::enc::encoding::plain) return;  // nothing to decode
+    EXPECT_LT(encoded.bytes.size(), values.size() * sizeof(T))
+        << context << ": chosen encoding must beat plain";
+
+    table::enc::view_core core;
+    const auto err = table::enc::parse_view(encoded.kind, encoded.bytes, sizeof(T), core);
+    ASSERT_TRUE(err.empty()) << context << ": " << err;
+    table::enc::any_view view;
+    view.self = core;
+    view.encoded_bytes = encoded.bytes.size();
+    view.origin = encoded.bytes.data();
+    ASSERT_EQ(view.rows(), values.size()) << context;
+
+    const auto col = table::column<T>::encoded(view);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const T got = col[i];
+        EXPECT_EQ(std::memcmp(&got, &values[i], sizeof(T)), 0)
+            << context << " (" << table::enc::encoding_name(encoded.kind)
+            << ") random access at row " << i;
+    }
+    std::size_t at = 0;
+    col.for_each([&](T v) {
+        ASSERT_LT(at, values.size()) << context;
+        EXPECT_EQ(std::memcmp(&v, &values[at], sizeof(T)), 0)
+            << context << " (" << table::enc::encoding_name(encoded.kind)
+            << ") scan at row " << at;
+        ++at;
+    });
+    EXPECT_EQ(at, values.size()) << context;
+
+    const auto materialized = col.materialize();
+    EXPECT_EQ(std::memcmp(materialized.data(), values.data(), values.size() * sizeof(T)),
+              0)
+        << context;
+}
+
+/// Value shapes covering every encoding's sweet spot plus the cases meant to
+/// fall back to plain, swept across block-boundary sizes.
+template <typename T>
+void run_encoding_shapes(std::uint64_t seed) {
+    rand::rng gen{seed};
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{127}, std::size_t{128},
+          std::size_t{129}, std::size_t{4096}}) {
+        std::vector<T> constant(n, static_cast<T>(42));
+        expect_encoding_roundtrip(constant, "constant");
+
+        std::vector<T> low_card;
+        std::vector<T> sorted;
+        std::vector<T> runs;
+        std::vector<T> high_card;
+        for (std::size_t i = 0; i < n; ++i) {
+            low_card.push_back(static_cast<T>(gen.next() % 7));
+            sorted.push_back(static_cast<T>(i * 3 + (gen.next() % 3)));
+            runs.push_back(static_cast<T>((i / 50) * 1000));
+            high_card.push_back(static_cast<T>(gen.next()));
+        }
+        expect_encoding_roundtrip(low_card, "low-cardinality");
+        expect_encoding_roundtrip(sorted, "sorted near-arithmetic");
+        expect_encoding_roundtrip(runs, "long runs");
+        expect_encoding_roundtrip(high_card, "high-cardinality");
+    }
+}
+
+TEST(Encoding, RoundTripsAllShapesU32) { run_encoding_shapes<std::uint32_t>(101); }
+TEST(Encoding, RoundTripsAllShapesU64) { run_encoding_shapes<std::uint64_t>(103); }
+TEST(Encoding, RoundTripsAllShapesI64) { run_encoding_shapes<std::int64_t>(105); }
+
+TEST(Encoding, RoundTripsDoublesBitwise) {
+    // Doubles encode by bit pattern; -0.0, denormals and NaN payloads must
+    // survive exactly.
+    std::vector<double> values{0.0, -0.0, 1.5, 1.5, 1.5, 5e-324, -5e-324, 1e300};
+    values.resize(300, 1.5);  // long tail run: rle candidate
+    expect_encoding_roundtrip(values, "special doubles");
+
+    rand::rng gen{107};
+    std::vector<double> quantized;
+    for (std::size_t i = 0; i < 1000; ++i) {
+        quantized.push_back(static_cast<double>(gen.next() % 16) * 0.25);
+    }
+    expect_encoding_roundtrip(quantized, "quantized doubles");
+}
+
+TEST(Encoding, ChoosesExpectedKinds) {
+    // The chooser is exact-size-driven; pin the obvious shapes so heuristic
+    // regressions are visible.
+    // Constant: dict and rle tie at 32 bytes; the smaller tag (dict) wins.
+    const std::vector<std::uint32_t> constant(1000, 7);
+    EXPECT_EQ(table::enc::choose_and_encode<std::uint32_t>(constant).kind,
+              table::enc::encoding::dict);
+    // Long runs of distinct values: rle beats the dict's per-row codes.
+    std::vector<std::uint32_t> runs;
+    for (std::uint32_t i = 0; i < 1000; ++i) runs.push_back((i / 50) * 1000);
+    EXPECT_EQ(table::enc::choose_and_encode<std::uint32_t>(runs).kind,
+              table::enc::encoding::rle);
+    std::vector<std::uint32_t> arithmetic;
+    for (std::uint32_t i = 0; i < 1000; ++i) arithmetic.push_back(1000000 + i);
+    EXPECT_EQ(table::enc::choose_and_encode<std::uint32_t>(arithmetic).kind,
+              table::enc::encoding::delta);
+    rand::rng gen{109};
+    std::vector<std::uint64_t> wide;
+    for (std::size_t i = 0; i < 500; ++i) wide.push_back(gen.next());
+    EXPECT_EQ(table::enc::choose_and_encode<std::uint64_t>(wide).kind,
+              table::enc::encoding::plain);
+}
+
+TEST(Encoding, XrefRoundTripsThroughSource) {
+    // Source: a dict-friendly column; xref: a row subset of it.
+    std::vector<std::uint32_t> source;
+    rand::rng gen{111};
+    for (std::size_t i = 0; i < 2000; ++i) {
+        source.push_back(static_cast<std::uint32_t>(gen.next() % 50) * 8 + 1000000);
+    }
+    const auto src_encoded =
+        table::enc::choose_and_encode<std::uint32_t>(std::span<const std::uint32_t>{source});
+    ASSERT_NE(src_encoded.kind, table::enc::encoding::plain);
+    table::enc::view_core src_core;
+    ASSERT_EQ(table::enc::parse_view(src_encoded.kind, src_encoded.bytes, 4, src_core), "");
+
+    std::vector<std::uint32_t> indices;
+    for (std::uint32_t i = 0; i < 2000; i += 3) indices.push_back(i);
+    const auto xref_bytes =
+        table::enc::encode_xref(std::span<const std::uint32_t>{indices}, source.size());
+    table::enc::any_view view;
+    const auto err = table::enc::parse_xref(xref_bytes, 4, src_core, view);
+    ASSERT_TRUE(err.empty()) << err;
+
+    const auto col = table::column<std::uint32_t>::encoded(view);
+    ASSERT_EQ(col.size(), indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        EXPECT_EQ(col[i], source[indices[i]]) << i;
+    }
+    std::size_t at = 0;
+    col.for_each([&](std::uint32_t v) { EXPECT_EQ(v, source[indices[at++]]); });
+}
+
+TEST(Encoding, RejectsCorruptHeaders) {
+    std::vector<std::uint32_t> values;
+    for (std::uint32_t i = 0; i < 1000; ++i) values.push_back(i % 9);
+    const auto encoded =
+        table::enc::choose_and_encode<std::uint32_t>(std::span<const std::uint32_t>{values});
+    ASSERT_NE(encoded.kind, table::enc::encoding::plain);
+    table::enc::view_core core;
+    ASSERT_EQ(table::enc::parse_view(encoded.kind, encoded.bytes, 4, core), "");
+    // Every single-byte flip inside the 16-byte header must be rejected or
+    // still parse to in-range rows — never crash or index out of bounds.
+    for (std::size_t at = 0; at < table::enc::header_bytes; ++at) {
+        for (const auto flip : {std::byte{0x01}, std::byte{0x80}, std::byte{0xff}}) {
+            auto corrupt = encoded.bytes;
+            corrupt[at] ^= flip;
+            table::enc::view_core out;
+            const auto err = table::enc::parse_view(encoded.kind, corrupt, 4, out);
+            if (err.empty()) {
+                // A flip may survive inside the 8-byte padding slack (e.g. a
+                // row count nudged within the same packed size); survivors
+                // must still scan fully in bounds (the asan lane enforces it).
+                table::enc::any_view v;
+                v.self = out;
+                for (std::uint64_t i = 0; i < out.rows; ++i) (void)v.bits_at(i);
+            }
+        }
+    }
+    // Truncations at any boundary are rejected.
+    for (const std::size_t keep : {std::size_t{0}, std::size_t{8}, std::size_t{15},
+                                   std::size_t{16}, encoded.bytes.size() - 1}) {
+        std::vector<std::byte> cut{encoded.bytes.begin(),
+                                   encoded.bytes.begin() + static_cast<long>(keep)};
+        table::enc::view_core out;
+        EXPECT_FALSE(table::enc::parse_view(encoded.kind, cut, 4, out).empty())
+            << "kept " << keep;
+    }
+}
+
+TEST(Grouping, DictColumnFastPathMatchesSpanPath) {
+    rand::rng gen{113};
+    std::vector<std::uint32_t> keys;
+    for (std::size_t i = 0; i < 3000; ++i) {
+        keys.push_back(static_cast<std::uint32_t>(gen.next() % 40) * 256);
+    }
+    const auto encoded =
+        table::enc::choose_and_encode<std::uint32_t>(std::span<const std::uint32_t>{keys});
+    ASSERT_EQ(encoded.kind, table::enc::encoding::dict);
+    table::enc::view_core core;
+    ASSERT_EQ(table::enc::parse_view(encoded.kind, encoded.bytes, 4, core), "");
+    table::enc::any_view view;
+    view.self = core;
+    const auto col = table::column<std::uint32_t>::encoded(view);
+
+    const auto fast = table::make_grouping(col);
+    const auto reference = table::make_grouping(std::span<const std::uint32_t>{keys});
+    EXPECT_EQ(fast.keys, reference.keys);
+    EXPECT_EQ(fast.offsets, reference.offsets);
+    EXPECT_EQ(fast.order, reference.order);
+}
+
+TEST(SortPermutation, PartitionedMatchesSerialPermutation) {
+    engine::thread_pool pool{4};
+    rand::rng gen{115};
+    for (const std::size_t n : {std::size_t{40000}, std::size_t{100000}}) {
+        std::vector<std::uint32_t> keys;
+        keys.reserve(n);
+        // Mixed-entropy keys: duplicates, clusters, and full-range values.
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto r = gen.next();
+            keys.push_back(r % 3 == 0 ? static_cast<std::uint32_t>(r % 1000)
+                                      : static_cast<std::uint32_t>(r));
+        }
+        const auto serial = table::sort_permutation(std::span<const std::uint32_t>{keys});
+        const auto parallel =
+            table::sort_permutation(std::span<const std::uint32_t>{keys}, &pool);
+        EXPECT_EQ(parallel, serial) << n;
+    }
+    // Constant keys short-circuit to the identity permutation.
+    const std::vector<std::uint64_t> same(50000, 9);
+    const auto perm = table::sort_permutation(std::span<const std::uint64_t>{same}, &pool);
+    EXPECT_EQ(perm, table::sort_permutation(std::span<const std::uint64_t>{same}));
+}
+
+TEST(SortedLookup, ColumnConstructorMatchesSpanConstructor) {
+    const std::vector<std::uint64_t> keys{9, 3, 7, 3, 1};
+    const std::vector<double> values{90.0, 30.0, 70.0, 33.0, 10.0};
+    table::column<std::uint64_t> kc;
+    table::column<double> vc;
+    for (const auto k : keys) kc.push_back(k);
+    for (const auto v : values) vc.push_back(v);
+    const table::sorted_lookup<std::uint64_t, double> from_columns{kc, vc};
+    EXPECT_EQ(from_columns.size(), 4u);
+    ASSERT_NE(from_columns.find(3), nullptr);
+    EXPECT_DOUBLE_EQ(*from_columns.find(3), 33.0);
 }
 
 } // namespace

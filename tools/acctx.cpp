@@ -11,6 +11,7 @@
 //   acctx export    [...] --out F   write the DITL dataset (--format text|snapshot)
 //   acctx analyze   --in F          filter + summarize a capture file
 //   acctx snapshot  [...] --out F   build a world and archive it as a snapshot
+//   acctx snapshot  --info F        print an existing snapshot's section table
 //   acctx report    [...] --out DIR write plot-ready CSVs for every figure
 //   acctx scenario  [...] --timeline F [--letters KF] [--out CSV]
 //                                   replay a failover event timeline and
@@ -31,6 +32,7 @@
 //
 #include <algorithm>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -62,6 +64,7 @@ struct cli_options {
     bool timing = false;
     std::optional<std::string> in_path;
     std::optional<std::string> out_path;
+    std::optional<std::string> info_path;
     std::optional<std::string> from_snapshot;
     std::optional<std::string> trace_path;
     std::optional<std::string> metrics_path;
@@ -78,13 +81,15 @@ struct cli_options {
               << "             [--seed N] [--scale small|full] [--year 2018|2020]\n"
               << "             [--threads N] [--timing] [--in FILE] [--out FILE]\n"
               << "             [--from-snapshot FILE] [--format text|snapshot]\n"
-              << "             [--timeline FILE] [--letters STR]\n"
+              << "             [--timeline FILE] [--letters STR] [--info FILE]\n"
               << "  --threads N       construction threads (0 = hardware concurrency,\n"
               << "                    1 = serial); output is identical at any N\n"
               << "  --timing          with 'world': print the per-stage build report as JSON\n"
               << "  --from-snapshot F analysis commands: load datasets from a snapshot\n"
               << "                    (conflicts with --seed/--scale/--year)\n"
               << "  --format FMT      export/analyze: capture file format (text|snapshot)\n"
+              << "  --info F          snapshot: print the section table (name, type,\n"
+              << "                    encoding, raw vs stored bytes, checksum) and totals\n"
               << "  --trace F         any command: write a Chrome trace_event JSON of every\n"
               << "                    instrumented span (load at chrome://tracing); output\n"
               << "                    bytes are unchanged by tracing\n"
@@ -109,7 +114,7 @@ bool flag_applies(const std::string& command, const std::string& flag) {
         {"amortize", {"--seed", "--scale", "--year", "--threads", "--from-snapshot"}},
         {"cdn", {"--seed", "--scale", "--year", "--threads", "--from-snapshot"}},
         {"export", {"--seed", "--scale", "--year", "--threads", "--out", "--format"}},
-        {"snapshot", {"--seed", "--scale", "--year", "--threads", "--out"}},
+        {"snapshot", {"--seed", "--scale", "--year", "--threads", "--out", "--info"}},
         {"report", {"--seed", "--scale", "--year", "--threads", "--out", "--from-snapshot"}},
         {"scenario", {"--seed", "--scale", "--year", "--threads", "--out", "--from-snapshot",
                       "--timeline", "--letters"}},
@@ -151,7 +156,7 @@ cli_options parse_args(int argc, char** argv) {
         };
         if (arg == "--help" || arg == "-h") usage(0);
         if (arg == "--seed" || arg == "--scale" || arg == "--year" || arg == "--threads" ||
-            arg == "--timing" || arg == "--in" || arg == "--out" ||
+            arg == "--timing" || arg == "--in" || arg == "--out" || arg == "--info" ||
             arg == "--from-snapshot" || arg == "--format" || arg == "--trace" ||
             arg == "--metrics-json" || arg == "--timeline" || arg == "--letters") {
             check_applies();
@@ -188,6 +193,8 @@ cli_options parse_args(int argc, char** argv) {
             options.in_path = value();
         } else if (arg == "--out") {
             options.out_path = value();
+        } else if (arg == "--info") {
+            options.info_path = value();
         } else if (arg == "--from-snapshot") {
             options.from_snapshot = value();
         } else if (arg == "--trace") {
@@ -359,7 +366,7 @@ int cmd_amortize(const cli_options& options) {
     const auto w = build_world(options);
     const auto result = analysis::compute_amortization(
         w.filtered_tables(), w.users(), w.cdn_user_counts(), w.apnic_user_counts(),
-        w.as_mapper(), w.config().query_model);
+        w.as_mapper(), w.config().query_model, {}, w.pool());
     core::print_cdf_row(std::cout, "Ideal", result.ideal, "q/user/day");
     core::print_cdf_row(std::cout, "CDN", result.cdn, "q/user/day");
     core::print_cdf_row(std::cout, "APNIC", result.apnic, "q/user/day");
@@ -399,7 +406,61 @@ int cmd_export(const cli_options& options) {
     return 0;
 }
 
+const char* elem_type_name(snapshot::elem_type t) {
+    switch (t) {
+        case snapshot::elem_type::raw: return "raw";
+        case snapshot::elem_type::u8: return "u8";
+        case snapshot::elem_type::u32: return "u32";
+        case snapshot::elem_type::u64: return "u64";
+        case snapshot::elem_type::i32: return "i32";
+        case snapshot::elem_type::i64: return "i64";
+        case snapshot::elem_type::f64: return "f64";
+    }
+    return "?";
+}
+
+/// `acctx snapshot --info FILE`: the section table of an existing snapshot
+/// (name, type, encoding, decoded vs stored bytes, checksum) plus totals.
+int print_snapshot_info(const std::string& path) {
+    const auto bundle = snapshot::bundle::open(path);
+    std::cout << std::left << std::setw(36) << "section" << std::setw(6) << "type"
+              << std::setw(8) << "encoding" << std::right << std::setw(12) << "raw_bytes"
+              << std::setw(14) << "stored_bytes" << "  checksum\n";
+    std::uint64_t raw_total = 0;
+    std::uint64_t stored_total = 0;
+    for (const auto& s : bundle->sections()) {
+        // raw(=decoded) size: element count times element size; raw-typed
+        // sections are already byte blobs.
+        const std::uint64_t raw_bytes =
+            s.type == snapshot::elem_type::raw ? s.payload_bytes : s.rows * s.elem_size;
+        raw_total += raw_bytes;
+        stored_total += s.payload_bytes;
+        std::cout << std::left << std::setw(36) << s.name << std::setw(6)
+                  << elem_type_name(s.type) << std::setw(8)
+                  << table::enc::encoding_name(s.encoding) << std::right << std::setw(12)
+                  << raw_bytes << std::setw(14) << s.payload_bytes << "  " << std::hex
+                  << std::setfill('0') << std::setw(16) << s.checksum << std::dec
+                  << std::setfill(' ') << "\n";
+    }
+    const double ratio = bundle->file_bytes() > 0
+                             ? static_cast<double>(raw_total) /
+                                   static_cast<double>(bundle->file_bytes())
+                             : 0.0;
+    std::cout << bundle->sections().size() << " sections (container v"
+              << bundle->container_version() << "): raw " << raw_total << " bytes, stored "
+              << stored_total << " bytes, file " << bundle->file_bytes() << " bytes ("
+              << std::fixed << std::setprecision(2) << ratio << "x raw/file)\n";
+    return 0;
+}
+
 int cmd_snapshot(const cli_options& options) {
+    if (options.info_path) {
+        if (options.out_path) {
+            std::cerr << "acctx snapshot: --info and --out are mutually exclusive\n";
+            return 2;
+        }
+        return print_snapshot_info(*options.info_path);
+    }
     if (!options.out_path) {
         std::cerr << "acctx snapshot: --out FILE required\n";
         return 2;
