@@ -1,0 +1,226 @@
+// Serving baseline: the snapshot-backed query service's read hot path.
+//
+// The serving contract (DESIGN §13) is that after startup the engine is
+// logically const — every answer is a binary search or a wait-free probe
+// over sealed arrays — so point-query throughput is bounded by formatting,
+// not locking. This bench pins that claim on the small world:
+//
+//   * engine.qps    — point queries/s straight through query_engine
+//     (batched inflation_json over the indexed ASes, no sockets)
+//   * http.qps      — point queries/s end to end over HTTP/1.1 keep-alive
+//     (batched GET /inflation, 32 keys per request, loopback client)
+//   * http.p99_us   — 99th-percentile request latency in microseconds
+//   * queries_per_minute — the gated acceptance bar (>= 1M/min sustained)
+//
+//   bench_serve [--threads N] [--repeat R] [--out FILE]
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#define AC_BENCH_NO_HARNESS
+#include "bench/bench_common.h"
+#include "src/core/world.h"
+#include "src/serve/http.h"
+#include "src/serve/query_engine.h"
+
+namespace {
+
+using namespace ac;
+
+using clock_type = std::chrono::steady_clock;
+
+constexpr std::size_t batch_size = 32;  // keys per request, engine and HTTP legs alike
+
+/// Blocking loopback HTTP/1.1 client: one keep-alive connection, one
+/// request in flight. Reads headers, honours Content-Length, reuses its
+/// buffers across requests like the server's conn_arena does.
+class loopback_client {
+public:
+    explicit loopback_client(std::uint16_t port) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0) throw std::runtime_error("bench_serve: socket() failed");
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+            ::close(fd_);
+            throw std::runtime_error("bench_serve: connect() failed");
+        }
+    }
+    ~loopback_client() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+    loopback_client(const loopback_client&) = delete;
+    loopback_client& operator=(const loopback_client&) = delete;
+
+    /// One round trip; returns the response byte count (0 on failure).
+    std::size_t get(const std::string& target) {
+        request_.clear();
+        request_ += "GET ";
+        request_ += target;
+        request_ += " HTTP/1.1\r\nHost: bench\r\n\r\n";
+        if (!write_all(request_.data(), request_.size())) return 0;
+
+        // Headers first (scan for the blank line), then the body by length.
+        response_.clear();
+        std::size_t header_end = std::string::npos;
+        while (header_end == std::string::npos) {
+            if (!fill()) return 0;
+            header_end = response_.find("\r\n\r\n");
+        }
+        const std::size_t body_start = header_end + 4;
+        const std::size_t content_length = parse_content_length(response_);
+        while (response_.size() < body_start + content_length) {
+            if (!fill()) return 0;
+        }
+        return body_start + content_length;
+    }
+
+private:
+    bool write_all(const char* data, std::size_t len) {
+        while (len > 0) {
+            const ssize_t n = ::send(fd_, data, len, 0);
+            if (n <= 0) return false;
+            data += n;
+            len -= static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    bool fill() {
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0) return false;
+        response_.append(chunk, static_cast<std::size_t>(n));
+        return true;
+    }
+
+    static std::size_t parse_content_length(const std::string& response) {
+        const auto pos = response.find("Content-Length: ");
+        if (pos == std::string::npos) return 0;
+        return static_cast<std::size_t>(
+            std::strtoull(response.c_str() + pos + 16, nullptr, 10));
+    }
+
+    int fd_ = -1;
+    std::string request_;
+    std::string response_;
+};
+
+double percentile(std::vector<double>& values, double p) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(values.size()))) - 1;
+    return values[std::min(idx, values.size() - 1)];
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto args =
+        bench::bench_args::parse(argc, argv, "bench_serve", 3, "BENCH_serve.json");
+
+    std::cerr << "building small world + serving indexes...\n";
+    auto config = core::world_config::small();
+    config.threads = 1;
+    auto startup = clock_type::now();
+    serve::query_engine engine{std::make_unique<core::world>(std::move(config))};
+    const double startup_ms = bench::ms_since(startup);
+
+    const auto asns = engine.index().asns();
+    if (asns.size() < batch_size) {
+        std::cerr << "bench_serve: too few indexed ASes (" << asns.size() << ")\n";
+        return 1;
+    }
+
+    bench::report report{"serve", "small", args.repeat};
+    report.set_note("engine.qps = point queries/s through query_engine (batched "
+                    "inflation_json, no sockets); http.qps = the same queries end to end "
+                    "over HTTP/1.1 keep-alive on loopback, 32 keys per GET; "
+                    "queries_per_minute gates the DESIGN §13 acceptance bar (>= 1M "
+                    "point queries per minute sustained)");
+    using bench::direction;
+    auto& engine_qps = report.add_metric("engine.qps", "qps", direction::higher_is_better, 0.6);
+    auto& http_qps = report.add_metric("http.qps", "qps", direction::higher_is_better, 0.6);
+    auto& http_p99 = report.add_metric("http.p99_us", "us", direction::lower_is_better, 3.0);
+
+    // Leg 1: in-process point queries, the serving hot path minus sockets.
+    // Batches rotate through the indexed ASes so every answer row is real.
+    std::cerr << "engine leg: batched inflation point queries...\n";
+    constexpr std::size_t engine_queries = 200'000;
+    std::vector<topo::asn_t> keys(batch_size);
+    std::string body;
+    for (int r = 0; r < args.repeat; ++r) {
+        std::size_t cursor = 0;
+        const auto start = clock_type::now();
+        for (std::size_t done = 0; done < engine_queries; done += batch_size) {
+            for (std::size_t i = 0; i < batch_size; ++i) {
+                keys[i] = asns[cursor++ % asns.size()];
+            }
+            engine.inflation_json(keys, body);
+        }
+        engine_qps.add(static_cast<double>(engine_queries) / (bench::ms_since(start) / 1e3));
+    }
+
+    // Leg 2: the same queries through the HTTP front end on loopback.
+    std::cerr << "http leg: keep-alive batched GET /inflation...\n";
+    serve::http_server server{engine, {.port = 0}};
+    server.start();
+    constexpr std::size_t http_requests = 2'000;
+    std::vector<double> latencies_us;
+    latencies_us.reserve(http_requests);
+    {
+        loopback_client client{server.port()};
+        std::string target;
+        std::size_t cursor = 0;
+        for (int r = 0; r < args.repeat; ++r) {
+            latencies_us.clear();
+            const auto start = clock_type::now();
+            for (std::size_t req = 0; req < http_requests; ++req) {
+                target.assign("/inflation?asn=");
+                for (std::size_t i = 0; i < batch_size; ++i) {
+                    if (i > 0) target += ',';
+                    target += std::to_string(asns[cursor++ % asns.size()]);
+                }
+                const auto t0 = clock_type::now();
+                if (client.get(target) == 0) {
+                    std::cerr << "bench_serve: request failed\n";
+                    return 1;
+                }
+                latencies_us.push_back(bench::ms_since(t0) * 1e3);
+            }
+            const double wall_s = bench::ms_since(start) / 1e3;
+            http_qps.add(static_cast<double>(http_requests * batch_size) / wall_s);
+            http_p99.add(percentile(latencies_us, 0.99));
+        }
+    }
+    server.stop();
+
+    const double per_minute = http_qps.median() * 60.0;
+    report.add_scalar("queries_per_minute", "qpm", direction::higher_is_better, 0.6,
+                      per_minute);
+    if (per_minute < 1e6) {
+        std::cerr << "WARNING: " << per_minute
+                  << " point queries/minute over HTTP (acceptance bar is 1M/min)\n";
+    }
+
+    std::ostringstream info;
+    info << "{\"indexed_ases\": " << asns.size()
+         << ", \"indexed_slash24s\": " << engine.index().slash24_keys().size()
+         << ", \"selects_sealed\": " << engine.frozen_entries()
+         << ", \"batch_size\": " << batch_size << ", \"startup_ms\": " << startup_ms
+         << ", \"threads\": " << args.threads << "}";
+    report.add_details("workload", info.str());
+    return report.write_file_and_stdout(args.out_path);
+}

@@ -58,7 +58,7 @@ LENIENT_FACTOR = 3.0
 # doubled in size regressed no matter which box measured it.
 MACHINE_INDEPENDENT_UNITS = {"bytes", "ratio"}
 
-BENCHES = ["world_build", "routing", "analysis", "snapshot", "table", "scenario"]
+BENCHES = ["world_build", "routing", "analysis", "snapshot", "table", "scenario", "serve"]
 
 
 def load_report(path):
@@ -302,6 +302,40 @@ def cmd_selftest():
         ratio=(1.6, "higher", 0.25, "ratio"),
         wall_ms=(10.0, "lower", 0.25, "ms"),
     ), True, 0)
+
+    # Serving metrics: throughput ("qps") gates like any higher-is-better
+    # metric, and microsecond latencies ("us") get no sub-ms slack — that
+    # allowance is reserved for "ms" metrics, so a p99 blowup past the
+    # relative band fails even though the absolute move is tiny.
+    serve_base = synthetic_report(
+        qps=(800000.0, "higher", 0.6, "qps"),
+        p99_us=(70.0, "lower", 3.0, "us"),
+    )
+
+    def expect_serve(label, fresh, lenient, want_failures):
+        fresh_by_name = {m["name"]: m for m in fresh["metrics"]}
+        failures = 0
+        for m in serve_base["metrics"]:
+            ok, _, _ = check_metric(m, fresh_by_name[m["name"]], lenient)
+            failures += 0 if ok else 1
+        if failures != want_failures:
+            print(f"selftest FAILED: {label}: {failures} failures, wanted {want_failures}")
+            return 1
+        print(f"selftest ok: {label}")
+        return 0
+
+    bad += expect_serve("serve within band", synthetic_report(
+        qps=(400000.0, "higher", 0.6, "qps"),
+        p99_us=(250.0, "lower", 3.0, "us"),
+    ), False, 0)
+    bad += expect_serve("serve throughput collapse", synthetic_report(
+        qps=(100000.0, "higher", 0.6, "qps"),
+        p99_us=(70.0, "lower", 3.0, "us"),
+    ), False, 1)
+    bad += expect_serve("serve p99 blowup, no ms slack for us", synthetic_report(
+        qps=(800000.0, "higher", 0.6, "qps"),
+        p99_us=(500.0, "lower", 3.0, "us"),
+    ), False, 1)
 
     # Missing metrics fail through compare_reports.
     fresh = synthetic_report(wall_ms=(10.0, "lower", 2.0, "ms"))

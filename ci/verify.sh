@@ -106,17 +106,51 @@ if [[ ${run_tier1} -eq 1 ]]; then
     python3 -m json.tool "${rt}/metrics.json" > /dev/null
     echo "verify: snapshot + observability round trips OK" \
          "($(ls "${rt}/live" | wc -l) figure files identical; trace and metrics JSON valid)"
+
+    # Serving smoke: the offline grid and the served /grid must be the same
+    # bytes, point queries must answer, and malformed requests must 400.
+    ./build/tools/acctx serve --snapshot "${rt}/world.acx" --grid "${rt}/grid_offline.csv"
+    ./build/tools/acctx serve --snapshot "${rt}/world.acx" --port 0 \
+        > "${rt}/serve_stdout.txt" 2> /dev/null &
+    serve_pid=$!
+    port=""
+    for _ in $(seq 1 150); do
+        port=$(sed -n 's/^serving on port \([0-9][0-9]*\)$/\1/p' "${rt}/serve_stdout.txt")
+        [[ -n "${port}" ]] && break
+        sleep 0.2
+    done
+    if [[ -z "${port}" ]]; then
+        echo "verify: acctx serve never reported its port" >&2
+        kill "${serve_pid}" 2>/dev/null || true
+        exit 1
+    fi
+    curl -fsS "http://127.0.0.1:${port}/healthz" | grep -q ok
+    curl -fsS "http://127.0.0.1:${port}/grid" -o "${rt}/grid_online.csv"
+    cmp "${rt}/grid_offline.csv" "${rt}/grid_online.csv"
+    curl -fsS "http://127.0.0.1:${port}/inflation?asn=10000" | grep -q '"found":'
+    curl -fsS "http://127.0.0.1:${port}/metricsz" | python3 -m json.tool > /dev/null
+    bad_status=$(curl -s -o /dev/null -w '%{http_code}' \
+        "http://127.0.0.1:${port}/inflation?asn=not-a-number")
+    if [[ "${bad_status}" != "400" ]]; then
+        echo "verify: malformed request returned ${bad_status}, wanted 400" >&2
+        kill "${serve_pid}" 2>/dev/null || true
+        exit 1
+    fi
+    kill "${serve_pid}"
+    wait "${serve_pid}" 2>/dev/null || true
+    echo "verify: serve round trip OK (grid bytes identical offline vs HTTP, 400 contract holds)"
 fi
 
 if [[ ${run_tsan} -eq 1 ]]; then
     cmake -B build-tsan -S . -DAC_SANITIZE=thread
     cmake --build build-tsan -j "${jobs}" \
         --target engine_test --target routing_test --target obs_test \
-        --target scenario_test
+        --target scenario_test --target serve_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/routing_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/scenario_test
+    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
 fi
 
 if [[ ${run_asan} -eq 1 ]]; then
@@ -130,7 +164,7 @@ if [[ ${run_bench} -eq 1 ]]; then
     cmake --build build -j "${jobs}" \
         --target bench_world_build --target bench_routing \
         --target bench_analysis --target bench_snapshot \
-        --target bench_table --target bench_scenario
+        --target bench_table --target bench_scenario --target bench_serve
     python3 ci/check_bench.py run --build-dir build --repeat 3
 
     # The gate must also demonstrably fail: perturb one baseline metric far

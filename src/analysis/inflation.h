@@ -18,9 +18,11 @@
 // implementations; the row-oriented overloads convert and delegate.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "src/analysis/stats.h"
 #include "src/anycast/deployment.h"
@@ -54,6 +56,30 @@ struct root_inflation_result {
     /// y-intercepts of Fig. 2a and the "efficiency" of Fig. 7a-right.
     [[nodiscard]] double efficiency(char letter) const;
 };
+
+/// One /24's inflation contribution for a single letter. Produced in
+/// ascending /24 key order; only /24s that pass the paper's filters (located,
+/// inside the DITL∩CDN join when weighting, nonzero global-site volume)
+/// appear. Shared by the batch CDFs (compute_root_inflation) and the serve
+/// layer's per-AS point queries — one implementation, no logic fork.
+struct slash24_inflation {
+    std::uint32_t key = 0;   // /24 key (source ip >> 8)
+    double gi_ms = 0.0;      // geographic inflation per query (Eq. 1)
+    double li_ms = 0.0;      // latency inflation per query (Eq. 2)
+    double weight = 0.0;     // user weight behind the /24
+    double vol_total = 0.0;  // global-site query volume behind gi_ms
+    double lat_vol = 0.0;    // TCP-covered volume behind li_ms
+    bool has_li = false;     // latency metric available for this /24
+};
+
+/// Per-/24 inflation slices for one letter's capture against its deployment.
+/// `include_latency` gates the TCP RTT join (letters without usable TCP data
+/// get gi only). Reductions fan out over `pool` (null = inline); output is
+/// identical at any thread count.
+[[nodiscard]] std::vector<slash24_inflation> letter_inflation_slices(
+    const capture::letter_table& letter, const anycast::deployment& dep,
+    bool include_latency, const topo::geo_database& geodb, const pop::cdn_user_counts& users,
+    const root_inflation_options& options = {}, engine::thread_pool* pool = nullptr);
 
 /// Computes Fig. 2 from columnar DITL captures. Letters are selected by
 /// their data-availability flags (G/I excluded; H single-site excluded;

@@ -67,6 +67,15 @@ keyed_volumes cdn_universe(const pop::cdn_user_counts& cdn_users, bool by_slash2
 
 } // namespace
 
+slash24_volumes ditl_volumes_by_slash24(std::span<const capture::letter_table> letters,
+                                        engine::thread_pool* pool) {
+    auto keyed = volumes_by_key(letters, /*by_slash24=*/true, pool);
+    slash24_volumes out;
+    out.keys = std::move(keyed.keys);
+    out.volumes = std::move(keyed.volumes);
+    return out;
+}
+
 amortization_result compute_amortization(std::span<const capture::letter_table> letters,
                                          const pop::user_base& base,
                                          const pop::cdn_user_counts& cdn_users,

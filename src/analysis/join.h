@@ -14,8 +14,10 @@
 // `capture::letter_table` views) and a row-oriented shim that converts.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <span>
+#include <vector>
 
 #include "src/analysis/stats.h"
 #include "src/capture/filter.h"
@@ -61,6 +63,23 @@ struct amortization_result {
     const pop::cdn_user_counts& cdn_users, const pop::apnic_user_counts& apnic_users,
     const topo::ip_to_asn& as_mapper, const dns::query_model_options& model_options,
     const amortization_options& options = {}, engine::thread_pool* pool = nullptr);
+
+/// Per-/24 daily DITL query volume summed across letters, as parallel sorted
+/// columns (keys ascend, volumes aligned). This is the join input both
+/// compute_amortization and the serve layer's amortized point queries start
+/// from — one implementation, no logic fork.
+struct slash24_volumes {
+    std::vector<std::uint32_t> keys;
+    std::vector<double> volumes;
+
+    [[nodiscard]] std::size_t size() const noexcept { return keys.size(); }
+};
+
+/// The /24-keyed DITL volume aggregation. The concatenated key sort runs
+/// radix-partitioned over `pool` when given (null = serial); results are
+/// identical at any thread count.
+[[nodiscard]] slash24_volumes ditl_volumes_by_slash24(
+    std::span<const capture::letter_table> letters, engine::thread_pool* pool = nullptr);
 
 /// Table 4: how much of each dataset the other covers, with and without the
 /// /24 aggregation.

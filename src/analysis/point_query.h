@@ -1,0 +1,83 @@
+// Point-query entry points over a built world: the operational workload the
+// paper frames in §1 — "what is the inflation for AS X?", "how amortized is
+// /24 Y?" — extracted from the batch figure paths so the serve layer
+// (src/serve) and the CLI answer from one implementation, no logic fork.
+//
+// The index is built once (from the same letter_inflation_slices /
+// ditl_volumes_by_slash24 primitives the figures use) and is immutable
+// afterwards: lookups are binary searches over sorted key columns, allocate
+// nothing, and are safe to call from any number of threads concurrently.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/analysis/inflation.h"
+#include "src/analysis/join.h"
+
+namespace ac::analysis {
+
+/// Amortization answer for one /24 in the DITL∩CDN join (the Fig. 3 CDN
+/// line, as a point): queries_per_user_day is bitwise the value the CDF got.
+struct amortized_point {
+    double queries_per_day = 0.0;       // summed DITL volume across letters
+    double users = 0.0;                 // Microsoft user count behind the /24
+    double queries_per_user_day = 0.0;  // the amortized quotient
+};
+
+/// Inflation answer for one origin AS: the user-weighted mean of the
+/// All-Roots per-/24 expectations (the quantities behind Fig. 2's All Roots
+/// lines) over the AS's joined /24s.
+struct as_inflation_point {
+    double gi_ms = 0.0;         // expected geographic inflation per query
+    double li_ms = 0.0;         // expected latency inflation per query
+    double users = 0.0;         // joined users behind the AS
+    std::uint32_t slash24s = 0; // /24 blocks contributing
+    bool has_latency = false;   // at least one /24 had TCP-usable volume
+};
+
+/// Immutable query-side index: sorted /24 keys -> amortized points, sorted
+/// ASNs -> inflation rollups. Build fans out over `pool` (null = inline);
+/// contents are identical at any thread count.
+class point_query_index {
+public:
+    /// Builds from the same inputs the figures consume (callers typically
+    /// pass a world's accessors; analysis stays below core in the layering).
+    [[nodiscard]] static point_query_index build(
+        std::span<const capture::letter_table> letters, const dns::root_system& roots,
+        const topo::geo_database& geodb, const pop::cdn_user_counts& users,
+        const topo::ip_to_asn& as_mapper, engine::thread_pool* pool = nullptr);
+
+    /// Binary-searched point lookups; nullptr = key outside the join.
+    [[nodiscard]] const amortized_point* amortized(std::uint32_t slash24_key) const noexcept;
+    [[nodiscard]] const as_inflation_point* inflation(topo::asn_t asn) const noexcept;
+
+    /// Full sorted views, for grid exports and differential tests.
+    [[nodiscard]] std::span<const std::uint32_t> slash24_keys() const noexcept {
+        return slash24_keys_;
+    }
+    [[nodiscard]] std::span<const amortized_point> amortized_points() const noexcept {
+        return amortized_;
+    }
+    [[nodiscard]] std::span<const topo::asn_t> asns() const noexcept { return asns_; }
+    [[nodiscard]] std::span<const as_inflation_point> inflation_points() const noexcept {
+        return inflation_;
+    }
+
+private:
+    std::vector<std::uint32_t> slash24_keys_;  // ascending
+    std::vector<amortized_point> amortized_;   // aligned with slash24_keys_
+    std::vector<topo::asn_t> asns_;            // ascending
+    std::vector<as_inflation_point> inflation_;  // aligned with asns_
+};
+
+/// The satellite-named point queries: thin lookups over the index so call
+/// sites read like the paper's questions.
+[[nodiscard]] std::optional<as_inflation_point> inflation_for_as(const point_query_index& index,
+                                                                 topo::asn_t asn);
+[[nodiscard]] std::optional<amortized_point> amortized_for_slash24(
+    const point_query_index& index, net::slash24 block);
+
+} // namespace ac::analysis

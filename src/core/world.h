@@ -89,6 +89,15 @@ public:
     /// query profiles only feed DITL synthesis, which hydration skips.
     world(world_config config, world_datasets data);
 
+    /// Non-copyable and non-movable: subsystems hold pointers into sibling
+    /// members (letter RIBs point at `graph_` and `regions_`), so relocating
+    /// a world would dangle them. Factory returns still work — a prvalue
+    /// `return world{...}` constructs in place under guaranteed elision.
+    world(const world&) = delete;
+    world& operator=(const world&) = delete;
+    world(world&&) = delete;
+    world& operator=(world&&) = delete;
+
     [[nodiscard]] const world_config& config() const noexcept { return config_; }
     [[nodiscard]] const topo::region_table& regions() const noexcept { return regions_; }
     [[nodiscard]] const topo::as_graph& graph() const noexcept { return graph_; }

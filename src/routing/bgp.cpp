@@ -31,6 +31,31 @@ obs::counter& select_invalidation_counter() {
     return c;
 }
 
+/// Frozen-table counters: post-freeze lookups are accounted separately from
+/// the sharded cache so serving dashboards can see the wait-free hit rate.
+obs::counter& frozen_hit_counter() {
+    static obs::counter& c =
+        obs::registry::global().get_counter("route.select_cache.frozen_hits");
+    return c;
+}
+obs::counter& frozen_miss_counter() {
+    static obs::counter& c =
+        obs::registry::global().get_counter("route.select_cache.frozen_misses");
+    return c;
+}
+obs::counter& freeze_counter() {
+    static obs::counter& c = obs::registry::global().get_counter("route.select_cache.freezes");
+    return c;
+}
+
+/// Slot hash for the frozen open-addressing table. Collision quality only
+/// affects probe length, never results (lookups compare full keys).
+[[nodiscard]] constexpr std::uint64_t frozen_mix(std::uint64_t key) noexcept {
+    std::uint64_t mix = key * 0x9e3779b97f4a7c15ULL;
+    mix ^= mix >> 29;
+    return mix;
+}
+
 /// Incremental re-convergence work counters (DESIGN §11): how many events
 /// ran, how many per-AS index slots they recomputed, and how many cache
 /// shards they had to visit.
@@ -509,6 +534,17 @@ std::optional<path_result> anycast_rib::select_indexed(std::size_t as, topo::asn
 }
 
 std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id region) const {
+    // Wait-free fast path first: a sealed key is answered straight from the
+    // frozen table — no shard mutex, no topo gate. Keys that were never
+    // warmed (or an unfrozen RIB) fall through to the locked path below.
+    if (const auto* sealed = select_frozen(asn, region)) {
+        return *sealed;
+    }
+    if (frozen_.load(std::memory_order_acquire) != nullptr) {
+        frozen_misses_.fetch_add(1, std::memory_order_relaxed);
+        frozen_miss_counter().add(1);
+    }
+
     // Shared (reader) side of the topology gate: any number of selects run
     // concurrently; announce/withdraw take the exclusive side, so a select
     // never observes a half-reconverged matrix. Lock order is topo gate →
@@ -538,6 +574,66 @@ std::optional<path_result> anycast_rib::select(topo::asn_t asn, topo::region_id 
         shard.entries.emplace(key, result);
     }
     return result;
+}
+
+const std::optional<path_result>* anycast_rib::select_frozen(
+    topo::asn_t asn, topo::region_id region) const noexcept {
+    const frozen_cache* f = frozen_.load(std::memory_order_acquire);
+    if (f == nullptr) return nullptr;
+    const std::uint64_t key = (std::uint64_t{asn} << 32) | region;
+    std::uint64_t slot = frozen_mix(key) & f->mask;
+    while (f->occupied[slot] != 0) {
+        if (f->keys[slot] == key) {
+            frozen_hits_.fetch_add(1, std::memory_order_relaxed);
+            frozen_hit_counter().add(1);
+            return &f->values[slot];
+        }
+        slot = (slot + 1) & f->mask;
+    }
+    return nullptr;
+}
+
+std::size_t anycast_rib::freeze_select_cache() {
+    obs::span freeze_span{"bgp/freeze_select_cache"};
+    // Writer on the topo gate: no select can be mid-fill while the shards
+    // are walked, and re-freezing retires the previously published table.
+    std::unique_lock lock{topo_mutex_};
+    unpublish_frozen();
+
+    std::size_t entries = 0;
+    for (auto& shard : cache_shards_) {
+        std::lock_guard shard_lock{shard.mutex};
+        entries += shard.entries.size();
+    }
+    auto table = std::make_unique<frozen_cache>();
+    std::uint64_t capacity = 1;
+    while (capacity < entries * 2 + 1) capacity <<= 1;
+    table->keys.assign(capacity, 0);
+    table->occupied.assign(capacity, 0);
+    table->values.assign(capacity, std::nullopt);
+    table->mask = capacity - 1;
+    for (auto& shard : cache_shards_) {
+        std::lock_guard shard_lock{shard.mutex};
+        for (const auto& [key, value] : shard.entries) {
+            std::uint64_t slot = frozen_mix(key) & table->mask;
+            while (table->occupied[slot] != 0) slot = (slot + 1) & table->mask;
+            table->keys[slot] = key;
+            table->values[slot] = value;
+            table->occupied[slot] = 1;
+        }
+    }
+    const frozen_cache* published = table.get();
+    retired_frozen_.push_back(std::move(table));
+    frozen_.store(published, std::memory_order_release);
+    freeze_counter().add(1);
+    freeze_span.set_items(entries);
+    return entries;
+}
+
+void anycast_rib::unpublish_frozen() {
+    // The table stays owned by retired_frozen_ so in-flight wait-free
+    // probes (which never take the topo gate) can finish against it.
+    frozen_.store(nullptr, std::memory_order_release);
 }
 
 std::optional<path_result> anycast_rib::select_uncached(topo::asn_t asn,
@@ -640,6 +736,7 @@ anycast_rib::reconverge_stats anycast_rib::withdraw(site_id site) {
     obs::span event_span{"bgp/withdraw"};
     reconverge_stats stats;
     std::unique_lock lock{topo_mutex_};
+    unpublish_frozen();
     if (site >= announcements_.size()) {
         throw std::out_of_range("anycast_rib: unknown site");
     }
@@ -661,6 +758,7 @@ anycast_rib::reconverge_stats anycast_rib::announce(announcement a) {
     obs::span event_span{"bgp/announce"};
     reconverge_stats stats;
     std::unique_lock lock{topo_mutex_};
+    unpublish_frozen();
     const std::size_t origin = graph_->find_index(a.origin_asn);
     if (origin == topo::as_graph::npos || origin >= as_count_) {
         throw std::invalid_argument("anycast_rib: announcement from unknown ASN");
@@ -761,6 +859,7 @@ void anycast_rib::clear_select_cache() {
     // Writer on the topo gate so no select can be filling a shard while it
     // drops (same lock order as invalidate_cache: topo gate, then shard).
     std::unique_lock lock{topo_mutex_};
+    unpublish_frozen();
     for (auto& shard : cache_shards_) {
         std::lock_guard shard_lock{shard.mutex};
         shard.entries.clear();

@@ -53,6 +53,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -246,10 +247,17 @@ public:
     /// Memoization counters (monotone; relaxed atomics). Under concurrent
     /// fills `misses` counts computations, which can slightly exceed the
     /// number of distinct keys when two threads race on the same key.
+    /// Post-freeze lookups are counted separately (`frozen_hits` /
+    /// `frozen_misses`), so the sharded counters keep describing the
+    /// mutex-guarded path alone: a frozen miss that falls through to the
+    /// shards is counted on both layers.
     struct cache_stats {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t invalidations = 0;  // entries dropped by announce/withdraw
+        bool frozen = false;              // a sealed table is currently published
+        std::uint64_t frozen_hits = 0;    // lookups answered by the sealed table
+        std::uint64_t frozen_misses = 0;  // lookups that fell through to the shards
 
         /// Hit fraction over all lookups; 0.0 before the first lookup (the
         /// zero-query case must not divide by zero).
@@ -262,8 +270,36 @@ public:
     [[nodiscard]] cache_stats select_cache_stats() const noexcept {
         return {cache_hits_.load(std::memory_order_relaxed),
                 cache_misses_.load(std::memory_order_relaxed),
-                cache_invalidations_.load(std::memory_order_relaxed)};
+                cache_invalidations_.load(std::memory_order_relaxed),
+                frozen_.load(std::memory_order_acquire) != nullptr,
+                frozen_hits_.load(std::memory_order_relaxed),
+                frozen_misses_.load(std::memory_order_relaxed)};
     }
+
+    /// Seals the selects currently memoized in the sharded cache into an
+    /// immutable open-addressing table and publishes it, making subsequent
+    /// `select` calls for sealed keys wait-free: no shard mutex, no
+    /// `topo_mutex_` shared lock, just a probe over const arrays. Returns
+    /// the number of entries sealed. Keys that were never warmed fall
+    /// through to the normal locked path (counted as `frozen_misses`).
+    ///
+    /// Intended for read-only serving (`acctx serve`): warm the cache with
+    /// `select_many` over the query population, then freeze. Any later
+    /// `announce`/`withdraw`/`clear_select_cache` unpublishes the table
+    /// (stats report frozen = false again); the sealed storage is retired,
+    /// not freed, so in-flight wait-free probes stay valid — a concurrent
+    /// reader may observe the pre-event selection, which is a consistent
+    /// (never torn) historical state. Not safe to call concurrently with
+    /// itself; calling again re-seals the current shard contents.
+    std::size_t freeze_select_cache();
+
+    /// Wait-free probe of the frozen table: returns a pointer to the sealed
+    /// result (valid until the RIB is destroyed — retired tables are kept),
+    /// or nullptr when nothing is frozen or the key was not sealed. Never
+    /// locks, never allocates, never copies. Counts frozen_hits only (a
+    /// nullptr return is not counted; use `select` for fall-through).
+    [[nodiscard]] const std::optional<path_result>* select_frozen(
+        topo::asn_t asn, topo::region_id region) const noexcept;
 
     /// Empties every select-cache shard (counters are left alone). Makes
     /// subsequent invalidation work counts a pure function of the queries
@@ -364,6 +400,27 @@ private:
     mutable std::atomic<std::uint64_t> cache_hits_{0};
     mutable std::atomic<std::uint64_t> cache_misses_{0};
     mutable std::atomic<std::uint64_t> cache_invalidations_{0};
+
+    // Frozen select cache: an immutable open-addressing table (linear
+    // probing, load factor <= 0.5, power-of-two capacity) sealed from the
+    // shard contents by freeze_select_cache(). Readers probe it before any
+    // lock; the published pointer is the only synchronization (release
+    // store on publish, acquire load on probe). Unpublishing (mutation,
+    // clear) retires the table into retired_frozen_ instead of freeing it,
+    // so a reader that loaded the pointer can finish its probe without any
+    // reclamation protocol — freezes are rare (once per serving process),
+    // so the retained storage is bounded and tiny.
+    struct frozen_cache {
+        std::vector<std::uint64_t> keys;                  // capacity slots
+        std::vector<std::uint8_t> occupied;               // 1 = slot holds a key
+        std::vector<std::optional<path_result>> values;   // aligned with keys
+        std::uint64_t mask = 0;                           // capacity - 1
+    };
+    void unpublish_frozen();  // callers hold the exclusive topo lock
+    mutable std::atomic<const frozen_cache*> frozen_{nullptr};
+    std::vector<std::unique_ptr<frozen_cache>> retired_frozen_;
+    mutable std::atomic<std::uint64_t> frozen_hits_{0};
+    mutable std::atomic<std::uint64_t> frozen_misses_{0};
 };
 
 /// Per-hop router processing added to the propagation delay, ms (round trip).

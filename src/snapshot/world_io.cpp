@@ -773,7 +773,14 @@ std::vector<cdn::client_measurement_row> read_client_rows(const bundle& b) {
     return rows;
 }
 
-core::world hydrate_world(std::shared_ptr<const bundle> b, int threads_override) {
+namespace {
+
+struct world_parts {
+    core::world_config config;
+    core::world_datasets data;
+};
+
+world_parts read_world_parts(const std::shared_ptr<const bundle>& b, int threads_override) {
     if (!has_world(*b)) {
         throw snapshot_error(errc::section_missing,
                              "not a world snapshot (no world/config section) — a DITL-only "
@@ -813,7 +820,20 @@ core::world hydrate_world(std::shared_ptr<const bundle> b, int threads_override)
     data.space_next_key = b->scalar<std::uint32_t>("space/next_key");
     data.retain = std::shared_ptr<const void>{b, b.get()};
 
-    return core::world{std::move(config), std::move(data)};
+    return world_parts{std::move(config), std::move(data)};
+}
+
+} // namespace
+
+core::world hydrate_world(std::shared_ptr<const bundle> b, int threads_override) {
+    auto parts = read_world_parts(b, threads_override);
+    return core::world{std::move(parts.config), std::move(parts.data)};
+}
+
+std::unique_ptr<core::world> hydrate_world_ptr(std::shared_ptr<const bundle> b,
+                                               int threads_override) {
+    auto parts = read_world_parts(b, threads_override);
+    return std::make_unique<core::world>(std::move(parts.config), std::move(parts.data));
 }
 
 } // namespace ac::snapshot

@@ -74,4 +74,9 @@ void save_ditl(const capture::ditl_dataset& dataset, const std::string& path);
 [[nodiscard]] core::world hydrate_world(std::shared_ptr<const bundle> b,
                                         int threads_override = -1);
 
+/// Heap-allocating variant for holders that need a stable world address
+/// (core::world is non-movable — its RIBs point at sibling members).
+[[nodiscard]] std::unique_ptr<core::world> hydrate_world_ptr(std::shared_ptr<const bundle> b,
+                                                             int threads_override = -1);
+
 } // namespace ac::snapshot

@@ -554,6 +554,127 @@ TEST_F(RoutingPolicy, ConcurrentSelectsDuringInvalidationAreSafe) {
     }
 }
 
+// Frozen select cache (DESIGN §13): seal the memoized selections into an
+// immutable table; the serving read path probes it wait-free, and any
+// mutation unpublishes it.
+
+TEST_F(RoutingPolicy, FreezeSealsMemoizedSelections) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}},
+                         {1, 1, 3, route::announcement_scope::global, {}}});
+    EXPECT_FALSE(rib.select_cache_stats().frozen);
+    EXPECT_EQ(rib.select_frozen(8, 2), nullptr);  // nothing sealed yet
+
+    // Warm a few keys, then freeze: every warmed key must answer from the
+    // sealed table with the exact locked-path result.
+    std::vector<route::source_key> keys{{8, 2}, {8, 3}, {7, 1}, {6, 0}};
+    std::vector<std::optional<route::path_result>> expected;
+    for (const auto& k : keys) expected.push_back(rib.select(k.asn, k.region));
+    const std::size_t sealed = rib.freeze_select_cache();
+    EXPECT_EQ(sealed, keys.size());
+    EXPECT_TRUE(rib.select_cache_stats().frozen);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const auto* hit = rib.select_frozen(keys[i].asn, keys[i].region);
+        ASSERT_NE(hit, nullptr) << "key " << i;
+        EXPECT_EQ(*hit, expected[i]);
+    }
+    EXPECT_EQ(rib.select_cache_stats().frozen_hits, keys.size());
+
+    // A key never warmed is not sealed: the probe misses without locking,
+    // and select() still answers it through the shards.
+    EXPECT_EQ(rib.select_frozen(5, 2), nullptr);
+    EXPECT_EQ(rib.select(5, 2), rib.select_uncached(5, 2));
+}
+
+TEST_F(RoutingPolicy, MutationUnpublishesFrozenTable) {
+    auto rib = make_rib({{0, 1, 0, route::announcement_scope::global, {}},
+                         {1, 1, 3, route::announcement_scope::global, {}}});
+    (void)rib.select(8, 2);
+    ASSERT_GT(rib.freeze_select_cache(), 0u);
+    ASSERT_TRUE(rib.select_cache_stats().frozen);
+
+    (void)rib.withdraw(0);
+    EXPECT_FALSE(rib.select_cache_stats().frozen);
+    EXPECT_EQ(rib.select_frozen(8, 2), nullptr);
+
+    // Re-warm and re-freeze after the withdrawal: the sealed answer must
+    // reflect the mutated RIB, not the retired table.
+    const auto degraded = rib.select(8, 2);
+    (void)rib.freeze_select_cache();
+    const auto* hit = rib.select_frozen(8, 2);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, degraded);
+
+    (void)rib.announce(rib.announcements()[0]);
+    EXPECT_FALSE(rib.select_cache_stats().frozen);
+
+    (void)rib.select(8, 2);
+    (void)rib.freeze_select_cache();
+    ASSERT_TRUE(rib.select_cache_stats().frozen);
+    rib.clear_select_cache();
+    EXPECT_FALSE(rib.select_cache_stats().frozen);
+}
+
+TEST_F(RoutingPolicy, FrozenReadersRaceMutationsSafely) {
+    // TSan target: wait-free readers probe the frozen table while a writer
+    // freezes, mutates (unpublishing), and re-freezes in a loop. Readers
+    // must only ever observe answers equal to one of the two settled states.
+    engine::thread_pool pool{2};
+    route::anycast_rib rib{graph_,
+                           regions_,
+                           {{0, 1, 0, route::announcement_scope::global, {}},
+                            {1, 1, 3, route::announcement_scope::global, {}}},
+                           &pool};
+    std::vector<route::source_key> keys;
+    for (const topo::asn_t asn : rib.known_asns()) {
+        for (topo::region_id region = 0; region < regions_.size(); ++region) {
+            keys.push_back({asn, region});
+        }
+    }
+    std::vector<std::optional<route::path_result>> with_both;
+    std::vector<std::optional<route::path_result>> degraded;
+    for (const auto& k : keys) with_both.push_back(rib.select_uncached(k.asn, k.region));
+    (void)rib.withdraw(0);
+    for (const auto& k : keys) degraded.push_back(rib.select_uncached(k.asn, k.region));
+    (void)rib.announce(rib.announcements()[0]);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                for (std::size_t k = 0; k < keys.size(); ++k) {
+                    const auto* hit = rib.select_frozen(keys[k].asn, keys[k].region);
+                    if (hit == nullptr) continue;  // unpublished or not sealed
+                    ASSERT_TRUE(*hit == with_both[k] || *hit == degraded[k]) << "key " << k;
+                }
+            }
+        });
+    }
+    for (int cycle = 0; cycle < 25; ++cycle) {
+        (void)rib.select_many(keys, &pool);  // warm every key
+        (void)rib.freeze_select_cache();
+        (void)rib.withdraw(0);  // unpublishes
+        (void)rib.select_many(keys, &pool);
+        (void)rib.freeze_select_cache();
+        (void)rib.announce(rib.announcements()[0]);  // unpublishes again
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& r : readers) r.join();
+
+    // Settled: a final freeze seals the restored state. Keys whose AS holds
+    // no route are never memoized (select returns early), so only routed
+    // keys appear in the sealed table.
+    (void)rib.select_many(keys, &pool);
+    EXPECT_GT(rib.freeze_select_cache(), 0u);
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+        const auto* hit = rib.select_frozen(keys[k].asn, keys[k].region);
+        if (with_both[k].has_value()) {
+            ASSERT_NE(hit, nullptr) << "key " << k;
+            EXPECT_EQ(*hit, with_both[k]);
+        }
+    }
+}
+
 TEST_F(HotPotato, EvaluateReportsDirectDistance) {
     route::anycast_rib rib{graph_,
                            regions_,

@@ -16,6 +16,11 @@
 //   acctx scenario  [...] --timeline F [--letters KF] [--out CSV]
 //                                   replay a failover event timeline and
 //                                   re-measure catchment/latency per step
+//   acctx serve     --snapshot F [--port N] [--threads N]
+//                                   long-running query service over a world
+//                                   snapshot (HTTP/1.1 JSON; DESIGN §13);
+//                                   --grid F writes the differential CSV
+//                                   offline and exits instead
 //
 // Every world-building command accepts --threads N (0 = hardware
 // concurrency, 1 = serial); thread count never changes output bytes.
@@ -49,6 +54,8 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/scenario/driver.h"
+#include "src/serve/http.h"
+#include "src/serve/query_engine.h"
 #include "src/snapshot/world_io.h"
 
 namespace {
@@ -69,6 +76,11 @@ struct cli_options {
     std::optional<std::string> trace_path;
     std::optional<std::string> metrics_path;
     std::optional<std::string> timeline_path;
+    std::optional<std::string> snapshot_path;  // serve: the world to open
+    std::optional<std::string> grid_path;      // serve: offline grid CSV, then exit
+    std::size_t grid_stride = 1;
+    std::uint16_t port = 0;  // serve: 0 = kernel-assigned ephemeral port
+    bool dry_run = false;    // serve: bind + echo the port, then exit
     std::string letters = "K";
     std::string format = "text";
     bool threads_set = false;
@@ -77,7 +89,8 @@ struct cli_options {
 
 [[noreturn]] void usage(int code) {
     std::cerr << "usage: acctx "
-                 "<world|inflation|amortize|cdn|export|analyze|snapshot|report|scenario>\n"
+                 "<world|inflation|amortize|cdn|export|analyze|snapshot|report|scenario|"
+                 "serve>\n"
               << "             [--seed N] [--scale small|full] [--year 2018|2020]\n"
               << "             [--threads N] [--timing] [--in FILE] [--out FILE]\n"
               << "             [--from-snapshot FILE] [--format text|snapshot]\n"
@@ -100,7 +113,14 @@ struct cli_options {
               << "                    <site> [n]', '<step> withdraw|announce <letter>', or\n"
               << "                    '<step> outage <region>'\n"
               << "  --letters STR     scenario: letters to drive, e.g. KF ('all' = every\n"
-              << "                    letter); default K\n";
+              << "                    letter); default K\n"
+              << "  --snapshot F      serve: the world snapshot to serve (required)\n"
+              << "  --port N          serve: TCP port on 127.0.0.1 (0 = ephemeral; the\n"
+              << "                    bound port is echoed as 'serving on port N')\n"
+              << "  --grid F          serve: write the point-query grid CSV offline and\n"
+              << "                    exit (the same bytes GET /grid serves)\n"
+              << "  --grid-stride N   serve: emit every N-th grid row (default 1)\n"
+              << "  --dry-run         serve: bind, echo the port, exit without serving\n";
     std::exit(code);
 }
 
@@ -119,6 +139,8 @@ bool flag_applies(const std::string& command, const std::string& flag) {
         {"scenario", {"--seed", "--scale", "--year", "--threads", "--out", "--from-snapshot",
                       "--timeline", "--letters"}},
         {"analyze", {"--in", "--format"}},
+        {"serve",
+         {"--snapshot", "--port", "--threads", "--grid", "--grid-stride", "--dry-run"}},
     };
     // Observability flags apply to every command: they only add output files,
     // never change what a command computes.
@@ -129,7 +151,7 @@ bool flag_applies(const std::string& command, const std::string& flag) {
 }
 
 bool known_command(const std::string& command) {
-    return flag_applies(command, "--seed") || command == "analyze";
+    return flag_applies(command, "--seed") || command == "analyze" || command == "serve";
 }
 
 cli_options parse_args(int argc, char** argv) {
@@ -158,7 +180,9 @@ cli_options parse_args(int argc, char** argv) {
         if (arg == "--seed" || arg == "--scale" || arg == "--year" || arg == "--threads" ||
             arg == "--timing" || arg == "--in" || arg == "--out" || arg == "--info" ||
             arg == "--from-snapshot" || arg == "--format" || arg == "--trace" ||
-            arg == "--metrics-json" || arg == "--timeline" || arg == "--letters") {
+            arg == "--metrics-json" || arg == "--timeline" || arg == "--letters" ||
+            arg == "--snapshot" || arg == "--port" || arg == "--grid" ||
+            arg == "--grid-stride" || arg == "--dry-run") {
             check_applies();
         }
         if (arg == "--seed") {
@@ -203,6 +227,30 @@ cli_options parse_args(int argc, char** argv) {
             options.metrics_path = value();
         } else if (arg == "--timeline") {
             options.timeline_path = value();
+        } else if (arg == "--snapshot") {
+            options.snapshot_path = value();
+        } else if (arg == "--grid") {
+            options.grid_path = value();
+        } else if (arg == "--grid-stride") {
+            const auto v = value();
+            char* end = nullptr;
+            const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() || end == nullptr || *end != '\0' || n == 0) {
+                std::cerr << "acctx serve: --grid-stride needs a positive integer\n";
+                usage(2);
+            }
+            options.grid_stride = static_cast<std::size_t>(n);
+        } else if (arg == "--port") {
+            const auto v = value();
+            char* end = nullptr;
+            const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() || end == nullptr || *end != '\0' || n > 65535) {
+                std::cerr << "acctx serve: --port needs an integer in [0, 65535]\n";
+                usage(2);
+            }
+            options.port = static_cast<std::uint16_t>(n);
+        } else if (arg == "--dry-run") {
+            options.dry_run = true;
         } else if (arg == "--letters") {
             options.letters = value();
             if (options.letters.empty()) {
@@ -266,11 +314,15 @@ int cmd_world(const cli_options& options) {
     if (options.timing) {
         w.timing().write_json(std::cout);
         auto stats = w.cdn_net().pop_rib().select_cache_stats();
+        std::size_t frozen_ribs = stats.frozen ? 1 : 0;
         for (char letter : w.roots().all_letters()) {
             const auto s = w.roots().deployment_of(letter).rib().select_cache_stats();
             stats.hits += s.hits;
             stats.misses += s.misses;
             stats.invalidations += s.invalidations;
+            stats.frozen_hits += s.frozen_hits;
+            stats.frozen_misses += s.frozen_misses;
+            frozen_ribs += s.frozen ? 1 : 0;
         }
         // hit_rate() is zero-query safe (0 lookups -> 0.0, never NaN), so a
         // world built with routing disabled still prints a finite rate.
@@ -278,7 +330,44 @@ int cmd_world(const cli_options& options) {
                   << " select hits (" << strfmt::fixed(100.0 * stats.hit_rate(), 1)
                   << "% hit rate across all ribs, " << stats.invalidations
                   << " invalidated)\n";
+        std::cout << "frozen cache: " << frozen_ribs << " sealed ribs, "
+                  << stats.frozen_hits << " wait-free hits, " << stats.frozen_misses
+                  << " fell through\n";
     }
+    return 0;
+}
+
+int cmd_serve(const cli_options& options) {
+    if (!options.snapshot_path) {
+        std::cerr << "acctx serve: --snapshot FILE required\n";
+        return 2;
+    }
+    std::cerr << "opening " << *options.snapshot_path << "...\n";
+    const auto engine = serve::query_engine::open(*options.snapshot_path, options.threads);
+    std::cerr << "indexes ready: " << engine.index().asns().size() << " ASes, "
+              << engine.index().slash24_keys().size() << " /24s, "
+              << engine.frozen_entries() << " selects sealed\n";
+
+    if (options.grid_path) {
+        // Offline differential surface: the same bytes GET /grid serves.
+        std::string csv;
+        engine.grid_csv(options.grid_stride, csv);
+        std::ofstream out{*options.grid_path, std::ios::binary};
+        if (!out.write(csv.data(), static_cast<std::streamsize>(csv.size()))) {
+            std::cerr << "acctx: cannot write " << *options.grid_path << "\n";
+            return 1;
+        }
+        std::cerr << "wrote grid (" << csv.size() << " bytes, stride "
+                  << options.grid_stride << ") to " << *options.grid_path << "\n";
+        return 0;
+    }
+
+    serve::http_server server{engine, {.port = options.port}};
+    // The port line goes to stdout (tests and scripts parse it); progress
+    // chatter stays on stderr like every other command.
+    std::cout << "serving on port " << server.port() << "\n" << std::flush;
+    if (options.dry_run) return 0;
+    server.run();
     return 0;
 }
 
@@ -536,6 +625,7 @@ int run_command(const cli_options& options) {
     if (options.command == "snapshot") return cmd_snapshot(options);
     if (options.command == "report") return cmd_report(options);
     if (options.command == "scenario") return cmd_scenario(options);
+    if (options.command == "serve") return cmd_serve(options);
     usage(2);  // unreachable: parse_args validated the command
 }
 
