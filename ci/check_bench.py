@@ -53,12 +53,14 @@ ABS_SLACK_MS = 0.3
 # Relative-band widening applied when baseline and fresh machines differ.
 LENIENT_FACTOR = 3.0
 
-# Units whose values do not depend on the host (deterministic sizes and
-# ratios): cross-machine leniency never applies to them — a snapshot that
-# doubled in size regressed no matter which box measured it.
-MACHINE_INDEPENDENT_UNITS = {"bytes", "ratio"}
+# Units whose values do not depend on the host (deterministic sizes, ratios,
+# and integer connection counts): cross-machine leniency never applies to
+# them — a snapshot that doubled in size or a load policy that sheds a
+# different number of connections regressed no matter which box measured it.
+MACHINE_INDEPENDENT_UNITS = {"bytes", "ratio", "conn"}
 
-BENCHES = ["world_build", "routing", "analysis", "snapshot", "table", "scenario", "serve"]
+BENCHES = ["world_build", "routing", "analysis", "snapshot", "table", "scenario", "serve",
+           "load"]
 
 
 def load_report(path):
@@ -302,6 +304,36 @@ def cmd_selftest():
         ratio=(1.6, "higher", 0.25, "ratio"),
         wall_ms=(10.0, "lower", 0.25, "ms"),
     ), True, 0)
+
+    # Deterministic connection counts ("conn", the load bench's shed /
+    # unserved scalars) carry zero tolerance: identical values pass, and any
+    # increase fails even with cross-machine leniency (the widening factor
+    # multiplies a zero band).
+    conn_base = synthetic_report(
+        shed_conn=(123456.0, "lower", 0.0, "conn"),
+        wall_ms=(10.0, "lower", 2.0, "ms"),
+    )
+
+    def expect_conn(label, fresh, lenient, want_failures):
+        fresh_by_name = {m["name"]: m for m in fresh["metrics"]}
+        failures = 0
+        for m in conn_base["metrics"]:
+            ok, _, _ = check_metric(m, fresh_by_name[m["name"]], lenient)
+            failures += 0 if ok else 1
+        if failures != want_failures:
+            print(f"selftest FAILED: {label}: {failures} failures, wanted {want_failures}")
+            return 1
+        print(f"selftest ok: {label}")
+        return 0
+
+    bad += expect_conn("identical conn counts pass", synthetic_report(
+        shed_conn=(123456.0, "lower", 0.0, "conn"),
+        wall_ms=(10.0, "lower", 2.0, "ms"),
+    ), False, 0)
+    bad += expect_conn("changed conn count fails even lenient", synthetic_report(
+        shed_conn=(123457.0, "lower", 0.0, "conn"),
+        wall_ms=(10.0, "lower", 2.0, "ms"),
+    ), True, 1)
 
     # Serving metrics: throughput ("qps") gates like any higher-is-better
     # metric, and microsecond latencies ("us") get no sub-ms slack — that

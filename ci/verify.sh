@@ -139,18 +139,31 @@ if [[ ${run_tier1} -eq 1 ]]; then
     kill "${serve_pid}"
     wait "${serve_pid}" 2>/dev/null || true
     echo "verify: serve round trip OK (grid bytes identical offline vs HTTP, 400 contract holds)"
+
+    # Load frontier smoke: `acctx load` must emit byte-identical CSVs at any
+    # thread count (the deterministic fixed-point contract).
+    printf '0 demand-diurnal 40 24\n1 demand-flash 0 300 2\n' > "${rt}/demand.txt"
+    ./build/tools/acctx load --scale small --demand "${rt}/demand.txt" \
+        --threads 1 --out "${rt}/frontier_t1.csv"
+    ./build/tools/acctx load --scale small --demand "${rt}/demand.txt" \
+        --threads 2 --out "${rt}/frontier_t2.csv"
+    cmp "${rt}/frontier_t1.csv" "${rt}/frontier_t2.csv"
+    head -1 "${rt}/frontier_t1.csv" | grep -q '^policy,demand_pct,bucket,'
+    echo "verify: load frontier OK (bytes identical at 1 vs 2 threads)"
 fi
 
 if [[ ${run_tsan} -eq 1 ]]; then
     cmake -B build-tsan -S . -DAC_SANITIZE=thread
     cmake --build build-tsan -j "${jobs}" \
         --target engine_test --target routing_test --target obs_test \
-        --target scenario_test --target serve_test
+        --target scenario_test --target serve_test --target load_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/routing_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/scenario_test
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
+    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/load_test \
+        --gtest_filter='*TSanStress*:*ByteIdentical*'
 fi
 
 if [[ ${run_asan} -eq 1 ]]; then
@@ -164,7 +177,8 @@ if [[ ${run_bench} -eq 1 ]]; then
     cmake --build build -j "${jobs}" \
         --target bench_world_build --target bench_routing \
         --target bench_analysis --target bench_snapshot \
-        --target bench_table --target bench_scenario --target bench_serve
+        --target bench_table --target bench_scenario --target bench_serve \
+        --target bench_load
     python3 ci/check_bench.py run --build-dir build --repeat 3
 
     # The gate must also demonstrably fail: perturb one baseline metric far

@@ -1,0 +1,161 @@
+#include "src/analysis/load_frontier.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "src/analysis/stats.h"
+#include "src/load/gauges.h"
+#include "src/netbase/strfmt.h"
+#include "src/obs/trace.h"
+#include "src/table/table.h"
+
+namespace ac::analysis {
+
+namespace {
+
+load_frontier_point make_point(const load::route_plan& plan, const load::bucket_result& r,
+                               load::policy_kind policy, int level, int bucket) {
+    load_frontier_point p;
+    p.policy = policy;
+    p.level_pct = level;
+    p.bucket = bucket;
+    p.offered_conn = r.offered;
+    p.served_first_conn = r.served_first;
+    p.shed_conn = r.shed;
+    p.unserved_conn = r.unserved;
+    p.overflow_hop_conn = r.overflow_hop_conn;
+
+    // Latency of what was actually served: every kept (location, ring) cell
+    // weighs its RTT by its connections. Latency-only keeps everything on
+    // the outermost ring (overloaded front-ends still serve, just badly —
+    // that shows up in overload_fraction, not here); load-aware's unserved
+    // residue is excluded because those users got nothing.
+    weighted_cdf rtt;
+    const auto rings = static_cast<std::size_t>(plan.rings());
+    for (std::size_t l = 0; l < plan.locations(); ++l) {
+        for (std::size_t ring = 0; ring < rings; ++ring) {
+            const std::int64_t kept = r.kept[l * rings + ring];
+            if (kept > 0) {
+                rtt.add(plan.rtt_ms(l, static_cast<int>(ring)), static_cast<double>(kept));
+            }
+        }
+    }
+    if (!rtt.empty()) {
+        p.p50_ms = rtt.quantile(0.5);
+        p.p95_ms = rtt.quantile(0.95);
+    }
+    if (r.offered > 0) {
+        p.overload_fraction = static_cast<double>(r.unserved) / static_cast<double>(r.offered);
+        p.shed_fraction = static_cast<double>(r.shed) / static_cast<double>(r.offered);
+    }
+    if (r.shed > 0) {
+        p.mean_overflow_hops =
+            static_cast<double>(r.overflow_hop_conn) / static_cast<double>(r.shed);
+    }
+    return p;
+}
+
+/// Per-front-end served totals through the table kernels: group every kept
+/// (location, ring) cell by its front-end and sum connections.
+std::vector<double> served_by_front_end(const load::route_plan& plan,
+                                        const load::bucket_result& r,
+                                        engine::thread_pool* pool) {
+    std::vector<std::uint32_t> keys;
+    std::vector<double> conn;
+    const auto rings = static_cast<std::size_t>(plan.rings());
+    for (std::size_t l = 0; l < plan.locations(); ++l) {
+        for (std::size_t ring = 0; ring < rings; ++ring) {
+            const std::int64_t kept = r.kept[l * rings + ring];
+            if (kept > 0) {
+                keys.push_back(
+                    static_cast<std::uint32_t>(plan.front_end(l, static_cast<int>(ring))));
+                conn.push_back(static_cast<double>(kept));
+            }
+        }
+    }
+    const auto grouping = table::make_grouping(std::span<const std::uint32_t>{keys}, pool);
+    const auto totals = table::sum_by(grouping, std::span<const double>{conn});
+    std::vector<double> served(static_cast<std::size_t>(plan.front_ends()), 0.0);
+    for (std::size_t g = 0; g < grouping.groups(); ++g) {
+        served[grouping.keys[g]] = totals[g];
+    }
+    return served;
+}
+
+} // namespace
+
+load_frontier_result compute_load_frontier(const cdn::cdn_network& cdn,
+                                           const pop::user_base& base,
+                                           const scenario::timeline& tl,
+                                           const load_frontier_options& options,
+                                           engine::thread_pool* pool) {
+    if (options.levels.empty()) {
+        throw std::invalid_argument("load_frontier: no demand levels");
+    }
+    obs::span frontier_span{"load/frontier"};
+
+    const load::demand_series demand{base, tl, options.demand,
+                                     static_cast<topo::region_id>(cdn.regions().size())};
+    const load::route_plan plan{cdn, base, pool};
+    const load::capacity_model capacity{cdn, demand.nominal_total(), options.capacity};
+
+    load_frontier_result out;
+    out.buckets = demand.buckets();
+    out.locations = plan.locations();
+    out.reachable_locations = plan.reachable_locations();
+    out.nominal_conn = demand.nominal_total();
+    out.total_capacity_conn = capacity.total();
+    out.capacity_conn.assign(capacity.per_front_end().begin(), capacity.per_front_end().end());
+
+    // Reference cell for the per-front-end serving profile: the load-aware
+    // policy at nominal demand when available, else latency-only.
+    const load::policy_kind ref_policy = options.run_load_aware
+                                             ? load::policy_kind::load_aware
+                                             : load::policy_kind::latency_only;
+    int ref_level = options.levels.front();
+    for (const int level : options.levels) {
+        if (level == 100) ref_level = 100;
+    }
+
+    const load::policy_kind kinds[] = {load::policy_kind::latency_only,
+                                       load::policy_kind::load_aware};
+    for (const load::policy_kind kind : kinds) {
+        if (kind == load::policy_kind::latency_only && !options.run_latency_only) continue;
+        if (kind == load::policy_kind::load_aware && !options.run_load_aware) continue;
+        for (const int level : options.levels) {
+            for (int t = 0; t < demand.buckets(); ++t) {
+                const auto r = load::assign_bucket(plan, demand, t, level,
+                                                   capacity.per_front_end(), kind, pool);
+                if (kind == ref_policy && level == ref_level && t == 0) {
+                    out.fe_served_conn = served_by_front_end(plan, r, pool);
+                }
+                out.points.push_back(make_point(plan, r, kind, level, t));
+            }
+        }
+    }
+    frontier_span.set_items(out.points.size());
+
+    if (!out.fe_served_conn.empty()) {
+        load::set_front_end_conn_gauges(out.fe_served_conn);
+    }
+    return out;
+}
+
+void write_load_frontier_csv(std::ostream& out, const load_frontier_result& result,
+                             std::optional<load::policy_kind> only) {
+    if (!only) out << "policy,";
+    out << "demand_pct,bucket,offered_conn,served_first_conn,shed_conn,unserved_conn,"
+           "p50_ms,p95_ms,overload_fraction,shed_fraction,mean_overflow_hops\n";
+    for (const auto& p : result.points) {
+        if (only && p.policy != *only) continue;
+        if (!only) out << load::policy_name(p.policy) << ',';
+        out << p.level_pct << ',' << p.bucket << ',' << p.offered_conn << ','
+            << p.served_first_conn << ',' << p.shed_conn << ',' << p.unserved_conn << ','
+            << strfmt::fixed(p.p50_ms, 3) << ',' << strfmt::fixed(p.p95_ms, 3) << ','
+            << strfmt::fixed(p.overload_fraction, 6) << ','
+            << strfmt::fixed(p.shed_fraction, 6) << ','
+            << strfmt::fixed(p.mean_overflow_hops, 4) << '\n';
+    }
+}
+
+} // namespace ac::analysis

@@ -105,6 +105,14 @@ std::string cdn_network::ring_name(int ring) const {
     return "R" + std::to_string(ring_size(ring));
 }
 
+int cdn_network::ring_membership_count(int front_end) const noexcept {
+    int count = 0;
+    for (const int size : plan_.ring_sizes) {
+        if (front_end < size) ++count;
+    }
+    return count;
+}
+
 std::optional<cdn_network::cdn_path> cdn_network::evaluate(topo::asn_t asn,
                                                            topo::region_id region,
                                                            int ring) const {

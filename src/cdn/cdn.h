@@ -54,6 +54,13 @@ public:
         return front_ends_;
     }
 
+    /// Number of rings containing front-end `front_end` (rings are nested
+    /// prefixes of the importance order, so this counts ring sizes above the
+    /// index). Low-index front-ends sit in every ring and concentrate where
+    /// users are; `load::capacity_model` reads this as a hardware-weight
+    /// proxy when apportioning per-front-end capacity.
+    [[nodiscard]] int ring_membership_count(int front_end) const noexcept;
+
     /// A fully evaluated user path to one ring.
     struct cdn_path {
         int ring = 0;

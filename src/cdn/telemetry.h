@@ -43,12 +43,20 @@ struct client_measurement_row {
 };
 
 struct telemetry_options {
-    /// Daily TCP connections per user to the CDN (drives sample counts).
+    /// Daily TCP connections per user to the CDN. Drives server-log sample
+    /// counts here, and seeds the offered-load demand model in `src/load`:
+    /// a location's nominal demand is users * connections_per_user
+    /// connections per time bucket, before the timeline's demand events
+    /// (diurnal / flash-crowd / hot-spot multipliers) rescale it.
     double connections_per_user = 2.0;
     double capture_days = 7.0;
     long min_samples = 10;           // medians below this are discarded (§3)
-    /// Fraction of a location's users whose services pin to each ring; the
-    /// server-side population differs per ring (Table 3 weakness).
+    /// Log-normal dispersion (sigma) of the per-ring pinning draw that sets
+    /// the fraction of a location's users whose services pin to each ring;
+    /// the draws are normalized to shares, so a larger sigma skews more of a
+    /// location's users onto few rings and the server-side population
+    /// differs more between rings (Table 3's server-log weakness). Zero
+    /// pins every ring an equal share.
     double ring_share_sigma = 0.5;
     /// Client-side fetch = RTT * handshake+request multiple, plus noise.
     double fetch_rtt_multiple = 1.6;

@@ -1,0 +1,44 @@
+#include "src/load/capacity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ac::load {
+
+capacity_model::capacity_model(const cdn::cdn_network& cdn, std::int64_t nominal_conn,
+                               const capacity_plan& plan) {
+    const auto front_ends = cdn.front_end_regions().size();
+    if (plan.unlimited) {
+        capacity_.assign(front_ends, unlimited_capacity);
+        total_ = unlimited_capacity;
+        unlimited_ = true;
+        return;
+    }
+    if (!(plan.headroom > 0.0)) {
+        throw std::invalid_argument("capacity_model: headroom must be positive");
+    }
+    if (nominal_conn < 0) {
+        throw std::invalid_argument("capacity_model: negative nominal demand");
+    }
+
+    // Integer apportionment: capacity_f = fleet * weight_f / total_weight,
+    // with the fleet total = headroom * nominal in permille so the knob stays
+    // exact integer arithmetic (headroom 1.3 -> 1300/1000).
+    const auto headroom_pm = static_cast<std::int64_t>(std::llround(plan.headroom * 1000.0));
+    std::vector<std::int64_t> weight(front_ends, 0);
+    std::int64_t total_weight = 0;
+    for (std::size_t f = 0; f < front_ends; ++f) {
+        weight[f] = cdn.ring_membership_count(static_cast<int>(f));
+        total_weight += weight[f];
+    }
+    capacity_.assign(front_ends, 0);
+    if (total_weight == 0) return;
+    for (std::size_t f = 0; f < front_ends; ++f) {
+        const auto fleet = static_cast<__int128>(nominal_conn) * headroom_pm;
+        capacity_[f] =
+            static_cast<std::int64_t>(fleet * weight[f] / (1000 * static_cast<__int128>(total_weight)));
+        total_ += capacity_[f];
+    }
+}
+
+} // namespace ac::load

@@ -1,0 +1,61 @@
+// Per-front-end capacity model (ROADMAP item 2, FastRoute-style).
+//
+// The paper's CDN routes purely on latency; the Sinha/Mani/Flavel load-
+// management line (PAPERS.md) adds the production constraint this module
+// captures: every front-end has finite serving capacity, and the operator
+// provisions the fleet for nominal demand plus a headroom margin. We do not
+// model individual machines — capacity is apportioned across front-ends by
+// ring membership (`cdn_network::ring_membership_count`): a front-end in
+// every ring is one the operator built out hardest, so it gets the largest
+// share of the fleet total. All capacities are integer connection counts per
+// time bucket, like the demand model's offered load, so conservation checks
+// are exact.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/cdn/cdn.h"
+
+namespace ac::load {
+
+/// Sentinel for "no capacity limit". Safe in `capacity - load` arithmetic:
+/// subtracting any reachable load still leaves more headroom than any
+/// bucket's total offered connections.
+inline constexpr std::int64_t unlimited_capacity = std::numeric_limits<std::int64_t>::max();
+
+struct capacity_plan {
+    /// Fleet capacity as a multiple of nominal demand (offered connections
+    /// per bucket at demand level 100%). 1.3 = 30% provisioning margin.
+    double headroom = 1.3;
+    /// Infinite capacity everywhere: the load-aware policy degenerates to
+    /// latency-only routing (the policy-differential acceptance check).
+    bool unlimited = false;
+};
+
+/// Integer per-front-end capacities for one CDN + nominal demand level.
+class capacity_model {
+public:
+    /// `nominal_conn` is the fleet-wide offered load (connections per
+    /// bucket) the operator provisioned for; the fleet total is
+    /// headroom * nominal_conn, apportioned by ring membership weight.
+    capacity_model(const cdn::cdn_network& cdn, std::int64_t nominal_conn,
+                   const capacity_plan& plan);
+
+    [[nodiscard]] std::span<const std::int64_t> per_front_end() const noexcept {
+        return capacity_;
+    }
+    /// Sum of per-front-end capacities (0 request of an unlimited model is
+    /// meaningless, so it reports unlimited_capacity).
+    [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+    [[nodiscard]] bool unlimited() const noexcept { return unlimited_; }
+
+private:
+    std::vector<std::int64_t> capacity_;
+    std::int64_t total_ = 0;
+    bool unlimited_ = false;
+};
+
+} // namespace ac::load

@@ -50,6 +50,17 @@ void driver::apply_event(const event& e, step_metrics& step) {
         }
     };
 
+    if (is_demand_event(e.type)) {
+        // Demand events rescale the offered-load series (src/load) and never
+        // touch routing state; the driver validates and records them so a
+        // mixed timeline replays with the same step accounting either way.
+        if ((e.type == event_type::demand_flash || e.type == event_type::demand_hotspot) &&
+            e.region >= regions_->size()) {
+            throw timeline_error("timeline: unknown region " + std::to_string(e.region));
+        }
+        return;
+    }
+
     if (e.type == event_type::outage) {
         if (e.region >= regions_->size()) {
             throw timeline_error("timeline: unknown region " + std::to_string(e.region));
@@ -115,7 +126,12 @@ void driver::apply_event(const event& e, step_metrics& step) {
             accumulate(rib.announce(a));
             break;
         }
-        case event_type::outage: break;  // handled above
+        case event_type::outage:
+        case event_type::demand_level:
+        case event_type::demand_diurnal:
+        case event_type::demand_flash:
+        case event_type::demand_hotspot:
+            break;  // handled above
     }
 }
 
@@ -182,7 +198,13 @@ std::vector<step_metrics> driver::run(const timeline& tl, const driver_options& 
     // Pre-validate every event against the registered targets so a typo at
     // step 40 fails before step 0 runs (and mutates nothing).
     for (const auto& e : tl.events) {
-        if (e.type == event_type::outage) {
+        if (is_demand_event(e.type)) {
+            if ((e.type == event_type::demand_flash ||
+                 e.type == event_type::demand_hotspot) &&
+                e.region >= regions_->size()) {
+                throw timeline_error("timeline: unknown region " + std::to_string(e.region));
+            }
+        } else if (e.type == event_type::outage) {
             if (e.region >= regions_->size()) {
                 throw timeline_error("timeline: unknown region " + std::to_string(e.region));
             }

@@ -28,23 +28,103 @@ struct event_shape {
     bool has_site;
     bool has_region;
     bool has_amount;
+    bool has_pct;
+    bool has_window;
+    const char* window_name;  // "period" or "duration" (for messages)
 };
 
 const event_shape* shape_of(const std::string& name) {
     static const event_shape shapes[] = {
-        {event_type::drain, true, true, false, false},
-        {event_type::restore, true, true, false, false},
-        {event_type::withdraw, true, false, false, false},
-        {event_type::announce, true, false, false, false},
-        {event_type::outage, false, false, true, false},
-        {event_type::prepend, true, true, false, true},
-        {event_type::promote, true, true, false, false},
-        {event_type::demote, true, true, false, false},
+        {event_type::drain, true, true, false, false, false, false, ""},
+        {event_type::restore, true, true, false, false, false, false, ""},
+        {event_type::withdraw, true, false, false, false, false, false, ""},
+        {event_type::announce, true, false, false, false, false, false, ""},
+        {event_type::outage, false, false, true, false, false, false, ""},
+        {event_type::prepend, true, true, false, true, false, false, ""},
+        {event_type::promote, true, true, false, false, false, false, ""},
+        {event_type::demote, true, true, false, false, false, false, ""},
+        {event_type::demand_level, false, false, false, false, true, false, ""},
+        {event_type::demand_diurnal, false, false, false, false, true, true, "period"},
+        {event_type::demand_flash, false, false, true, false, true, true, "duration"},
+        {event_type::demand_hotspot, false, false, true, false, true, false, ""},
     };
     for (const auto& s : shapes) {
         if (name == event_type_name(s.type)) return &s;
     }
     return nullptr;
+}
+
+/// Identity of the state an event mutates, for same-step conflict detection.
+/// Events whose keys compare equal touch the same state; if their payloads
+/// differ the outcome would depend on input line order. The first component
+/// also encodes scope: a prefix-wide event (withdraw/announce, kind 1) on a
+/// target conflicts with any site-level event (kind 0) on the same target,
+/// which the checker handles separately since the keys differ.
+struct conflict_key {
+    int kind;            // 0 site, 1 prefix, 2 outage, 3..6 demand kinds
+    std::string target;  // deployment name (site/prefix kinds)
+    long scope;          // site id or region id, 0 where unused
+};
+
+conflict_key key_of(const event& e) {
+    switch (e.type) {
+        case event_type::drain:
+        case event_type::restore:
+        case event_type::prepend:
+        case event_type::promote:
+        case event_type::demote:
+            return {0, e.target, static_cast<long>(e.site)};
+        case event_type::withdraw:
+        case event_type::announce:
+            return {1, e.target, 0};
+        case event_type::outage:
+            return {2, {}, static_cast<long>(e.region)};
+        case event_type::demand_level:
+            return {3, {}, 0};
+        case event_type::demand_diurnal:
+            return {4, {}, 0};
+        case event_type::demand_flash:
+            return {5, {}, static_cast<long>(e.region)};
+        case event_type::demand_hotspot:
+            return {6, {}, static_cast<long>(e.region)};
+    }
+    return {-1, {}, 0};
+}
+
+bool same_payload(const event& a, const event& b) {
+    return a.type == b.type && a.target == b.target && a.site == b.site &&
+           a.region == b.region && a.prepend == b.prepend && a.pct == b.pct &&
+           a.window == b.window;
+}
+
+[[noreturn]] void throw_conflict(const event& a, const event& b) {
+    throw timeline_error("timeline: conflicting events at step " + std::to_string(a.step) +
+                         ": '" + a.describe() + "' vs '" + b.describe() + "'");
+}
+
+/// Rejects same-step events whose combined effect is order-dependent:
+/// identical conflict keys with different payloads, and prefix-wide vs
+/// site-level events on the same target. Byte-identical duplicates pass.
+void check_conflicts(const std::vector<event>& events) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const conflict_key ka = key_of(events[i]);
+        for (std::size_t j = i + 1;
+             j < events.size() && events[j].step == events[i].step; ++j) {
+            const conflict_key kb = key_of(events[j]);
+            const bool same_key = ka.kind == kb.kind && ka.target == kb.target &&
+                                  ka.scope == kb.scope;
+            if (same_key && !same_payload(events[i], events[j])) {
+                throw_conflict(events[i], events[j]);
+            }
+            // Whole-prefix withdraw/announce next to any site event on the
+            // same target: the prefix event overrides or undoes the site one
+            // depending on apply order.
+            const bool prefix_vs_site =
+                ((ka.kind == 1 && kb.kind == 0) || (ka.kind == 0 && kb.kind == 1)) &&
+                ka.target == kb.target;
+            if (prefix_vs_site) throw_conflict(events[i], events[j]);
+        }
+    }
 }
 
 } // namespace
@@ -59,12 +139,45 @@ std::string_view event_type_name(event_type type) noexcept {
         case event_type::prepend: return "prepend";
         case event_type::promote: return "promote";
         case event_type::demote: return "demote";
+        case event_type::demand_level: return "demand-level";
+        case event_type::demand_diurnal: return "demand-diurnal";
+        case event_type::demand_flash: return "demand-flash";
+        case event_type::demand_hotspot: return "demand-hotspot";
     }
     return "?";
 }
 
+bool is_demand_event(event_type type) noexcept {
+    switch (type) {
+        case event_type::demand_level:
+        case event_type::demand_diurnal:
+        case event_type::demand_flash:
+        case event_type::demand_hotspot:
+            return true;
+        default:
+            return false;
+    }
+}
+
 std::string event::describe() const {
     std::string out{event_type_name(type)};
+    if (type == event_type::demand_level) {
+        out += " " + std::to_string(pct) + "%";
+        return out;
+    }
+    if (type == event_type::demand_diurnal) {
+        out += " amplitude " + std::to_string(pct) + "% period " + std::to_string(window);
+        return out;
+    }
+    if (type == event_type::demand_flash) {
+        out += " region " + std::to_string(region) + " " + std::to_string(pct) + "% for " +
+               std::to_string(window);
+        return out;
+    }
+    if (type == event_type::demand_hotspot) {
+        out += " region " + std::to_string(region) + " " + std::to_string(pct) + "%";
+        return out;
+    }
     if (type == event_type::outage) {
         out += " region " + std::to_string(region);
         return out;
@@ -114,7 +227,9 @@ timeline parse_timeline(std::istream& in) {
         const std::size_t expected = 2u + (shape->has_target ? 1u : 0u) +
                                      (shape->has_site ? 1u : 0u) +
                                      (shape->has_region ? 1u : 0u) +
-                                     (shape->has_amount ? 1u : 0u);
+                                     (shape->has_amount ? 1u : 0u) +
+                                     (shape->has_pct ? 1u : 0u) +
+                                     (shape->has_window ? 1u : 0u);
         if (tokens.size() != expected) {
             throw timeline_error("timeline line " + std::to_string(line_no) + ": '" +
                                  tokens[1] + "' takes " + std::to_string(expected - 2) +
@@ -137,10 +252,34 @@ timeline parse_timeline(std::istream& in) {
                                      std::to_string(max_prepend));
             }
         }
+        if (shape->has_pct) {
+            e.pct = static_cast<int>(parse_number(tokens[next++], "percent", line_no));
+            if (e.type == event_type::demand_diurnal) {
+                if (e.pct > max_diurnal_amplitude_pct) {
+                    throw timeline_error("timeline line " + std::to_string(line_no) +
+                                         ": diurnal amplitude must be 0.." +
+                                         std::to_string(max_diurnal_amplitude_pct));
+                }
+            } else if (e.pct > max_demand_pct) {
+                throw timeline_error("timeline line " + std::to_string(line_no) +
+                                     ": demand percent must be 0.." +
+                                     std::to_string(max_demand_pct));
+            }
+        }
+        if (shape->has_window) {
+            e.window = static_cast<int>(parse_number(tokens[next++], shape->window_name, line_no));
+            const int min_window = e.type == event_type::demand_diurnal ? 2 : 1;
+            if (e.window < min_window) {
+                throw timeline_error("timeline line " + std::to_string(line_no) + ": " +
+                                     shape->window_name + " must be at least " +
+                                     std::to_string(min_window));
+            }
+        }
         tl.events.push_back(std::move(e));
     }
     std::stable_sort(tl.events.begin(), tl.events.end(),
                      [](const event& a, const event& b) { return a.step < b.step; });
+    check_conflicts(tl.events);
     return tl;
 }
 

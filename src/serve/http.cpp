@@ -231,10 +231,9 @@ void http_server::stop() {
         if (acceptor_.joinable()) acceptor_.join();
         return;
     }
-    if (listen_fd_ >= 0) {
-        ::shutdown(listen_fd_, SHUT_RDWR);
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+    if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
     }
     {
         std::lock_guard lock{mutex_};
@@ -250,7 +249,7 @@ void http_server::stop() {
 
 void http_server::accept_loop() {
     while (!stopping_.load(std::memory_order_relaxed)) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        const int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR) continue;
             break;  // listen socket closed by stop()
@@ -278,9 +277,13 @@ void http_server::accept_loop() {
                 std::lock_guard lock{mutex_};
                 live_fds_.erase(fd);
                 --active_;
+                // Notify under the lock: a stop() woken by active_ == 0 can
+                // destroy the server the moment it reacquires mutex_, which
+                // it cannot do until this block unlocks — so the broadcast
+                // never races the condition variable's destruction.
+                idle_.notify_all();
             }
             ::close(fd);
-            idle_.notify_all();
         }).detach();
     }
     // Unblock a run() caller waiting on the acceptor.

@@ -75,7 +75,9 @@ private:
 
     const query_engine& engine_;
     http_options options_;
-    int listen_fd_ = -1;
+    /// Atomic: stop() closes and clears the fd while the acceptor thread is
+    /// still reading it for accept() (the close is what unblocks accept).
+    std::atomic<int> listen_fd_{-1};
     std::uint16_t port_ = 0;
     std::atomic<bool> stopping_{false};
     std::thread acceptor_;

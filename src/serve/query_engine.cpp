@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/load/gauges.h"
 #include "src/netbase/strfmt.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/snapshot/world_io.h"
 
@@ -64,6 +66,7 @@ void query_engine::build_indexes() {
         }
     }
 
+    auto& registry = obs::registry::global();
     for (const char letter : world_->roots().all_letters()) {
         auto& dep = world_->mutable_roots().mutable_deployment_of(letter);
         const auto selections = dep.rib().select_many(sources, pool);
@@ -77,11 +80,18 @@ void query_engine::build_indexes() {
             site.locations += 1;
             catchment.total_users += source_users[i];
         }
+        registry.get_gauge(load::letter_users_gauge_name({&letter, 1}))
+            .set(catchment.total_users);
         catchments_.emplace(letter, std::move(catchment));
 
         frozen_entries_ += dep.mutable_rib().freeze_select_cache();
     }
     index_span.set_items(frozen_entries_);
+
+    // Surface the snapshot's load profile in /metricsz: when the archive
+    // carries server-side telemetry, per-front-end connection totals appear
+    // under the same gauge names a live `acctx load` run publishes.
+    load::publish_front_end_conn_gauges(world_->server_log_table(), pool);
 }
 
 void query_engine::inflation_json(std::span<const topo::asn_t> asns, std::string& out) const {

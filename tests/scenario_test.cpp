@@ -72,6 +72,9 @@ protected:
 };
 
 TEST(ScenarioTimeline, ParsesSortsAndDescribes) {
+    // withdraw/announce and promote/demote pairs fire at *different* steps:
+    // same-step conflicting events on one target are now parse errors
+    // (their outcome would depend on input line order).
     const auto tl = scenario::parse_timeline_text(
         "# maintenance window\n"
         "2 restore K 3\n"
@@ -80,11 +83,11 @@ TEST(ScenarioTimeline, ParsesSortsAndDescribes) {
         "3 outage 2\n"
         "3 prepend B 0 4\n"
         "4 withdraw K\n"
-        "4 announce K\n"
-        "5 promote K 1\n"
-        "5 demote K 1\n");
+        "5 announce K\n"
+        "6 promote K 1\n"
+        "7 demote K 1\n");
     ASSERT_EQ(tl.events.size(), 8u);
-    EXPECT_EQ(tl.last_step(), 5);
+    EXPECT_EQ(tl.last_step(), 7);
     // Stable-sorted by step: the drain now precedes the restore.
     EXPECT_EQ(tl.events[0].describe(), "drain K site 3");
     EXPECT_EQ(tl.events[1].describe(), "restore K site 3");

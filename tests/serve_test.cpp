@@ -19,7 +19,9 @@
 
 #include "src/analysis/point_query.h"
 #include "src/core/world.h"
+#include "src/load/gauges.h"
 #include "src/netbase/strfmt.h"
+#include "src/obs/metrics.h"
 #include "src/serve/http.h"
 #include "src/serve/query_engine.h"
 
@@ -348,6 +350,34 @@ TEST(ServeStress, EightConcurrentClientsGetConsistentAnswers) {
     }
     for (auto& c : clients) c.join();
     for (int t = 0; t < 8; ++t) EXPECT_EQ(failures[t], 0) << "client " << t;
+}
+
+TEST(ServeGauges, EngineStartupPublishesLoadGauges) {
+    // Building the engine publishes the shared load gauge names
+    // (src/load/gauges.h): per-letter catchment users always, per-front-end
+    // connection totals whenever the world carries server-side telemetry.
+    // /metricsz therefore reports the same load profile an `acctx load` run
+    // would write.
+    const auto& e = engine();
+    auto& reg = obs::registry::global();
+    for (const auto& [letter, catchment] : e.catchments()) {
+        const std::string name = load::letter_users_gauge_name({&letter, 1});
+        EXPECT_EQ(reg.get_gauge(name).value(), catchment.total_users) << name;
+    }
+    if (e.world().server_log_table().rows() > 0) {
+        std::int64_t samples = 0;
+        double published = 0.0;
+        const auto& logs = e.world().server_log_table();
+        for (std::size_t i = 0; i < logs.rows(); ++i) {
+            samples += logs.sample_count[i];
+        }
+        for (int f = 0; f < e.world().cdn_net().ring_size(
+                                e.world().cdn_net().ring_count() - 1);
+             ++f) {
+            published += reg.get_gauge(load::front_end_conn_gauge_name(f)).value();
+        }
+        EXPECT_EQ(published, static_cast<double>(samples));
+    }
 }
 
 } // namespace

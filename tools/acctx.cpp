@@ -21,6 +21,11 @@
 //                                   snapshot (HTTP/1.1 JSON; DESIGN §13);
 //                                   --grid F writes the differential CSV
 //                                   offline and exits instead
+//   acctx load      [--policy latency|load-aware|both] [--demand TIMELINE]
+//                   [--headroom H|inf] [--out CSV] [--from-snapshot F]
+//                                   latency-vs-load frontier: latency-only vs
+//                                   FastRoute-style load-aware assignment
+//                                   across demand levels (DESIGN §14)
 //
 // Every world-building command accepts --threads N (0 = hardware
 // concurrency, 1 = serial); thread count never changes output bytes.
@@ -46,6 +51,7 @@
 
 #include "src/analysis/inflation.h"
 #include "src/analysis/join.h"
+#include "src/analysis/load_frontier.h"
 #include "src/capture/serialize.h"
 #include "src/core/render.h"
 #include "src/core/report.h"
@@ -76,6 +82,10 @@ struct cli_options {
     std::optional<std::string> trace_path;
     std::optional<std::string> metrics_path;
     std::optional<std::string> timeline_path;
+    std::optional<std::string> demand_path;    // load: demand-event timeline
+    std::string policy = "both";               // load: latency|load-aware|both
+    double headroom = 1.3;                     // load: fleet capacity multiple
+    bool headroom_unlimited = false;           // load: --headroom inf
     std::optional<std::string> snapshot_path;  // serve: the world to open
     std::optional<std::string> grid_path;      // serve: offline grid CSV, then exit
     std::size_t grid_stride = 1;
@@ -90,7 +100,7 @@ struct cli_options {
 [[noreturn]] void usage(int code) {
     std::cerr << "usage: acctx "
                  "<world|inflation|amortize|cdn|export|analyze|snapshot|report|scenario|"
-                 "serve>\n"
+                 "serve|load>\n"
               << "             [--seed N] [--scale small|full] [--year 2018|2020]\n"
               << "             [--threads N] [--timing] [--in FILE] [--out FILE]\n"
               << "             [--from-snapshot FILE] [--format text|snapshot]\n"
@@ -111,7 +121,19 @@ struct cli_options {
               << "  --timeline F      scenario: event timeline file, one event per line:\n"
               << "                    '<step> drain|restore|prepend|promote|demote <letter>\n"
               << "                    <site> [n]', '<step> withdraw|announce <letter>', or\n"
-              << "                    '<step> outage <region>'\n"
+              << "                    '<step> outage <region>'; demand events:\n"
+              << "                    '<step> demand-level <pct>',\n"
+              << "                    '<step> demand-diurnal <amplitude_pct> <period>',\n"
+              << "                    '<step> demand-flash <region> <pct> <duration>',\n"
+              << "                    '<step> demand-hotspot <region> <pct>'. Two same-step\n"
+              << "                    events on the same target/region/knob with different\n"
+              << "                    payloads are a parse error (order-dependent)\n"
+              << "  --demand F        load: demand-event timeline shaping offered load per\n"
+              << "                    bucket (demand-* events only; see --timeline)\n"
+              << "  --policy P        load: latency | load-aware | both (default both;\n"
+              << "                    single-policy CSVs omit the policy column)\n"
+              << "  --headroom H      load: fleet capacity as a multiple of nominal demand\n"
+              << "                    (default 1.3), or 'inf' for unlimited capacity\n"
               << "  --letters STR     scenario: letters to drive, e.g. KF ('all' = every\n"
               << "                    letter); default K\n"
               << "  --snapshot F      serve: the world snapshot to serve (required)\n"
@@ -141,6 +163,8 @@ bool flag_applies(const std::string& command, const std::string& flag) {
         {"analyze", {"--in", "--format"}},
         {"serve",
          {"--snapshot", "--port", "--threads", "--grid", "--grid-stride", "--dry-run"}},
+        {"load", {"--seed", "--scale", "--year", "--threads", "--out", "--from-snapshot",
+                  "--demand", "--policy", "--headroom"}},
     };
     // Observability flags apply to every command: they only add output files,
     // never change what a command computes.
@@ -182,7 +206,8 @@ cli_options parse_args(int argc, char** argv) {
             arg == "--from-snapshot" || arg == "--format" || arg == "--trace" ||
             arg == "--metrics-json" || arg == "--timeline" || arg == "--letters" ||
             arg == "--snapshot" || arg == "--port" || arg == "--grid" ||
-            arg == "--grid-stride" || arg == "--dry-run") {
+            arg == "--grid-stride" || arg == "--dry-run" || arg == "--demand" ||
+            arg == "--policy" || arg == "--headroom") {
             check_applies();
         }
         if (arg == "--seed") {
@@ -227,6 +252,28 @@ cli_options parse_args(int argc, char** argv) {
             options.metrics_path = value();
         } else if (arg == "--timeline") {
             options.timeline_path = value();
+        } else if (arg == "--demand") {
+            options.demand_path = value();
+        } else if (arg == "--policy") {
+            options.policy = value();
+            if (options.policy != "latency" && options.policy != "load-aware" &&
+                options.policy != "both") {
+                std::cerr << "acctx load: unknown policy '" << options.policy
+                          << "' (expected latency, load-aware, or both)\n";
+                usage(2);
+            }
+        } else if (arg == "--headroom") {
+            const auto v = value();
+            if (v == "inf") {
+                options.headroom_unlimited = true;
+            } else {
+                char* end = nullptr;
+                options.headroom = std::strtod(v.c_str(), &end);
+                if (v.empty() || end == nullptr || *end != '\0' || !(options.headroom > 0.0)) {
+                    std::cerr << "acctx load: --headroom needs a positive number or 'inf'\n";
+                    usage(2);
+                }
+            }
         } else if (arg == "--snapshot") {
             options.snapshot_path = value();
         } else if (arg == "--grid") {
@@ -434,6 +481,83 @@ int cmd_scenario(const cli_options& options) {
     return 0;
 }
 
+int cmd_load(const cli_options& options) {
+    scenario::timeline tl;
+    if (options.demand_path) {
+        std::ifstream timeline_file{*options.demand_path};
+        if (!timeline_file) {
+            std::cerr << "acctx: cannot open " << *options.demand_path << "\n";
+            return 1;
+        }
+        try {
+            tl = scenario::parse_timeline(timeline_file);
+        } catch (const scenario::timeline_error& e) {
+            std::cerr << "acctx load: " << e.what() << "\n";
+            return 2;
+        }
+        for (const auto& e : tl.events) {
+            if (!scenario::is_demand_event(e.type)) {
+                std::cerr << "acctx load: --demand takes demand-* events only; '"
+                          << e.describe()
+                          << "' is a routing event (replay it with acctx scenario)\n";
+                return 2;
+            }
+        }
+    }
+
+    const auto w = build_world(options);
+    analysis::load_frontier_options frontier_options;
+    frontier_options.capacity.headroom = options.headroom;
+    frontier_options.capacity.unlimited = options.headroom_unlimited;
+    frontier_options.demand.connections_per_user = w.config().telemetry.connections_per_user;
+    frontier_options.run_latency_only = options.policy != "load-aware";
+    frontier_options.run_load_aware = options.policy != "latency";
+
+    analysis::load_frontier_result result;
+    try {
+        result = analysis::compute_load_frontier(w.cdn_net(), w.users(), tl,
+                                                 frontier_options, w.pool());
+    } catch (const scenario::timeline_error& e) {
+        std::cerr << "acctx load: " << e.what() << "\n";
+        return 2;
+    }
+
+    std::cout << "front-ends: " << result.capacity_conn.size() << ", fleet capacity ";
+    if (options.headroom_unlimited) {
+        std::cout << "unlimited";
+    } else {
+        std::cout << result.total_capacity_conn << " conn/bucket ("
+                  << strfmt::fixed(options.headroom, 2) << "x nominal "
+                  << result.nominal_conn << ")";
+    }
+    std::cout << "\ndemand: " << result.locations << " locations ("
+              << result.reachable_locations << " reachable), " << result.buckets
+              << " bucket(s)\n";
+    for (const auto& p : result.points) {
+        if (p.bucket != 0) continue;
+        std::cout << "  " << load::policy_name(p.policy) << " @" << p.level_pct
+                  << "%: p50 " << strfmt::fixed(p.p50_ms, 1) << " ms, p95 "
+                  << strfmt::fixed(p.p95_ms, 1) << " ms, overload "
+                  << strfmt::fixed(100.0 * p.overload_fraction, 1) << "%, shed "
+                  << strfmt::fixed(100.0 * p.shed_fraction, 1) << "%\n";
+    }
+
+    if (options.out_path) {
+        std::ofstream out{*options.out_path, std::ios::binary};
+        if (!out) {
+            std::cerr << "acctx: cannot open " << *options.out_path << " for writing\n";
+            return 1;
+        }
+        std::optional<load::policy_kind> only;
+        if (options.policy == "latency") only = load::policy_kind::latency_only;
+        if (options.policy == "load-aware") only = load::policy_kind::load_aware;
+        analysis::write_load_frontier_csv(out, result, only);
+        std::cout << "wrote load frontier (" << result.points.size() << " points, "
+                  << options.policy << ") to " << *options.out_path << "\n";
+    }
+    return 0;
+}
+
 int cmd_inflation(const cli_options& options) {
     const auto w = build_world(options);
     const auto result = analysis::compute_root_inflation(
@@ -626,6 +750,7 @@ int run_command(const cli_options& options) {
     if (options.command == "report") return cmd_report(options);
     if (options.command == "scenario") return cmd_scenario(options);
     if (options.command == "serve") return cmd_serve(options);
+    if (options.command == "load") return cmd_load(options);
     usage(2);  // unreachable: parse_args validated the command
 }
 
