@@ -54,13 +54,18 @@ ABS_SLACK_MS = 0.3
 LENIENT_FACTOR = 3.0
 
 # Units whose values do not depend on the host (deterministic sizes, ratios,
-# and integer connection counts): cross-machine leniency never applies to
-# them — a snapshot that doubled in size or a load policy that sheds a
-# different number of connections regressed no matter which box measured it.
-MACHINE_INDEPENDENT_UNITS = {"bytes", "ratio", "conn"}
+# integer connection counts, and grid cell counts): cross-machine leniency
+# never applies to them — a snapshot that doubled in size, a load policy that
+# sheds a different number of connections, or a sweep that silently lost a
+# cell regressed no matter which box measured it.
+MACHINE_INDEPENDENT_UNITS = {"bytes", "ratio", "conn", "cells"}
 
 BENCHES = ["world_build", "routing", "analysis", "snapshot", "table", "scenario", "serve",
-           "load"]
+           "load", "sweep"]
+
+
+class ReportError(Exception):
+    """A report that cannot be gated (unreadable, wrong schema, bad metric)."""
 
 
 def load_report(path):
@@ -68,15 +73,15 @@ def load_report(path):
         with open(path, "r", encoding="utf-8") as f:
             report = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
-        raise SystemExit(f"check_bench: cannot read {path}: {err}")
+        raise ReportError(f"check_bench: cannot read {path}: {err}")
     if report.get("schema") != SCHEMA:
-        raise SystemExit(
+        raise ReportError(
             f"check_bench: {path} has schema {report.get('schema')!r}, expected {SCHEMA!r}"
         )
     for m in report.get("metrics", []):
         for key in ("name", "direction", "tolerance", "median"):
             if key not in m:
-                raise SystemExit(f"check_bench: {path}: metric missing {key!r}: {m}")
+                raise ReportError(f"check_bench: {path}: metric missing {key!r}: {m}")
     return report
 
 
@@ -113,9 +118,20 @@ def check_metric(base, fresh, lenient):
     return ok, bound, msg
 
 
-def compare_reports(baseline, fresh, baseline_path, fresh_path):
-    """Prints a per-metric table; returns the number of failures."""
+def compare_reports(baseline, fresh, baseline_path, fresh_path, regressions=None):
+    """Prints a per-metric table; returns the number of failures.
+
+    When `regressions` is a list, every failing metric is appended to it as
+    "<bench>: <detail>" so the caller can print one consolidated listing
+    after all pairs are compared.
+    """
     print(f"== {baseline.get('bench', '?')}: {baseline_path} vs {fresh_path}")
+    bench = baseline.get("bench", "?")
+
+    def record(detail):
+        if regressions is not None:
+            regressions.append(f"{bench}: {detail}")
+
     lenient = baseline.get("machine") != fresh.get("machine")
     if lenient:
         print(
@@ -130,11 +146,13 @@ def compare_reports(baseline, fresh, baseline_path, fresh_path):
         fresh_metric = fresh_by_name.pop(name, None)
         if fresh_metric is None:
             print(f"{name:40s} MISSING from fresh report")
+            record(f"{name} missing from fresh report")
             failures += 1
             continue
         ok, _, msg = check_metric(base_metric, fresh_metric, lenient)
         print(f"   {msg}")
         if not ok:
+            record(" ".join(msg.split()))
             failures += 1
     for name in fresh_by_name:
         print(f"   {name:40s} new metric (not in baseline, not gated)")
@@ -148,18 +166,34 @@ def cmd_compare(paths):
             f"{len(paths)} paths)"
         )
     failures = 0
+    regressions = []
+    # Every pair is compared even when an earlier one is malformed: a CI run
+    # should report the complete damage in one pass, not one report per push.
     for i in range(0, len(paths), 2):
-        baseline = load_report(paths[i])
-        fresh = load_report(paths[i + 1])
+        try:
+            baseline = load_report(paths[i])
+            fresh = load_report(paths[i + 1])
+        except ReportError as err:
+            print(err)
+            regressions.append(str(err))
+            failures += 1
+            continue
         if baseline.get("bench") != fresh.get("bench"):
-            print(
+            msg = (
                 f"check_bench: bench mismatch: {paths[i]} is "
                 f"{baseline.get('bench')!r}, {paths[i + 1]} is {fresh.get('bench')!r}"
             )
+            print(msg)
+            regressions.append(msg)
             failures += 1
             continue
-        failures += compare_reports(baseline, fresh, paths[i], paths[i + 1])
-    print(f"check_bench: {failures} regression(s)" if failures else "check_bench: all good")
+        failures += compare_reports(baseline, fresh, paths[i], paths[i + 1], regressions)
+    if failures:
+        print(f"check_bench: {failures} regression(s):")
+        for line in regressions:
+            print(f"  {line}")
+    else:
+        print("check_bench: all good")
     return 1 if failures else 0
 
 
@@ -369,6 +403,35 @@ def cmd_selftest():
         p99_us=(500.0, "lower", 3.0, "us"),
     ), False, 1)
 
+    # Grid cell counts ("cells", the sweep bench's scalar) are machine-
+    # independent and gated at zero tolerance: identical passes, any drift
+    # fails even cross-machine.
+    cells_base = synthetic_report(
+        grid_cells=(4.0, "higher", 0.0, "cells"),
+        wall_ms=(10.0, "lower", 2.0, "ms"),
+    )
+
+    def expect_cells(label, fresh, lenient, want_failures):
+        fresh_by_name = {m["name"]: m for m in fresh["metrics"]}
+        failures = 0
+        for m in cells_base["metrics"]:
+            ok, _, _ = check_metric(m, fresh_by_name[m["name"]], lenient)
+            failures += 0 if ok else 1
+        if failures != want_failures:
+            print(f"selftest FAILED: {label}: {failures} failures, wanted {want_failures}")
+            return 1
+        print(f"selftest ok: {label}")
+        return 0
+
+    bad += expect_cells("identical cell counts pass", synthetic_report(
+        grid_cells=(4.0, "higher", 0.0, "cells"),
+        wall_ms=(10.0, "lower", 2.0, "ms"),
+    ), False, 0)
+    bad += expect_cells("lost cell fails even lenient", synthetic_report(
+        grid_cells=(3.0, "higher", 0.0, "cells"),
+        wall_ms=(10.0, "lower", 2.0, "ms"),
+    ), True, 1)
+
     # Missing metrics fail through compare_reports.
     fresh = synthetic_report(wall_ms=(10.0, "lower", 2.0, "ms"))
     failures = compare_reports(base, fresh, "<base>", "<fresh>")
@@ -377,6 +440,39 @@ def cmd_selftest():
         bad += 1
     else:
         print("selftest ok: missing metrics")
+
+    # A malformed report must not abort the whole compare: later pairs still
+    # run, and the consolidated listing names every problem.
+    import contextlib
+    import io
+
+    with tempfile.TemporaryDirectory(prefix="ac_bench_selftest.") as tmp:
+        def dump(name, payload):
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as f:
+                if isinstance(payload, str):
+                    f.write(payload)
+                else:
+                    json.dump(payload, f)
+            return path
+
+        broken = dump("broken.json", "this is not json")
+        good = dump("good.json", base)
+        regressed = dump("regressed.json", synthetic_report(
+            wall_ms=(100.0, "lower", 2.0, "ms"),
+            tiny_ms=(0.2, "lower", 2.0, "ms"),
+            speedup=(8.0, "higher", 0.6, "x"),
+        ))
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = cmd_compare([broken, good, good, regressed])
+        text = out.getvalue()
+        if code == 1 and "2 regression(s)" in text and "cannot read" in text \
+                and "wall_ms" in text:
+            print("selftest ok: malformed report does not abort the compare")
+        else:
+            print("selftest FAILED: malformed report handling:\n" + text)
+            bad += 1
 
     print("selftest:", "FAILED" if bad else "all good")
     return 1 if bad else 0

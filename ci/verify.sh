@@ -4,10 +4,16 @@
 # $1, silently making --tsan and --asan mutually exclusive).
 #
 #   ci/verify.sh               tier-1 (build + ctest + CLI round trips)
+#   ci/verify.sh --unit        fast-fail lane ONLY: build + `ctest -L unit`
+#                                (the CI tier-1 job runs this before the rest)
 #   ci/verify.sh --asan        + AC_SANITIZE=address build, full suite (build-asan/)
 #   ci/verify.sh --tsan        + AC_SANITIZE=thread build, engine + routing +
 #                                obs tests (build-tsan/; concurrency stress)
 #   ci/verify.sh --bench       + benchmark regression gate (ci/check_bench.py)
+#   ci/verify.sh --sweep       + sweep smoke: ci/sweep_smoke.txt grid into
+#                                build/sweep-smoke, resume must skip every
+#                                cell, and the identity cell must be byte-
+#                                equal to a direct acctx run
 #   ci/verify.sh --format      + formatting check (clang-format when available,
 #                                whitespace invariants otherwise); when given
 #                                alone, runs ONLY the format check (no build)
@@ -18,29 +24,38 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
 
 run_tier1=1
+run_unit=0
 run_asan=0
 run_tsan=0
 run_bench=0
+run_sweep=0
 run_format=0
 saw_non_format_flag=0
 
 for arg in "$@"; do
     case "${arg}" in
+        --unit) run_unit=1; run_tier1=0; saw_non_format_flag=1 ;;
         --asan) run_asan=1; saw_non_format_flag=1 ;;
         --tsan) run_tsan=1; saw_non_format_flag=1 ;;
         --bench) run_bench=1; saw_non_format_flag=1 ;;
+        --sweep) run_sweep=1; saw_non_format_flag=1 ;;
+        --all) run_asan=1; run_tsan=1; run_bench=1; run_sweep=1; run_format=1
+               saw_non_format_flag=1 ;;
         --format) run_format=1 ;;
-        --all) run_asan=1; run_tsan=1; run_bench=1; run_format=1; saw_non_format_flag=1 ;;
         *)
             echo "verify: unknown flag ${arg}" >&2
-            echo "usage: ci/verify.sh [--asan] [--tsan] [--bench] [--format] [--all]" >&2
+            echo "usage: ci/verify.sh [--unit] [--asan] [--tsan] [--bench] [--sweep]" \
+                 "[--format] [--all]" >&2
             exit 2
             ;;
     esac
 done
 
-# `ci/verify.sh --format` alone is the fast lint lane: no compiler needed.
-if [[ ${run_format} -eq 1 && ${saw_non_format_flag} -eq 0 && $# -eq 1 ]]; then
+# `ci/verify.sh --format` (possibly repeated) is the fast lint lane: no
+# compiler needed. Any non-format stage flag brings tier-1 back — the old
+# `$# -eq 1` test broke the moment --format was combined with itself or with
+# future format-only flags.
+if [[ ${run_format} -eq 1 && ${saw_non_format_flag} -eq 0 ]]; then
     run_tier1=0
 fi
 
@@ -76,6 +91,13 @@ check_format() {
 
 if [[ ${run_format} -eq 1 ]]; then
     check_format
+fi
+
+if [[ ${run_unit} -eq 1 ]]; then
+    cmake -B build -S .
+    cmake --build build -j "${jobs}"
+    ctest --test-dir build --output-on-failure -j "${jobs}" -L unit
+    echo "verify: unit lane OK"
 fi
 
 if [[ ${run_tier1} -eq 1 ]]; then
@@ -173,12 +195,41 @@ if [[ ${run_asan} -eq 1 ]]; then
         ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 fi
 
+if [[ ${run_sweep} -eq 1 ]]; then
+    cmake -B build -S .
+    cmake --build build -j "${jobs}" --target acctx
+    # Stable path (not mktemp): the CI job uploads this directory as an
+    # artifact when the stage fails.
+    sweep_dir=build/sweep-smoke
+    rm -rf "${sweep_dir}"
+    ./build/tools/acctx sweep --grid ci/sweep_smoke.txt --out "${sweep_dir}" --threads 2
+
+    # Resume contract: the second run over the finished grid rebuilds nothing.
+    ./build/tools/acctx sweep --grid ci/sweep_smoke.txt --out "${sweep_dir}" \
+        | grep -q "(0 built, 4 skipped, 0 pending)"
+
+    # Identity contract: the cell whose dims resolve to the default small
+    # config must be byte-equal to a direct acctx run of that config.
+    # No EXIT trap here: the tier-1 stage already owns it for its own tmpdir.
+    sweep_rt=$(mktemp -d)
+    ./build/tools/acctx report --scale small --out "${sweep_rt}/direct"
+    ./build/tools/acctx snapshot --scale small --out "${sweep_rt}/direct.acx"
+    identity_cell="${sweep_dir}/peering-0.72_rings-5"
+    for f in "${sweep_rt}/direct"/*.csv; do
+        cmp "${f}" "${identity_cell}/$(basename "${f}")"
+    done
+    cmp "${sweep_rt}/direct.acx" "${identity_cell}/world.acx"
+    python3 -m json.tool "${identity_cell}/metrics.json" > /dev/null
+    rm -rf "${sweep_rt}"
+    echo "verify: sweep smoke OK (resume skips all cells; identity cell matches direct run)"
+fi
+
 if [[ ${run_bench} -eq 1 ]]; then
     cmake --build build -j "${jobs}" \
         --target bench_world_build --target bench_routing \
         --target bench_analysis --target bench_snapshot \
         --target bench_table --target bench_scenario --target bench_serve \
-        --target bench_load
+        --target bench_load --target bench_sweep
     python3 ci/check_bench.py run --build-dir build --repeat 3
 
     # The gate must also demonstrably fail: perturb one baseline metric far

@@ -1,0 +1,81 @@
+#include "src/capture/bounded_writer.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+namespace ac::capture {
+
+static_assert(std::is_trivially_copyable_v<capture_record>,
+              "spill frames are raw capture_record bytes");
+
+bounded_record_writer::bounded_record_writer(std::size_t max_buffered_records)
+    : bound_(max_buffered_records) {
+    if (bound_ != 0) ring_.reserve(bound_);
+}
+
+bounded_record_writer::~bounded_record_writer() {
+    if (spill_file_ != nullptr) std::fclose(spill_file_);
+}
+
+void bounded_record_writer::spill() {
+    if (spill_file_ == nullptr) {
+        spill_file_ = std::tmpfile();
+        if (spill_file_ == nullptr) {
+            throw std::runtime_error("bounded_record_writer: tmpfile() failed");
+        }
+    }
+    if (std::fwrite(ring_.data(), sizeof(capture_record), ring_.size(), spill_file_) !=
+        ring_.size()) {
+        throw std::runtime_error("bounded_record_writer: spill write failed");
+    }
+    spilled_ += ring_.size();
+    ring_.clear();
+}
+
+void bounded_record_writer::append(const capture_record& record) {
+    if (bound_ != 0 && ring_.size() == bound_) spill();
+    ring_.push_back(record);
+    ++total_;
+    if (ring_.size() > peak_buffered_) peak_buffered_ = ring_.size();
+}
+
+void bounded_record_writer::append(std::span<const capture_record> records) {
+    for (const auto& r : records) append(r);
+}
+
+void bounded_record_writer::drain(
+    const std::function<void(std::span<const capture_record>)>& sink) {
+    if (drained_) throw std::logic_error("bounded_record_writer: drained twice");
+    drained_ = true;
+    if (spill_file_ != nullptr) {
+        std::rewind(spill_file_);
+        // Read back in ring-sized chunks so draining obeys the same bound.
+        std::vector<capture_record> chunk(bound_ == 0 ? std::size_t{1} : bound_);
+        std::size_t remaining = spilled_;
+        while (remaining > 0) {
+            const std::size_t n = remaining < chunk.size() ? remaining : chunk.size();
+            if (std::fread(chunk.data(), sizeof(capture_record), n, spill_file_) != n) {
+                throw std::runtime_error("bounded_record_writer: spill read failed");
+            }
+            sink(std::span<const capture_record>{chunk.data(), n});
+            remaining -= n;
+        }
+        std::fclose(spill_file_);
+        spill_file_ = nullptr;
+    }
+    if (!ring_.empty()) sink(std::span<const capture_record>{ring_.data(), ring_.size()});
+    ring_.clear();
+    ring_.shrink_to_fit();
+}
+
+std::vector<capture_record> bounded_record_writer::take() {
+    std::vector<capture_record> out;
+    out.reserve(total_);
+    drain([&](std::span<const capture_record> chunk) {
+        out.insert(out.end(), chunk.begin(), chunk.end());
+    });
+    return out;
+}
+
+} // namespace ac::capture

@@ -1,0 +1,60 @@
+// Hard-bounded capture writer: the per-site/per-letter record streams that
+// DITL synthesis produces can reach millions of rows at the large tier, so
+// the generator never buffers more than a fixed number of rows in RAM.
+// Appends land in an in-memory ring; when the ring fills it is flushed as
+// one frame to an anonymous spill file, and `drain` streams every record
+// back in exact insertion order. The high-water mark is a pure function of
+// the append sequence, which makes it a machine-independent bench scalar.
+#pragma once
+
+#include <cstdio>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/capture/ditl.h"
+
+namespace ac::capture {
+
+class bounded_record_writer {
+public:
+    /// `max_buffered_records` is the hard ring bound; 0 means unbounded
+    /// (never spills — equivalent to a plain vector, useful for tests).
+    explicit bounded_record_writer(std::size_t max_buffered_records);
+    ~bounded_record_writer();
+
+    bounded_record_writer(const bounded_record_writer&) = delete;
+    bounded_record_writer& operator=(const bounded_record_writer&) = delete;
+
+    void append(const capture_record& record);
+    void append(std::span<const capture_record> records);
+
+    /// Records appended so far (buffered + spilled).
+    [[nodiscard]] std::size_t size() const noexcept { return total_; }
+    [[nodiscard]] std::size_t spilled_records() const noexcept { return spilled_; }
+    /// Deterministic high-water mark of the in-memory ring, in bytes.
+    [[nodiscard]] std::size_t peak_buffered_bytes() const noexcept {
+        return peak_buffered_ * sizeof(capture_record);
+    }
+
+    /// Streams every record in insertion order through `sink`, in chunks of
+    /// at most the ring bound. Consumes the writer (call once).
+    void drain(const std::function<void(std::span<const capture_record>)>& sink);
+
+    /// Materializing convenience over `drain`.
+    [[nodiscard]] std::vector<capture_record> take();
+
+private:
+    void spill();
+
+    std::size_t bound_;
+    std::vector<capture_record> ring_;
+    std::FILE* spill_file_ = nullptr;  // tmpfile(): unlinked, auto-reclaimed
+    std::size_t total_ = 0;
+    std::size_t spilled_ = 0;
+    std::size_t peak_buffered_ = 0;
+    bool drained_ = false;
+};
+
+} // namespace ac::capture

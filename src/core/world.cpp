@@ -16,6 +16,52 @@ world_config world_config::small() {
     return config;
 }
 
+world_config world_config::medium() { return world_config{}; }
+
+world_config world_config::large() {
+    world_config config;
+    // ~4x the AS graph and user population, 3x the CDN footprint. The knobs
+    // are sized so one large cell finishes in CI minutes, not hours; the
+    // structural claims (hundreds of front-ends, thousands of ASes, O(10^8)
+    // users, millions of capture rows) all hold at this size.
+    config.graph.eyeball_count = 4800;
+    config.graph.enterprise_count = 800;
+    config.graph.public_dns_count = 8;
+    config.users.users_per_weight = 1.8e8;
+    config.ditl.junk_source_count = 32000;
+    // Bounded streamed generation: capture rows overflow to a spill file once
+    // this many are buffered, so generation scratch stays flat (DESIGN §15).
+    config.ditl.max_buffered_records = std::size_t{1} << 16;
+    config.cdn.ring_sizes = {84, 141, 222, 285, 330};
+    config.atlas.probe_count = 14400;
+    return config;
+}
+
+world_config world_config::for_tier(scale_tier tier) {
+    switch (tier) {
+        case scale_tier::small: return small();
+        case scale_tier::medium: return medium();
+        case scale_tier::large: return large();
+    }
+    return medium();
+}
+
+std::string_view to_string(scale_tier tier) noexcept {
+    switch (tier) {
+        case scale_tier::small: return "small";
+        case scale_tier::medium: return "medium";
+        case scale_tier::large: return "large";
+    }
+    return "medium";
+}
+
+std::optional<scale_tier> parse_scale_tier(std::string_view name) noexcept {
+    if (name == "small") return scale_tier::small;
+    if (name == "medium" || name == "full") return scale_tier::medium;
+    if (name == "large") return scale_tier::large;
+    return std::nullopt;
+}
+
 world::world(world_config config) : world(std::move(config), nullptr) {}
 
 world::world(world_config config, world_datasets data)

@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "src/atlas/atlas.h"
@@ -28,6 +30,19 @@
 namespace ac::core {
 
 enum class ditl_year : std::uint8_t { y2018, y2020 };
+
+/// Named world sizes. `small` is the unit-test world, `medium` is the paper's
+/// scale (the historical default config, still spelled `full` on the CLI),
+/// `large` is the production-scale tier: hundreds of CDN front-ends, a few
+/// thousand ASes, hundreds of millions of users, and DITL synthesis running
+/// through the bounded ring/spill writer so generation never holds more than
+/// a fixed number of capture rows in RAM beyond the finished dataset.
+enum class scale_tier : std::uint8_t { small, medium, large };
+
+[[nodiscard]] std::string_view to_string(scale_tier tier) noexcept;
+/// Parses "small" / "medium" / "large"; "full" is accepted as a legacy alias
+/// for medium. Returns nullopt for anything else.
+[[nodiscard]] std::optional<scale_tier> parse_scale_tier(std::string_view name) noexcept;
 
 struct world_config {
     topo::region_plan regions{};
@@ -51,6 +66,12 @@ struct world_config {
 
     /// A smaller world for unit tests (fewer ASes, fewer sources).
     [[nodiscard]] static world_config small();
+    /// The paper-scale world — identical to a default-constructed config.
+    [[nodiscard]] static world_config medium();
+    /// The production-scale tier (see scale_tier docs). Streamed DITL
+    /// generation is on by default here (ditl.max_buffered_records != 0).
+    [[nodiscard]] static world_config large();
+    [[nodiscard]] static world_config for_tier(scale_tier tier);
 };
 
 /// Pre-generated datasets injected into a world instead of being synthesized

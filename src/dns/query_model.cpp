@@ -140,4 +140,12 @@ double ideal_queries_per_day(double users, const query_model_options& options) {
     return tld_count(users, options) / options.ttl_days;
 }
 
+query_model_options ideal_cache(query_model_options base) noexcept {
+    base.refresh_median_bind_redundant = 1.0;
+    base.refresh_median_bind_fixed = 1.0;
+    base.refresh_median_other = 1.0;
+    base.refresh_sigma = 0.0;
+    return base;
+}
+
 } // namespace ac::dns

@@ -64,6 +64,12 @@ struct query_model_options {
     double tcp_share_sigma = 0.8;
 };
 
+/// The counterfactual resolver-cache behaviour for sweep cells (`dim cache
+/// ideal`): every resolver refreshes each TLD exactly once per TTL, i.e. the
+/// refresh multipliers collapse to 1 with no dispersion — the paper's ideal
+/// lower bound that real resolver populations exceed by ~140x (Fig. 3).
+[[nodiscard]] query_model_options ideal_cache(query_model_options base) noexcept;
+
 /// Daily root-DNS query rates for one recursive (summed over letters; the
 /// per-letter split applies `letter_weight`).
 struct recursive_query_profile {

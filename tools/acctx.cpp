@@ -3,7 +3,7 @@
 // One binary to build worlds, run the paper's analyses, and move capture
 // files around:
 //
-//   acctx world    [--seed N] [--scale small|full] [--year 2018|2020]
+//   acctx world    [--seed N] [--scale small|medium|large] [--year 2018|2020]
 //                  [--threads N] [--timing]
 //   acctx inflation [...]           Fig. 2-style root inflation summary
 //   acctx amortize  [...]           Fig. 3-style queries/user/day summary
@@ -26,6 +26,15 @@
 //                                   latency-vs-load frontier: latency-only vs
 //                                   FastRoute-style load-aware assignment
 //                                   across demand levels (DESIGN §14)
+//   acctx sweep     --grid SPEC --out DIR [--threads N] [--max-cells N]
+//                                   build every cell of a grid spec (one
+//                                   snapshot + metrics JSON + figure-CSV
+//                                   bundle per cell) with a resumable
+//                                   manifest; byte-identical at any thread
+//                                   count (DESIGN §15)
+//
+// World scale is a named tier: --scale small|medium|large ("full" is a
+// legacy alias for medium, the paper-scale default).
 //
 // Every world-building command accepts --threads N (0 = hardware
 // concurrency, 1 = serial); thread count never changes output bytes.
@@ -63,6 +72,7 @@
 #include "src/serve/http.h"
 #include "src/serve/query_engine.h"
 #include "src/snapshot/world_io.h"
+#include "src/sweep/driver.h"
 
 namespace {
 
@@ -71,7 +81,7 @@ using namespace ac;
 struct cli_options {
     std::string command;
     std::uint64_t seed = 42;
-    bool small = false;
+    core::scale_tier tier = core::scale_tier::medium;
     core::ditl_year year = core::ditl_year::y2018;
     int threads = 0;
     bool timing = false;
@@ -89,6 +99,7 @@ struct cli_options {
     std::optional<std::string> snapshot_path;  // serve: the world to open
     std::optional<std::string> grid_path;      // serve: offline grid CSV, then exit
     std::size_t grid_stride = 1;
+    std::size_t max_cells = 0;  // sweep: stop after N built cells (0 = all)
     std::uint16_t port = 0;  // serve: 0 = kernel-assigned ephemeral port
     bool dry_run = false;    // serve: bind + echo the port, then exit
     std::string letters = "K";
@@ -100,8 +111,8 @@ struct cli_options {
 [[noreturn]] void usage(int code) {
     std::cerr << "usage: acctx "
                  "<world|inflation|amortize|cdn|export|analyze|snapshot|report|scenario|"
-                 "serve|load>\n"
-              << "             [--seed N] [--scale small|full] [--year 2018|2020]\n"
+                 "serve|load|sweep>\n"
+              << "             [--seed N] [--scale small|medium|large] [--year 2018|2020]\n"
               << "             [--threads N] [--timing] [--in FILE] [--out FILE]\n"
               << "             [--from-snapshot FILE] [--format text|snapshot]\n"
               << "             [--timeline FILE] [--letters STR] [--info FILE]\n"
@@ -140,9 +151,12 @@ struct cli_options {
               << "  --port N          serve: TCP port on 127.0.0.1 (0 = ephemeral; the\n"
               << "                    bound port is echoed as 'serving on port N')\n"
               << "  --grid F          serve: write the point-query grid CSV offline and\n"
-              << "                    exit (the same bytes GET /grid serves)\n"
+              << "                    exit (the same bytes GET /grid serves);\n"
+              << "                    sweep: the grid spec file (tier/seed/year/dim lines)\n"
               << "  --grid-stride N   serve: emit every N-th grid row (default 1)\n"
-              << "  --dry-run         serve: bind, echo the port, exit without serving\n";
+              << "  --dry-run         serve: bind, echo the port, exit without serving\n"
+              << "  --max-cells N     sweep: stop after building N cells (the manifest\n"
+              << "                    stays valid; a later run resumes from it)\n";
     std::exit(code);
 }
 
@@ -165,6 +179,7 @@ bool flag_applies(const std::string& command, const std::string& flag) {
          {"--snapshot", "--port", "--threads", "--grid", "--grid-stride", "--dry-run"}},
         {"load", {"--seed", "--scale", "--year", "--threads", "--out", "--from-snapshot",
                   "--demand", "--policy", "--headroom"}},
+        {"sweep", {"--grid", "--out", "--threads", "--max-cells"}},
     };
     // Observability flags apply to every command: they only add output files,
     // never change what a command computes.
@@ -175,7 +190,8 @@ bool flag_applies(const std::string& command, const std::string& flag) {
 }
 
 bool known_command(const std::string& command) {
-    return flag_applies(command, "--seed") || command == "analyze" || command == "serve";
+    return flag_applies(command, "--seed") || command == "analyze" || command == "serve" ||
+           command == "sweep";
 }
 
 cli_options parse_args(int argc, char** argv) {
@@ -207,7 +223,7 @@ cli_options parse_args(int argc, char** argv) {
             arg == "--metrics-json" || arg == "--timeline" || arg == "--letters" ||
             arg == "--snapshot" || arg == "--port" || arg == "--grid" ||
             arg == "--grid-stride" || arg == "--dry-run" || arg == "--demand" ||
-            arg == "--policy" || arg == "--headroom") {
+            arg == "--policy" || arg == "--headroom" || arg == "--max-cells") {
             check_applies();
         }
         if (arg == "--seed") {
@@ -215,13 +231,13 @@ cli_options parse_args(int argc, char** argv) {
             options.world_knob_set = true;
         } else if (arg == "--scale") {
             const auto v = value();
-            if (v == "small") {
-                options.small = true;
-            } else if (v == "full") {
-                options.small = false;
-            } else {
+            const auto tier = core::parse_scale_tier(v);
+            if (!tier) {
+                std::cerr << "acctx: unknown scale '" << v
+                          << "' (expected small, medium, large, or the legacy alias full)\n";
                 usage(2);
             }
+            options.tier = *tier;
             options.world_knob_set = true;
         } else if (arg == "--year") {
             const auto v = value();
@@ -287,6 +303,15 @@ cli_options parse_args(int argc, char** argv) {
                 usage(2);
             }
             options.grid_stride = static_cast<std::size_t>(n);
+        } else if (arg == "--max-cells") {
+            const auto v = value();
+            char* end = nullptr;
+            const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() || end == nullptr || *end != '\0' || n == 0) {
+                std::cerr << "acctx sweep: --max-cells needs a positive integer\n";
+                usage(2);
+            }
+            options.max_cells = static_cast<std::size_t>(n);
         } else if (arg == "--port") {
             const auto v = value();
             char* end = nullptr;
@@ -333,11 +358,11 @@ core::world build_world(const cli_options& options) {
         return snapshot::hydrate_world(std::move(bundle),
                                        options.threads_set ? options.threads : -1);
     }
-    auto config = options.small ? core::world_config::small() : core::world_config{};
+    auto config = core::world_config::for_tier(options.tier);
     config.seed = options.seed;
     config.year = options.year;
     config.threads = options.threads;
-    std::cerr << "building " << (options.small ? "small" : "full") << " world (seed "
+    std::cerr << "building " << core::to_string(options.tier) << " world (seed "
               << config.seed << ", "
               << (config.year == core::ditl_year::y2018 ? "2018" : "2020") << ")...\n";
     return core::world{std::move(config)};
@@ -381,6 +406,31 @@ int cmd_world(const cli_options& options) {
                   << stats.frozen_hits << " wait-free hits, " << stats.frozen_misses
                   << " fell through\n";
     }
+    return 0;
+}
+
+int cmd_sweep(const cli_options& options) {
+    if (!options.grid_path) {
+        std::cerr << "acctx sweep: --grid FILE required\n";
+        return 2;
+    }
+    if (!options.out_path) {
+        std::cerr << "acctx sweep: --out DIR required\n";
+        return 2;
+    }
+    const auto spec = sweep::parse_grid_spec_file(*options.grid_path);
+    std::cerr << "sweep: " << spec.cell_count() << " cells (tier "
+              << core::to_string(spec.tier) << ", seed " << spec.seed << ") -> "
+              << *options.out_path << "\n";
+    sweep::sweep_options sopt;
+    sopt.threads = options.threads;
+    sopt.max_cells = options.max_cells;
+    sopt.progress = &std::cerr;
+    const auto result = sweep::run_grid(spec, *options.out_path, sopt);
+    // Machine-parsable summary on stdout (the progress chatter is stderr).
+    std::cout << "sweep: " << result.cells.size() << " cells (" << result.built << " built, "
+              << result.skipped << " skipped, " << result.pending << " pending) -> "
+              << *options.out_path << "\n";
     return 0;
 }
 
@@ -751,6 +801,7 @@ int run_command(const cli_options& options) {
     if (options.command == "scenario") return cmd_scenario(options);
     if (options.command == "serve") return cmd_serve(options);
     if (options.command == "load") return cmd_load(options);
+    if (options.command == "sweep") return cmd_sweep(options);
     usage(2);  // unreachable: parse_args validated the command
 }
 
